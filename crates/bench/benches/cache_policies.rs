@@ -1,0 +1,58 @@
+//! Benchmarks of the caching layer: hotness-map construction per policy,
+//! `load_cache` top-k selection, and lookup/partition throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnnlab_cache::{load_cache, CachePolicy, PolicyKind};
+use gnnlab_graph::gen::citation;
+use gnnlab_graph::VertexId;
+use gnnlab_sampling::{KHop, Kernel, Selection};
+
+fn bench_hotness(c: &mut Criterion) {
+    let g = citation(100_000, 1_500_000, 5).expect("valid parameters");
+    let ts: Vec<VertexId> = (99_000..100_000).collect();
+    let algo = KHop::new(vec![15, 10, 5], Kernel::FisherYates, Selection::Uniform);
+    let mut group = c.benchmark_group("policy_hotness");
+    group.sample_size(10);
+    for policy in [PolicyKind::Random, PolicyKind::Degree, PolicyKind::PreSC { k: 1 }] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| CachePolicy::hotness(policy, &g, &ts, &algo, 100, 1));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_load_cache(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let hotness: Vec<f64> = (0..n).map(|i| ((i * 2_654_435_761) % n) as f64).collect();
+    let mut group = c.benchmark_group("load_cache");
+    group.throughput(Throughput::Elements(n as u64));
+    for alpha in [0.01, 0.1, 0.3] {
+        group.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &alpha| {
+            b.iter(|| load_cache(&hotness, alpha, n));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let hotness: Vec<f64> = (0..n).map(|i| ((i * 2_654_435_761) % n) as f64).collect();
+    let table = load_cache(&hotness, 0.2, n);
+    let ids: Vec<VertexId> = (0..100_000).map(|i| (i * 31) as VertexId % n as VertexId).collect();
+    let mut group = c.benchmark_group("cache_lookup");
+    group.throughput(Throughput::Elements(ids.len() as u64));
+    group.bench_function("partition_100k", |b| {
+        b.iter(|| table.partition(&ids));
+    });
+    group.bench_function("mark_100k", |b| {
+        b.iter(|| table.mark(&ids));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotness, bench_load_cache, bench_lookup);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! One Criterion target per paper table/figure: benchmarks the harness
+//! that regenerates it (at a small scale), so regressions in any
+//! experiment's cost are caught. The *results* of the experiments are
+//! printed by the `experiments` binary; these benches track the harness
+//! itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gnnlab_bench::{exp, ExpConfig};
+use gnnlab_graph::Scale;
+
+fn cfg() -> ExpConfig {
+    ExpConfig {
+        scale: Scale::new(16384),
+        seed: 1,
+    }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_tables");
+    group.sample_size(10);
+    group.bench_function("table1", |b| b.iter(|| exp::table1::run(&cfg())));
+    group.bench_function("table2", |b| b.iter(|| exp::table2::run(&cfg())));
+    group.bench_function("table4", |b| b.iter(|| exp::table4::run(&cfg())));
+    group.bench_function("table5", |b| b.iter(|| exp::table5::run(&cfg())));
+    group.bench_function("table6", |b| b.iter(|| exp::table6::run(&cfg())));
+    group.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp_figures");
+    group.sample_size(10);
+    group.bench_function("fig3", |b| b.iter(|| exp::fig3::run(&cfg())));
+    group.bench_function("fig4", |b| b.iter(|| exp::fig4::run(&cfg())));
+    group.bench_function("fig5", |b| b.iter(|| exp::fig5::run(&cfg())));
+    group.bench_function("fig10", |b| b.iter(|| exp::fig10::run(&cfg())));
+    group.bench_function("fig11", |b| b.iter(|| exp::fig11::run(&cfg())));
+    group.bench_function("fig12", |b| b.iter(|| exp::fig12::run(&cfg())));
+    group.bench_function("fig13", |b| b.iter(|| exp::fig13::run(&cfg())));
+    group.bench_function("fig14", |b| b.iter(|| exp::fig14::run(&cfg())));
+    group.bench_function("fig15", |b| b.iter(|| exp::fig15::run(&cfg())));
+    group.bench_function("fig16", |b| b.iter(|| exp::fig16::run(&cfg())));
+    group.bench_function("fig17", |b| b.iter(|| exp::fig17::run(&cfg())));
+    group.bench_function("partition", |b| b.iter(|| exp::partition::run(&cfg())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the sampling kernels — the real-machine companion
+//! to §7.3: Fisher–Yates(Floyd) vs Reservoir, uniform vs weighted, and
+//! random walks, on a power-law graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnnlab_graph::gen::{chung_lu, recency_weights};
+use gnnlab_graph::{Csr, VertexId};
+use gnnlab_sampling::{KHop, Kernel, RandomWalk, SamplingAlgorithm, Selection};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn graph() -> Csr {
+    chung_lu(50_000, 1_000_000, 1.9, 7).expect("valid parameters")
+}
+
+fn seeds(n: usize) -> Vec<VertexId> {
+    (0..n as VertexId).map(|i| i * 37 % 50_000).collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let g = graph();
+    let batch = seeds(64);
+    let mut group = c.benchmark_group("khop_kernels");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    for (name, kernel) in [("fisher_yates", Kernel::FisherYates), ("reservoir", Kernel::Reservoir)]
+    {
+        let algo = KHop::new(vec![15, 10, 5], kernel, Selection::Uniform);
+        group.bench_with_input(BenchmarkId::new("3hop", name), &algo, |b, algo| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            b.iter(|| algo.sample(&g, &batch, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_weighted(c: &mut Criterion) {
+    let g = recency_weights(graph(), 3).expect("weights attach");
+    let batch = seeds(64);
+    let mut group = c.benchmark_group("weighted_vs_uniform");
+    for (name, sel) in [("uniform", Selection::Uniform), ("weighted", Selection::Weighted)] {
+        let algo = KHop::new(vec![15, 10, 5], Kernel::FisherYates, sel);
+        group.bench_with_input(BenchmarkId::new("3hop", name), &algo, |b, algo| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            b.iter(|| algo.sample(&g, &batch, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_walks(c: &mut Criterion) {
+    let g = graph();
+    let batch = seeds(64);
+    let algo = RandomWalk::pinsage();
+    c.bench_function("random_walks_pinsage", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        b.iter(|| algo.sample(&g, &batch, &mut rng));
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_weighted, bench_random_walks);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Benchmarks of the tensor substrate: matmul and full layer
+//! forward/backward over a realistic sampled block.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnnlab_graph::gen::chung_lu;
+use gnnlab_sampling::{KHop, Kernel, Sample, SamplingAlgorithm, Selection};
+use gnnlab_tensor::layers::{GnnLayer, LayerKind};
+use gnnlab_tensor::Matrix;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut group = c.benchmark_group("matmul");
+    for n in [64usize, 256] {
+        let a = Matrix::xavier(n, n, &mut rng);
+        let b = Matrix::xavier(n, n, &mut rng);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b));
+        });
+    }
+    group.finish();
+}
+
+fn sampled_batch() -> Sample {
+    let g = chung_lu(20_000, 400_000, 2.0, 3).expect("valid parameters");
+    let algo = KHop::new(vec![10, 5], Kernel::FisherYates, Selection::Uniform);
+    let seeds: Vec<u32> = (0..64).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    algo.sample(&g, &seeds, &mut rng)
+}
+
+fn bench_layers(c: &mut Criterion) {
+    let sample = sampled_batch();
+    let block = &sample.blocks[0];
+    let in_dim = 64;
+    let x = Matrix::xavier(block.src_count(), in_dim, &mut ChaCha8Rng::seed_from_u64(5));
+    let mut group = c.benchmark_group("layer_fwd_bwd");
+    group.sample_size(20);
+    for (name, kind) in [
+        ("graph_conv", LayerKind::GraphConv),
+        ("sage_conv", LayerKind::SageConv),
+        ("pinsage_conv", LayerKind::PinSageConv),
+    ] {
+        group.bench_function(name, |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(6);
+            let mut layer = GnnLayer::new(kind, in_dim, 64, true, &mut rng);
+            b.iter(|| {
+                let out = layer.forward(block, &x);
+                let grad = Matrix::zeros(out.rows(), out.cols());
+                layer.backward(&grad)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_layers);
+criterion_main!(benches);

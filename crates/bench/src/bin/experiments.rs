@@ -1,0 +1,98 @@
+//! CLI that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments [--json] [name ...]
+//!     names: table1 table2 table4 table5 table6
+//!            fig3 fig4 fig5 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
+//!            partition all motivation caching performance
+//! Environment: GNNLAB_SCALE=<divisor> (default 1024)
+//! ```
+
+use gnnlab_bench::{exp, ExpConfig, Table};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Set by the `--json` flag: emit one JSON object per table instead of
+/// aligned text.
+static JSON: AtomicBool = AtomicBool::new(false);
+
+fn print_tables(tables: Vec<Table>) {
+    for t in tables {
+        if JSON.load(Ordering::Relaxed) {
+            println!("{}", serde_json::to_string(&t).expect("tables serialize"));
+        } else {
+            println!("{}", t.render());
+        }
+    }
+}
+
+fn run_one(name: &str, cfg: &ExpConfig) -> bool {
+    let start = std::time::Instant::now();
+    match name {
+        "table1" => print_tables(vec![exp::table1::run(cfg)]),
+        "table2" => print_tables(vec![exp::table2::run(cfg)]),
+        "table4" => print_tables(vec![exp::table4::run(cfg)]),
+        "table5" => print_tables(vec![exp::table5::run(cfg)]),
+        "table6" => print_tables(vec![exp::table6::run(cfg)]),
+        "fig3" => print_tables(vec![exp::fig3::run(cfg)]),
+        "fig4" => print_tables(exp::fig4::run(cfg)),
+        "fig5" => print_tables(exp::fig5::run(cfg)),
+        "fig10" => print_tables(vec![exp::fig10::run(cfg)]),
+        "fig11" => print_tables(exp::fig11::run(cfg)),
+        "fig12" => print_tables(vec![exp::fig12::run(cfg)]),
+        "fig13" => print_tables(vec![exp::fig13::run(cfg)]),
+        "fig14" => print_tables(exp::fig14::run(cfg)),
+        "fig15" => print_tables(vec![exp::fig15::run(cfg)]),
+        "fig16" => print_tables(vec![exp::fig16::run(cfg), exp::fig16::run_scalability(cfg)]),
+        "fig17" => print_tables(exp::fig17::run(cfg)),
+        "partition" => print_tables(vec![exp::partition::run(cfg)]),
+        "ablations" => print_tables(exp::ablations::run(cfg)),
+        _ => return false,
+    }
+    eprintln!("[{name} took {:.1}s]\n", start.elapsed().as_secs_f64());
+    true
+}
+
+const ALL: &[&str] = &[
+    "table1", "fig3", "fig4", "fig5", "table2", "fig10", "fig11", "table4", "table5", "fig12",
+    "fig13", "fig14", "fig15", "table6", "fig16", "fig17", "partition", "ablations",
+];
+
+fn main() {
+    let cfg = ExpConfig::default();
+    eprintln!(
+        "GNNLab-rs experiment harness (scale 1/{}; set GNNLAB_SCALE to change)\n",
+        cfg.scale.factor()
+    );
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        args.remove(pos);
+        JSON.store(true, Ordering::Relaxed);
+    }
+    let groups: &[(&str, &[&str])] = &[
+        ("all", ALL),
+        ("motivation", &["table1", "fig3", "fig4", "fig5"]),
+        ("caching", &["table2", "fig10", "fig11", "fig12", "fig13"]),
+        (
+            "performance",
+            &["table4", "table5", "fig14", "fig15", "table6", "fig16", "fig17"],
+        ),
+    ];
+    let mut names: Vec<&str> = Vec::new();
+    if args.is_empty() {
+        names.extend_from_slice(ALL);
+    } else {
+        for a in &args {
+            if let Some((_, members)) = groups.iter().find(|(g, _)| g == a) {
+                names.extend_from_slice(members);
+            } else {
+                names.push(a.as_str());
+            }
+        }
+    }
+    for name in names {
+        if !run_one(name, &cfg) {
+            eprintln!("unknown experiment '{name}'; known: {ALL:?} plus groups all/motivation/caching/performance");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 12: Extract-stage time under different caching policies inside
+//! GNNLab (Degree, Random, PreSC#1), for four workloads × {TW, PA, UK}.
+//!
+//! PR is omitted, as in the paper, because all of its features fit in GPU
+//! memory (every policy caches everything).
+
+use crate::table::secs;
+use crate::{ExpConfig, Table};
+use gnnlab_cache::PolicyKind;
+use gnnlab_core::report::{EpochReport, RunError};
+use gnnlab_core::runtime::{profile_stage_times, run_factored_epoch, run_system, SimContext};
+use gnnlab_core::schedule::num_samplers;
+use gnnlab_core::trace::EpochTrace;
+use gnnlab_core::{SystemKind, Workload};
+use gnnlab_graph::DatasetKind;
+use gnnlab_sampling::AlgorithmKind;
+use gnnlab_tensor::ModelKind;
+
+/// The four workload columns: GCN, GraphSAGE, PinSAGE, GCN-weighted.
+pub fn workloads(cfg: &ExpConfig, ds: DatasetKind) -> Vec<(String, Workload)> {
+    vec![
+        (
+            "GCN".to_string(),
+            Workload::new(ModelKind::Gcn, ds, cfg.scale, cfg.seed),
+        ),
+        (
+            "GSG".to_string(),
+            Workload::new(ModelKind::GraphSage, ds, cfg.scale, cfg.seed),
+        ),
+        (
+            "PSG".to_string(),
+            Workload::new(ModelKind::PinSage, ds, cfg.scale, cfg.seed),
+        ),
+        (
+            "GCN(W.)".to_string(),
+            Workload::new(ModelKind::Gcn, ds, cfg.scale, cfg.seed)
+                .with_algorithm(AlgorithmKind::Khop3Weighted),
+        ),
+    ]
+}
+
+/// Runs GNNLab (8 GPUs, allocation from profiling) with an explicit
+/// caching policy.
+pub fn gnnlab_with_policy(w: &Workload, policy: PolicyKind) -> Result<EpochReport, RunError> {
+    let ctx = SimContext::new(w, SystemKind::GnnLab).with_policy(policy);
+    let trace = EpochTrace::record(w, SystemKind::GnnLab.kernel(), ctx.epoch);
+    let times = profile_stage_times(&ctx, &trace)?;
+    let ns = num_samplers(ctx.testbed.num_gpus, times.t_sample, times.t_trainer);
+    run_factored_epoch(&ctx, &trace, ns, ctx.testbed.num_gpus - ns, true)
+}
+
+/// The three policies compared in Figs. 12/13.
+pub const POLICIES: [PolicyKind; 3] = [
+    PolicyKind::Degree,
+    PolicyKind::Random,
+    PolicyKind::PreSC { k: 1 },
+];
+
+/// Regenerates Fig. 12 (Extract time per epoch, seconds).
+pub fn run(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Fig. 12: Extract time (s/epoch) in GNNLab by caching policy",
+        &["Workload", "Degree", "Random", "PreSC#1"],
+    );
+    for ds in [DatasetKind::Twitter, DatasetKind::Papers, DatasetKind::Uk] {
+        for (name, w) in workloads(cfg, ds) {
+            let mut row = vec![format!("{name}/{}", ds.abbrev())];
+            for policy in POLICIES {
+                match gnnlab_with_policy(&w, policy) {
+                    Ok(rep) => row.push(secs(rep.stages.extract)),
+                    Err(_) => row.push("OOM".to_string()),
+                }
+            }
+            table.row(row);
+        }
+    }
+    let _ = run_system; // referenced for doc cross-linking
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnlab_graph::Scale;
+
+    #[test]
+    fn presc_extract_is_fastest_on_papers() {
+        let cfg = ExpConfig {
+            scale: Scale::new(8192),
+            seed: 1,
+        };
+        let w = Workload::new(ModelKind::Gcn, DatasetKind::Papers, cfg.scale, cfg.seed);
+        let degree = gnnlab_with_policy(&w, PolicyKind::Degree).unwrap();
+        let random = gnnlab_with_policy(&w, PolicyKind::Random).unwrap();
+        let presc = gnnlab_with_policy(&w, PolicyKind::PreSC { k: 1 }).unwrap();
+        assert!(
+            presc.stages.extract < degree.stages.extract,
+            "presc {} degree {}",
+            presc.stages.extract,
+            degree.stages.extract
+        );
+        assert!(
+            presc.stages.extract < random.stages.extract,
+            "presc {} random {}",
+            presc.stages.extract,
+            random.stages.extract
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Fig. 14: scalability of DGL, T_SOTA and GNNLab with the number of GPUs
+//! (GCN on PA and TW). GNNLab is shown with fixed Sampler counts 1S/2S/3S.
+
+use crate::table::secs;
+use crate::{ExpConfig, Table};
+use gnnlab_core::runtime::{run_factored_epoch, run_timeshare_epoch, SimContext};
+use gnnlab_core::trace::EpochTrace;
+use gnnlab_core::{SystemKind, Workload};
+use gnnlab_graph::DatasetKind;
+use gnnlab_tensor::ModelKind;
+
+fn timeshare_cell(w: &Workload, system: SystemKind, gpus: usize) -> String {
+    let ctx = SimContext::new(w, system).with_gpus(gpus);
+    let trace = EpochTrace::record(w, system.kernel(), ctx.epoch);
+    match run_timeshare_epoch(&ctx, &trace) {
+        Ok(r) => secs(r.epoch_time),
+        Err(_) => "OOM".to_string(),
+    }
+}
+
+fn gnnlab_cell(w: &Workload, ns: usize, gpus: usize) -> String {
+    if ns >= gpus {
+        return "-".to_string();
+    }
+    let ctx = SimContext::new(w, SystemKind::GnnLab).with_gpus(gpus);
+    let trace = EpochTrace::record(w, SystemKind::GnnLab.kernel(), ctx.epoch);
+    match run_factored_epoch(&ctx, &trace, ns, gpus - ns, true) {
+        Ok(r) => secs(r.epoch_time),
+        Err(_) => "OOM".to_string(),
+    }
+}
+
+fn sweep(w: &Workload, title: &str) -> Table {
+    let mut table = Table::new(
+        title,
+        &["#GPUs", "DGL", "T_SOTA", "GNNLab/1S", "GNNLab/2S", "GNNLab/3S"],
+    );
+    for gpus in 2..=8usize {
+        table.row(vec![
+            gpus.to_string(),
+            timeshare_cell(w, SystemKind::DglLike, gpus),
+            timeshare_cell(w, SystemKind::TSota, gpus),
+            gnnlab_cell(w, 1, gpus),
+            gnnlab_cell(w, 2, gpus),
+            gnnlab_cell(w, 3, gpus),
+        ]);
+    }
+    table
+}
+
+/// Regenerates Fig. 14 (both panels).
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let pa = Workload::new(ModelKind::Gcn, DatasetKind::Papers, cfg.scale, cfg.seed);
+    let tw = Workload::new(ModelKind::Gcn, DatasetKind::Twitter, cfg.scale, cfg.seed);
+    vec![
+        sweep(&pa, "Fig. 14a: GCN on PA, epoch time (s) vs #GPUs"),
+        sweep(&tw, "Fig. 14b: GCN on TW, epoch time (s) vs #GPUs"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnlab_graph::Scale;
+
+    #[test]
+    fn gnnlab_scales_better_than_timeshare() {
+        let cfg = ExpConfig {
+            scale: Scale::new(8192),
+            seed: 1,
+        };
+        let tables = run(&cfg);
+        let pa = &tables[0];
+        let v = |r: usize, c: usize| -> f64 { pa.rows[r][c].parse().unwrap() };
+        // 8 GPUs (row 6) vs 2 GPUs (row 0).
+        let dgl_speedup = v(0, 1) / v(6, 1);
+        // GNNLab/1S is defined for every GPU count in the sweep.
+        let gnnlab_speedup = v(0, 3) / v(6, 3);
+        assert!(
+            gnnlab_speedup > dgl_speedup,
+            "gnnlab {gnnlab_speedup:.2}x vs dgl {dgl_speedup:.2}x"
+        );
+        // GNNLab/2S at 8 GPUs beats both baselines at 8 GPUs.
+        assert!(v(6, 4) < v(6, 1));
+        assert!(v(6, 4) < v(6, 2));
+        // Adding trainers monotonically (weakly) improves GNNLab/1S early:
+        // 3 GPUs (1S2T) -> 6 GPUs (1S5T).
+        assert!(v(4, 3) <= v(1, 3) * 1.05);
+    }
+}

@@ -1,0 +1,66 @@
+//! One module per table/figure of the paper.
+//!
+//! | Module | Regenerates |
+//! |---|---|
+//! | [`table1`] | Table 1 — runtime breakdown of key optimizations (GCN on PA, 1 GPU) |
+//! | [`fig3`] | Fig. 3 — per-stage GPU memory budgets |
+//! | [`fig4`] | Fig. 4 — cache ratio / feature-dimension sweeps (motivation) |
+//! | [`fig5`] | Fig. 5 — Degree vs Optimal transferred data |
+//! | [`table2`] | Table 2 — epoch-to-epoch footprint similarity |
+//! | [`fig10`] | Fig. 10 — hit rate of 4 policies × 3 algorithms × 4 datasets |
+//! | [`fig11`] | Fig. 11 — PreSC#K sweep, α sweep, dimension sweep |
+//! | [`table4`] | Table 4 — end-to-end epoch times, all systems × workloads |
+//! | [`table5`] | Table 5 — stage breakdown on 2 GPUs |
+//! | [`fig12`] / [`fig13`] | Figs. 12/13 — caching-policy impact on Extract / end-to-end |
+//! | [`fig14`] / [`fig15`] | Figs. 14/15 — scalability and mS+nT breakdown |
+//! | [`table6`] | Table 6 — preprocessing cost |
+//! | [`fig16`] | Fig. 16 — convergence (real training) |
+//! | [`fig17`] | Fig. 17 — dynamic switching and single-GPU performance |
+//! | [`partition`] | §8 — self-reliant partition redundancy ablation |
+//! | [`ablations`] | design-choice ablations: pipelining, multi-tenant stragglers, batch/training-set size, partitioned sampling, subgraph sampling vs PreSC |
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod partition;
+pub mod table1;
+pub mod table2;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+use gnnlab_cache::{CacheStats, CacheTable};
+use gnnlab_core::trace::EpochTrace;
+use gnnlab_core::Workload;
+
+/// Accumulates cache statistics of `table` over a recorded epoch trace.
+pub fn cache_stats_on_trace(
+    workload: &Workload,
+    trace: &EpochTrace,
+    table: &CacheTable,
+) -> CacheStats {
+    let row_bytes = workload.dataset.row_bytes();
+    let mut stats = CacheStats::default();
+    for b in &trace.batches {
+        stats.record(table, &b.input_nodes, row_bytes);
+    }
+    stats
+}
+
+/// Paper-scale transferred bytes of an epoch trace against a cache.
+pub fn transferred_bytes_paper(
+    workload: &Workload,
+    trace: &EpochTrace,
+    table: &CacheTable,
+) -> f64 {
+    cache_stats_on_trace(workload, trace, table).transferred_bytes() as f64 * trace.factor
+}

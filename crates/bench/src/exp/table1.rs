@@ -1,0 +1,182 @@
+//! Table 1: runtime breakdown of key optimizations (3-layer GCN on
+//! OGB-Papers, one V100).
+//!
+//! Six variants: DGL ± GPU sampling, T_SOTA ± GPU-based caching ± GPU-based
+//! sampling. Shows that each optimization helps individually but a
+//! time-sharing design cannot get full benefit from both (cache ratio
+//! collapses when topology moves onto the GPU).
+
+use crate::table::secs;
+use crate::{ExpConfig, Table};
+use gnnlab_cache::PolicyKind;
+use gnnlab_core::memory::{sample_workspace_bytes, train_workspace_bytes};
+use gnnlab_core::runtime::{build_cache_table, SimContext};
+use gnnlab_core::trace::EpochTrace;
+use gnnlab_core::{SystemKind, Workload};
+use gnnlab_graph::DatasetKind;
+use gnnlab_sim::{ns_to_secs, GatherPath, SampleDevice, Testbed};
+use gnnlab_tensor::ModelKind;
+
+/// One Table 1 variant.
+struct Variant {
+    name: &'static str,
+    system: SystemKind,
+    sample_device: SampleDevice,
+    gather: GatherPath,
+    cache: bool,
+    /// Whether topology lives on the GPU (true iff GPU sampling).
+    topo_on_gpu: bool,
+}
+
+/// Simulates one variant on a single GPU; returns (S, E, T) epoch seconds
+/// and the cache ratio.
+fn run_variant(ctx_w: &Workload, v: &Variant, epoch: u64) -> (f64, f64, f64, f64) {
+    let kernel = v.system.kernel();
+    let trace = EpochTrace::record(ctx_w, kernel, epoch);
+    let ctx = SimContext::new(ctx_w, v.system).with_gpus(1);
+
+    // Cache ratio: remainder of 16 GB after train workspace, sampling
+    // workspace + topology only when sampling on GPU.
+    let alpha = if v.cache {
+        let testbed = Testbed::paper();
+        let mut used = train_workspace_bytes(ctx_w.model);
+        if v.topo_on_gpu {
+            used += ctx_w.dataset.topo_bytes_paper()
+                + sample_workspace_bytes(v.system, ctx_w.algorithm);
+        }
+        let avail = testbed.gpu_mem_bytes.saturating_sub(used) as f64;
+        (avail / ctx_w.dataset.feature_bytes_paper() as f64).min(1.0)
+    } else {
+        0.0
+    };
+    let cache = (alpha > 0.0).then(|| build_cache_table(ctx_w, PolicyKind::Degree, alpha));
+
+    let factor = trace.factor;
+    let (mut s, mut e, mut t) = (0.0, 0.0, 0.0);
+    for b in &trace.batches {
+        s += ns_to_secs(ctx.cost.sample_time(&ctx.sample_cost(b, &trace), v.sample_device));
+        let (miss, hit) = ctx.extract_bytes(b, cache.as_ref(), factor);
+        e += ns_to_secs(ctx.cost.extract_time(miss, hit, v.gather, 1));
+        t += ns_to_secs(ctx.cost.train_time(b.flops * factor));
+    }
+    (s, e, t, alpha)
+}
+
+/// Regenerates Table 1.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let w = Workload::new(ModelKind::Gcn, DatasetKind::Papers, cfg.scale, cfg.seed);
+    let variants = [
+        Variant {
+            name: "DGL",
+            system: SystemKind::DglLike,
+            sample_device: SampleDevice::Cpu,
+            gather: GatherPath::CpuGather,
+            cache: false,
+            topo_on_gpu: false,
+        },
+        Variant {
+            name: "  w/ GPU-based Sampling",
+            system: SystemKind::DglLike,
+            sample_device: SampleDevice::GpuFromPython,
+            gather: GatherPath::CpuGather,
+            cache: false,
+            topo_on_gpu: true,
+        },
+        Variant {
+            name: "T_SOTA",
+            system: SystemKind::TSota,
+            sample_device: SampleDevice::Cpu,
+            gather: GatherPath::GpuDirect,
+            cache: false,
+            topo_on_gpu: false,
+        },
+        Variant {
+            name: "  w/ GPU-based Caching",
+            system: SystemKind::TSota,
+            sample_device: SampleDevice::Cpu,
+            gather: GatherPath::GpuDirect,
+            cache: true,
+            topo_on_gpu: false,
+        },
+        Variant {
+            name: "  w/ GPU-based Sampling",
+            system: SystemKind::TSota,
+            sample_device: SampleDevice::Gpu,
+            gather: GatherPath::GpuDirect,
+            cache: false,
+            topo_on_gpu: true,
+        },
+        Variant {
+            name: "  w/ Both",
+            system: SystemKind::TSota,
+            sample_device: SampleDevice::Gpu,
+            gather: GatherPath::GpuDirect,
+            cache: true,
+            topo_on_gpu: true,
+        },
+    ];
+
+    let mut table = Table::new(
+        "Table 1: runtime breakdown (s) of one epoch, GCN on OGB-Papers, 1 GPU",
+        &["GNN System", "Sample", "Extract", "Train", "Total", "Cache R%"],
+    );
+    for v in &variants {
+        let (s, e, t, alpha) = run_variant(&w, v, 2);
+        table.row(vec![
+            v.name.to_string(),
+            secs(s),
+            secs(e),
+            secs(t),
+            secs(s + e + t),
+            format!("{:.0}%", alpha * 100.0),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnlab_graph::Scale;
+
+    fn config() -> ExpConfig {
+        ExpConfig {
+            scale: Scale::new(4096),
+            seed: 1,
+        }
+    }
+
+    fn parse(table: &Table, row: usize, col: usize) -> f64 {
+        table.rows[row][col].trim_end_matches('%').parse().unwrap()
+    }
+
+    #[test]
+    fn table1_shape_holds() {
+        let t = run(&config());
+        assert_eq!(t.rows.len(), 6);
+        // Row indices: 0 DGL, 1 DGL+GPU-S, 2 TSOTA, 3 +cache, 4 +GPU-S, 5 both.
+        let dgl_sample = parse(&t, 0, 1);
+        let dgl_gpus_sample = parse(&t, 1, 1);
+        assert!(dgl_gpus_sample < dgl_sample / 2.0, "GPU sampling speedup");
+
+        let tsota_extract = parse(&t, 2, 2);
+        let cached_extract = parse(&t, 3, 2);
+        assert!(cached_extract < tsota_extract / 1.5, "caching speedup");
+
+        // Moving topology onto the GPU shrinks the cache ratio (the §3
+        // contention): w/Both ratio << w/Caching ratio.
+        let full_ratio = parse(&t, 3, 5);
+        let both_ratio = parse(&t, 5, 5);
+        assert!(
+            both_ratio < full_ratio / 2.0,
+            "both {both_ratio}% vs caching-only {full_ratio}%"
+        );
+
+        // Train column is optimization-invariant.
+        let trains: Vec<f64> = (0..6).map(|r| parse(&t, r, 3)).collect();
+        let (min, max) = trains
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        assert!(max / min < 1.2, "train varies: {trains:?}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Table 5: stage-level runtime breakdown on two GPUs (DGL, T_SOTA
+//! time-sharing; GNNLab as 1 Sampler + 1 Trainer).
+
+use crate::table::{pct, secs};
+use crate::{ExpConfig, Table};
+use gnnlab_core::report::{EpochReport, RunError};
+use gnnlab_core::runtime::{run_factored_epoch, run_timeshare_epoch, SimContext};
+use gnnlab_core::trace::EpochTrace;
+use gnnlab_core::{SystemKind, Workload};
+use gnnlab_graph::DatasetKind;
+use gnnlab_tensor::ModelKind;
+
+fn breakdown_cells(rep: &Result<EpochReport, RunError>) -> Vec<String> {
+    match rep {
+        Ok(r) => vec![
+            secs(r.stages.sample_total()),
+            secs(r.stages.sample_g),
+            secs(r.stages.sample_m),
+            secs(r.stages.sample_c),
+            secs(r.stages.extract),
+            pct(r.cache_ratio),
+            pct(r.hit_rate),
+            secs(r.stages.train),
+        ],
+        Err(RunError::Oom { .. }) => vec!["OOM".to_string(); 8],
+        Err(_) => vec!["x".to_string(); 8],
+    }
+}
+
+/// Runs one system's 2-GPU breakdown for a workload.
+pub fn breakdown(w: &Workload, system: SystemKind) -> Result<EpochReport, RunError> {
+    let ctx = SimContext::new(w, system).with_gpus(2);
+    let trace = EpochTrace::record(w, system.kernel(), ctx.epoch);
+    match system {
+        SystemKind::GnnLab => run_factored_epoch(&ctx, &trace, 1, 1, false),
+        _ => run_timeshare_epoch(&ctx, &trace),
+    }
+}
+
+/// Regenerates Table 5.
+pub fn run(cfg: &ExpConfig) -> Table {
+    let mut table = Table::new(
+        "Table 5: stage breakdown (s) of one epoch on 2 GPUs (GNNLab = 1S1T)",
+        &[
+            "Workload", "System", "S", "G", "M", "C", "E", "R%", "H%", "T",
+        ],
+    );
+    for model in ModelKind::ALL {
+        for ds in DatasetKind::ALL {
+            let w = Workload::new(model, ds, cfg.scale, cfg.seed);
+            for system in [SystemKind::DglLike, SystemKind::TSota, SystemKind::GnnLab] {
+                let rep = breakdown(&w, system);
+                let mut row = vec![w.label(), system.label().to_string()];
+                row.extend(breakdown_cells(&rep));
+                table.row(row);
+            }
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnlab_graph::Scale;
+
+    fn config() -> ExpConfig {
+        ExpConfig {
+            scale: Scale::new(8192),
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn gnnlab_extract_beats_tsota_on_papers() {
+        let cfg = config();
+        let w = Workload::new(ModelKind::Gcn, DatasetKind::Papers, cfg.scale, cfg.seed);
+        let tsota = breakdown(&w, SystemKind::TSota).unwrap();
+        let gnnlab = breakdown(&w, SystemKind::GnnLab).unwrap();
+        // Paper: 4.2x average Extract advantage (except PR).
+        assert!(
+            gnnlab.stages.extract < tsota.stages.extract / 2.0,
+            "gnnlab {} tsota {}",
+            gnnlab.stages.extract,
+            tsota.stages.extract
+        );
+        // Cache ratio and hit rate both higher.
+        assert!(gnnlab.cache_ratio > tsota.cache_ratio);
+        assert!(gnnlab.hit_rate > tsota.hit_rate);
+        // GNNLab pays the queue copy (C > 0), T_SOTA does not.
+        assert!(gnnlab.stages.sample_c > 0.0);
+        assert_eq!(tsota.stages.sample_c, 0.0);
+    }
+
+    #[test]
+    fn dgl_sample_is_slower_than_fisher_yates_systems() {
+        let cfg = config();
+        let w = Workload::new(ModelKind::PinSage, DatasetKind::Papers, cfg.scale, cfg.seed);
+        let dgl = breakdown(&w, SystemKind::DglLike).unwrap();
+        let tsota = breakdown(&w, SystemKind::TSota).unwrap();
+        // §7.3: the gap is largest on PinSAGE (Python launch overheads).
+        assert!(
+            dgl.stages.sample_g > 1.5 * tsota.stages.sample_g,
+            "dgl {} tsota {}",
+            dgl.stages.sample_g,
+            tsota.stages.sample_g
+        );
+    }
+
+    #[test]
+    fn train_times_agree_across_systems() {
+        let cfg = config();
+        let w = Workload::new(ModelKind::GraphSage, DatasetKind::Twitter, cfg.scale, cfg.seed);
+        let dgl = breakdown(&w, SystemKind::DglLike).unwrap();
+        let gnnlab = breakdown(&w, SystemKind::GnnLab).unwrap();
+        let ratio = dgl.stages.train / gnnlab.stages.train;
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+}

@@ -1,0 +1,69 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (§2, §3, §6, §7, §8).
+//!
+//! Each submodule of [`exp`] owns one table/figure and exposes
+//! `run(&ExpConfig) -> Table` (or a small set of tables). The
+//! `experiments` binary runs any subset and prints the same rows/series
+//! the paper reports; `EXPERIMENTS.md` records paper-vs-measured.
+//!
+//! Scale: experiments default to 1/1024 of the paper's data sizes (see
+//! `gnnlab_graph::Scale`); set `GNNLAB_SCALE` to e.g. `256` for higher
+//! statistical fidelity at more runtime. All *times* are reported at paper
+//! scale regardless (the cost model scales quantities back up).
+
+pub mod exp;
+pub mod table;
+
+pub use table::Table;
+
+use gnnlab_graph::Scale;
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Dataset scale.
+    pub scale: Scale,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            scale: scale_from_env(),
+            seed: 42,
+        }
+    }
+}
+
+/// Reads `GNNLAB_SCALE` (a divisor, e.g. `256`) or defaults to 1024.
+///
+/// Divisors below 16 would instantiate near-paper-size datasets (tens of
+/// gigabytes); they are rejected with a warning rather than silently
+/// melting the machine.
+pub fn scale_from_env() -> Scale {
+    match std::env::var("GNNLAB_SCALE") {
+        Ok(v) => match v.parse::<u64>() {
+            Ok(f) if f >= 16 => Scale::new(f),
+            _ => {
+                eprintln!(
+                    "GNNLAB_SCALE='{v}' is not an integer >= 16; using the default 1024"
+                );
+                Scale::new(1024)
+            }
+        },
+        Err(_) => Scale::new(1024),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_has_scale() {
+        let c = ExpConfig::default();
+        assert!(c.scale.factor() >= 1);
+        assert_eq!(c.seed, 42);
+    }
+}

@@ -1,0 +1,170 @@
+//! Cache effectiveness metrics: hit rates and transferred bytes.
+
+use crate::table::CacheTable;
+use gnnlab_graph::VertexId;
+
+/// Accumulated cache statistics over one or more mini-batches.
+///
+/// `hit_rate` and `transferred (miss) bytes` are the quantities plotted in
+/// Figs. 4, 5, 10, 11 and reported as `H%` in Table 5.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Feature-row lookups (one per distinct input vertex per batch).
+    pub lookups: u64,
+    /// Lookups answered from the GPU cache.
+    pub hits: u64,
+    /// Bytes gathered from host memory and moved over PCIe (misses).
+    pub miss_bytes: u64,
+    /// Bytes gathered from the GPU-resident cache (hits).
+    pub hit_bytes: u64,
+}
+
+impl CacheStats {
+    /// Records the lookups of one batch given the distinct input vertices.
+    pub fn record(&mut self, table: &CacheTable, input_nodes: &[VertexId], row_bytes: u64) {
+        for &v in input_nodes {
+            self.lookups += 1;
+            if table.contains(v) {
+                self.hits += 1;
+                self.hit_bytes += row_bytes;
+            } else {
+                self.miss_bytes += row_bytes;
+            }
+        }
+    }
+
+    /// Records from a precomputed cache mask (the Sampler's `M` step
+    /// output), avoiding a second lookup pass on the Trainer.
+    pub fn record_mask(&mut self, mask: &[bool], row_bytes: u64) {
+        for &hit in mask {
+            self.lookups += 1;
+            if hit {
+                self.hits += 1;
+                self.hit_bytes += row_bytes;
+            } else {
+                self.miss_bytes += row_bytes;
+            }
+        }
+    }
+
+    /// Fraction of lookups served by the cache, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.lookups as f64
+    }
+
+    /// Bytes that crossed PCIe (the paper's "transferred data").
+    pub fn transferred_bytes(&self) -> u64 {
+        self.miss_bytes
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn add(&mut self, other: &CacheStats) {
+        self.lookups += other.lookups;
+        self.hits += other.hits;
+        self.miss_bytes += other.miss_bytes;
+        self.hit_bytes += other.hit_bytes;
+    }
+}
+
+/// Byte volumes of one Extract invocation, consumed by the cost model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExtractVolume {
+    /// Bytes gathered from host memory over PCIe.
+    pub miss_bytes: u64,
+    /// Bytes gathered from the GPU cache.
+    pub hit_bytes: u64,
+}
+
+impl ExtractVolume {
+    /// Computes the volume of one batch from a cache mask.
+    pub fn from_mask(mask: &[bool], row_bytes: u64) -> Self {
+        let hits = mask.iter().filter(|&&h| h).count() as u64;
+        let misses = mask.len() as u64 - hits;
+        ExtractVolume {
+            miss_bytes: misses * row_bytes,
+            hit_bytes: hits * row_bytes,
+        }
+    }
+
+    /// Computes the volume of one batch by probing `table`.
+    pub fn from_lookup(table: &CacheTable, input_nodes: &[VertexId], row_bytes: u64) -> Self {
+        let hits = input_nodes.iter().filter(|&&v| table.contains(v)).count() as u64;
+        let misses = input_nodes.len() as u64 - hits;
+        ExtractVolume {
+            miss_bytes: misses * row_bytes,
+            hit_bytes: hits * row_bytes,
+        }
+    }
+
+    /// Total bytes gathered.
+    pub fn total_bytes(&self) -> u64 {
+        self.miss_bytes + self.hit_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::load_cache;
+
+    fn table() -> CacheTable {
+        // Cache vertices 0 and 1 of 4.
+        load_cache(&[9.0, 8.0, 1.0, 0.0], 0.5, 4)
+    }
+
+    #[test]
+    fn record_counts_hits_and_bytes() {
+        let t = table();
+        let mut s = CacheStats::default();
+        s.record(&t, &[0, 1, 2, 3], 100);
+        assert_eq!(s.lookups, 4);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.hit_bytes, 200);
+        assert_eq!(s.miss_bytes, 200);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(s.transferred_bytes(), 200);
+    }
+
+    #[test]
+    fn record_mask_matches_record() {
+        let t = table();
+        let ids = vec![0, 2, 1, 3, 0];
+        let mask = t.mark(&ids);
+        let mut a = CacheStats::default();
+        a.record(&t, &ids, 64);
+        let mut b = CacheStats::default();
+        b.record_mask(&mask, 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_stats_hit_rate_zero() {
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let t = table();
+        let mut a = CacheStats::default();
+        a.record(&t, &[0], 10);
+        let mut b = CacheStats::default();
+        b.record(&t, &[3], 10);
+        a.add(&b);
+        assert_eq!(a.lookups, 2);
+        assert_eq!(a.hits, 1);
+    }
+
+    #[test]
+    fn extract_volume_from_both_paths_agree() {
+        let t = table();
+        let ids = vec![0, 1, 2, 3];
+        let va = ExtractVolume::from_lookup(&t, &ids, 32);
+        let vb = ExtractVolume::from_mask(&t.mark(&ids), 32);
+        assert_eq!(va.miss_bytes, vb.miss_bytes);
+        assert_eq!(va.hit_bytes, vb.hit_bytes);
+        assert_eq!(va.total_bytes(), 128);
+    }
+}

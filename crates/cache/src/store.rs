@@ -1,0 +1,157 @@
+//! A real two-tier feature store: GPU-cache rows + host rows.
+//!
+//! The performance experiments only account bytes; this store actually
+//! *executes* the Trainer's Extract stage: cached rows are served from a
+//! dense device-resident buffer (slot-indexed), misses fall back to the
+//! host store, and every call records [`CacheStats`]. Used by the threaded
+//! runtime and available to downstream users who want real extraction.
+
+use crate::metrics::CacheStats;
+use crate::table::CacheTable;
+use gnnlab_graph::{FeatureStore, VertexId};
+use parking_lot::Mutex;
+
+/// A feature store split between a static device cache and host memory.
+pub struct CachedFeatureStore {
+    host: FeatureStore,
+    table: CacheTable,
+    /// Dense row-major buffer of the cached rows, in slot order — the
+    /// "GPU memory" tier.
+    device_rows: Vec<f32>,
+    dim: usize,
+    stats: Mutex<CacheStats>,
+}
+
+impl CachedFeatureStore {
+    /// Builds the store by copying the cached vertices' rows out of
+    /// `host` (the cache-fill step of preprocessing, Table 6 P2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is virtual (no real rows to serve) or the table
+    /// covers a different vertex count.
+    pub fn new(host: FeatureStore, table: CacheTable) -> Self {
+        let dim = host.dim();
+        let mut device_rows = Vec::with_capacity(table.len() * dim);
+        for &v in table.cached_vertices() {
+            let row = host
+                .row(v)
+                .expect("CachedFeatureStore requires materialized host features");
+            device_rows.extend_from_slice(row);
+        }
+        CachedFeatureStore {
+            host,
+            table,
+            device_rows,
+            dim,
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The underlying cache table.
+    pub fn table(&self) -> &CacheTable {
+        &self.table
+    }
+
+    /// Extracts rows for `ids` into a dense row-major buffer, serving hits
+    /// from the device tier and misses from the host tier, recording
+    /// stats.
+    pub fn extract(&self, ids: &[VertexId]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(ids.len() * self.dim);
+        let row_bytes = (self.dim * std::mem::size_of::<f32>()) as u64;
+        let mut stats = CacheStats::default();
+        for &v in ids {
+            match self.table.slot(v) {
+                Some(slot) => {
+                    let s = slot as usize * self.dim;
+                    out.extend_from_slice(&self.device_rows[s..s + self.dim]);
+                    stats.lookups += 1;
+                    stats.hits += 1;
+                    stats.hit_bytes += row_bytes;
+                }
+                None => {
+                    out.extend_from_slice(self.host.row(v).expect("materialized"));
+                    stats.lookups += 1;
+                    stats.miss_bytes += row_bytes;
+                }
+            }
+        }
+        self.stats.lock().add(&stats);
+        out
+    }
+
+    /// Cumulative extraction statistics.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+
+    /// Resets the statistics (e.g. between epochs).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::load_cache;
+
+    fn store(alpha: f64) -> CachedFeatureStore {
+        // 6 vertices, dim 2, row v = [v, 10v]; hotness = id (cache highest).
+        let data: Vec<f32> = (0..6).flat_map(|v| [v as f32, 10.0 * v as f32]).collect();
+        let host = FeatureStore::materialized(6, 2, data);
+        let hotness: Vec<f64> = (0..6).map(|v| v as f64).collect();
+        let table = load_cache(&hotness, alpha, 6);
+        CachedFeatureStore::new(host, table)
+    }
+
+    #[test]
+    fn extract_returns_correct_rows_from_both_tiers() {
+        let s = store(0.34); // caches vertices 5, 4
+        assert!(s.table().contains(5));
+        assert!(!s.table().contains(0));
+        let out = s.extract(&[5, 0, 4]);
+        assert_eq!(out, vec![5.0, 50.0, 0.0, 0.0, 4.0, 40.0]);
+        let stats = s.stats();
+        assert_eq!(stats.lookups, 3);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.miss_bytes, 8);
+    }
+
+    #[test]
+    fn full_cache_never_misses() {
+        let s = store(1.0);
+        let _ = s.extract(&[0, 1, 2, 3, 4, 5]);
+        assert!((s.stats().hit_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cache_always_misses_but_serves_data() {
+        let s = store(0.0);
+        let out = s.extract(&[3]);
+        assert_eq!(out, vec![3.0, 30.0]);
+        assert_eq!(s.stats().hits, 0);
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let s = store(0.5);
+        let _ = s.extract(&[0, 5]);
+        assert!(s.stats().lookups > 0);
+        s.reset_stats();
+        assert_eq!(s.stats().lookups, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "materialized")]
+    fn virtual_host_is_rejected() {
+        let host = FeatureStore::virtual_store(4, 2);
+        let table = load_cache(&[1.0, 2.0, 3.0, 4.0], 0.5, 4);
+        let _ = CachedFeatureStore::new(host, table);
+    }
+}

@@ -1,0 +1,143 @@
+//! The host-memory global queue bridging Samplers and Trainers (§5.2).
+
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// An unbounded MPMC queue in host memory with occupancy counters.
+///
+/// "GNNLab uses a global queue in the host memory to link two kinds of
+/// executors asynchronously … The concurrent queue would not be the
+/// bottleneck since the updates are infrequent." Samplers enqueue whole
+/// mini-batch samples; Trainers (and woken standby Trainers) dequeue them.
+/// The remaining-task count feeds the dynamic-switching profit metric
+/// (`M_r` in §5.3).
+#[derive(Debug)]
+pub struct GlobalQueue<T> {
+    inner: SegQueue<T>,
+    enqueued: AtomicUsize,
+    dequeued: AtomicUsize,
+}
+
+impl<T> Default for GlobalQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> GlobalQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        GlobalQueue {
+            inner: SegQueue::new(),
+            enqueued: AtomicUsize::new(0),
+            dequeued: AtomicUsize::new(0),
+        }
+    }
+
+    /// Enqueues a task (Sampler side).
+    pub fn enqueue(&self, item: T) {
+        self.inner.push(item);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Dequeues a task if available (Trainer side).
+    pub fn dequeue(&self) -> Option<T> {
+        let item = self.inner.pop();
+        if item.is_some() {
+            self.dequeued.fetch_add(1, Ordering::Relaxed);
+        }
+        item
+    }
+
+    /// Tasks currently waiting (`M_r` for the profit metric).
+    pub fn remaining(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Total tasks ever enqueued.
+    pub fn total_enqueued(&self) -> usize {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Total tasks ever dequeued.
+    pub fn total_dequeued(&self) -> usize {
+        self.dequeued.load(Ordering::Relaxed)
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = GlobalQueue::new();
+        for i in 0..10 {
+            q.enqueue(i);
+        }
+        assert_eq!(q.remaining(), 10);
+        for i in 0..10 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert!(q.dequeue().is_none());
+        assert_eq!(q.total_enqueued(), 10);
+        assert_eq!(q.total_dequeued(), 10);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_preserve_items() {
+        let q = Arc::new(GlobalQueue::new());
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        q.enqueue(p * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in producers {
+            t.join().unwrap();
+        }
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(v) = q.dequeue() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<i32> = consumers
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 1000);
+        all.dedup();
+        assert_eq!(all.len(), 1000, "duplicates or losses detected");
+    }
+
+    #[test]
+    fn remaining_tracks_occupancy() {
+        let q = GlobalQueue::new();
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.remaining(), 2);
+        q.dequeue();
+        assert_eq!(q.remaining(), 1);
+        assert!(!q.is_empty());
+        q.dequeue();
+        assert!(q.is_empty());
+    }
+}

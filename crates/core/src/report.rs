@@ -1,0 +1,156 @@
+//! Epoch reports matching the paper's table columns.
+
+use crate::systems::SystemKind;
+
+/// Errors a system run can end with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// A GPU memory plan did not fit — Table 4/5's `OOM` cells.
+    Oom {
+        /// The system whose plan failed.
+        system: SystemKind,
+        /// Human-readable allocation failure.
+        detail: String,
+    },
+    /// The system does not support this workload — Table 4's `×` cells
+    /// (PyG has no PinSAGE).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Oom { system, detail } => {
+                write!(f, "{}: OOM ({detail})", system.label())
+            }
+            RunError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Per-stage time breakdown of one epoch (all values in seconds, summed
+/// over all mini-batches — the paper's Table 1/5 convention).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageBreakdown {
+    /// Sample stage: graph sampling kernel time (`G` in Table 5).
+    pub sample_g: f64,
+    /// Sample stage: marking cached vertices (`M`).
+    pub sample_m: f64,
+    /// Sample stage: copying samples to the host queue (`C`, GNNLab only).
+    pub sample_c: f64,
+    /// Extract stage total.
+    pub extract: f64,
+    /// Train stage total.
+    pub train: f64,
+}
+
+impl StageBreakdown {
+    /// Total Sample-stage time (`S = G + M + C`).
+    pub fn sample_total(&self) -> f64 {
+        self.sample_g + self.sample_m + self.sample_c
+    }
+
+    /// Sum of all stages (the serialized lower bound on epoch time for a
+    /// single time-sharing GPU).
+    pub fn total(&self) -> f64 {
+        self.sample_total() + self.extract + self.train
+    }
+}
+
+/// The result of simulating one epoch of a system.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// Which system ran.
+    pub system: SystemKind,
+    /// Wall-clock epoch time in simulated seconds.
+    pub epoch_time: f64,
+    /// Stage totals (summed over batches, Table 1/5 convention).
+    pub stages: StageBreakdown,
+    /// Cache ratio α (`R%` in Table 5), 0 if no cache.
+    pub cache_ratio: f64,
+    /// Cache hit rate (`H%`), 0 if no cache.
+    pub hit_rate: f64,
+    /// Feature bytes that crossed PCIe this epoch, paper scale.
+    pub transferred_bytes: f64,
+    /// GPUs acting as Samplers (GNNLab only; 0 for time-sharing).
+    pub num_samplers: usize,
+    /// GPUs acting as Trainers (time-sharing: all GPUs).
+    pub num_trainers: usize,
+    /// Mini-batches consumed by dynamically switched standby Trainers.
+    pub switched_batches: usize,
+}
+
+impl EpochReport {
+    /// Creates an empty report for `system`.
+    pub fn new(system: SystemKind) -> Self {
+        EpochReport {
+            system,
+            epoch_time: 0.0,
+            stages: StageBreakdown::default(),
+            cache_ratio: 0.0,
+            hit_rate: 0.0,
+            transferred_bytes: 0.0,
+            num_samplers: 0,
+            num_trainers: 0,
+            switched_batches: 0,
+        }
+    }
+
+    /// One-line rendering like the paper's Table 5 row fragment.
+    pub fn table5_cell(&self) -> String {
+        format!(
+            "S={:.2} (G={:.2}+M={:.2}+C={:.2})  E={:.2} (R={:.0}%, H={:.0}%)  T={:.2}",
+            self.stages.sample_total(),
+            self.stages.sample_g,
+            self.stages.sample_m,
+            self.stages.sample_c,
+            self.stages.extract,
+            self.cache_ratio * 100.0,
+            self.hit_rate * 100.0,
+            self.stages.train,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_totals_add_up() {
+        let s = StageBreakdown {
+            sample_g: 1.0,
+            sample_m: 0.25,
+            sample_c: 0.25,
+            extract: 2.0,
+            train: 3.0,
+        };
+        assert!((s.sample_total() - 1.5).abs() < 1e-12);
+        assert!((s.total() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_render_reasonably() {
+        let e = RunError::Oom {
+            system: SystemKind::DglLike,
+            detail: "topology".to_string(),
+        };
+        assert!(e.to_string().contains("DGL"));
+        assert!(RunError::Unsupported("PinSAGE".into())
+            .to_string()
+            .contains("PinSAGE"));
+    }
+
+    #[test]
+    fn table5_cell_formats() {
+        let mut r = EpochReport::new(SystemKind::GnnLab);
+        r.stages.sample_g = 0.68;
+        r.cache_ratio = 0.21;
+        r.hit_rate = 0.99;
+        let cell = r.table5_cell();
+        assert!(cell.contains("R=21%"));
+        assert!(cell.contains("H=99%"));
+    }
+}

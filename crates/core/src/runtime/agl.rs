@@ -1,0 +1,103 @@
+//! The AGL batch-mode alternative (§3 Discussion).
+//!
+//! At the start of each epoch all GPUs load topology and sample; then all
+//! GPUs swap topology out and load the feature cache for Extract/Train.
+//! The paper dismisses this design because the per-epoch reloads cost more
+//! than tens of GNNLab epochs; this simulator regenerates that comparison.
+
+use super::context::{build_cache_table, SimContext};
+use crate::memory::{plan_sampler_gpu, plan_trainer_gpu};
+use crate::report::{EpochReport, RunError};
+use crate::systems::SystemKind;
+use crate::trace::EpochTrace;
+use gnnlab_cache::CacheStats;
+use gnnlab_sim::{ns_to_secs, GatherPath, SampleDevice};
+
+/// Simulates one AGL batch-mode epoch over all GPUs.
+///
+/// Every epoch pays: topology load, sampling, topology unload + cache
+/// load, then extraction/training. Because topology and cache never
+/// coexist, the cache ratio equals GNNLab's trainer ratio.
+pub fn run_agl_epoch(ctx: &SimContext<'_>, trace: &EpochTrace) -> Result<EpochReport, RunError> {
+    // Both phases must individually fit.
+    plan_sampler_gpu(&ctx.testbed, ctx.workload)?;
+    let trainer_plan = plan_trainer_gpu(&ctx.testbed, ctx.workload)?;
+    let cache = build_cache_table(ctx.workload, ctx.policy, trainer_plan.cache_alpha);
+
+    let num_gpus = ctx.testbed.num_gpus;
+    let factor = trace.factor;
+    let row_bytes = ctx.workload.dataset.row_bytes();
+    let topo_bytes = ctx.workload.dataset.topo_bytes_paper() as f64;
+    let cache_bytes =
+        trainer_plan.cache_alpha * ctx.workload.dataset.feature_bytes_paper() as f64;
+
+    let mut report = EpochReport::new(SystemKind::GnnLab);
+    report.cache_ratio = trainer_plan.cache_alpha;
+    report.num_trainers = num_gpus;
+    let mut stats = CacheStats::default();
+
+    // Phase A: all GPUs load topology (PCIe shared), then sample shares.
+    let topo_load = ctx.cost.topo_load_time(topo_bytes) * num_gpus as u64;
+    let mut gpu_clock = vec![topo_load; num_gpus];
+    for (i, b) in trace.batches.iter().enumerate() {
+        let gpu = i % num_gpus;
+        let g = ctx.cost.sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu);
+        let m = ctx.cost.mark_time(b.input_nodes.len() as f64 * factor);
+        gpu_clock[gpu] += g + m;
+        report.stages.sample_g += ns_to_secs(g);
+        report.stages.sample_m += ns_to_secs(m);
+    }
+    let sample_phase_end = gpu_clock.iter().copied().max().unwrap_or(0);
+
+    // Phase B: swap topology for cache (cache fill is gathered rows), then
+    // Extract/Train shares.
+    let cache_load = ctx.cost.cache_load_time(cache_bytes) * num_gpus as u64;
+    let mut gpu_clock = vec![sample_phase_end + cache_load; num_gpus];
+    for (i, b) in trace.batches.iter().enumerate() {
+        let gpu = i % num_gpus;
+        let (miss, hit) = ctx.extract_bytes(b, Some(&cache), factor);
+        let e = ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, num_gpus);
+        let t = ctx.cost.train_time(b.flops * factor);
+        gpu_clock[gpu] += e + t;
+        report.stages.extract += ns_to_secs(e);
+        report.stages.train += ns_to_secs(t);
+        report.transferred_bytes += miss;
+        stats.record(&cache, &b.input_nodes, row_bytes);
+    }
+    report.hit_rate = stats.hit_rate();
+    report.epoch_time = ns_to_secs(gpu_clock.into_iter().max().unwrap_or(0));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{profile_stage_times, run_factored_epoch};
+    use crate::schedule::num_samplers;
+    use crate::workload::Workload;
+    use gnnlab_graph::{DatasetKind, Scale};
+    use gnnlab_sampling::Kernel;
+    use gnnlab_tensor::ModelKind;
+
+    #[test]
+    fn agl_epoch_is_dominated_by_reloads() {
+        let w = Workload::new(ModelKind::GraphSage, DatasetKind::Papers, Scale::new(4096), 1);
+        let ctx = SimContext::new(&w, SystemKind::GnnLab);
+        let t = EpochTrace::record(&w, Kernel::FisherYates, ctx.epoch);
+        let agl = run_agl_epoch(&ctx, &t).unwrap();
+
+        let st = profile_stage_times(&ctx, &t).unwrap();
+        let ns = num_samplers(8, st.t_sample, st.t_trainer);
+        let fact = run_factored_epoch(&ctx, &t, ns, 8 - ns, true).unwrap();
+
+        // §3: "it may take a few seconds to load graph topological data and
+        // large feature cache, while during the same time interval, tens of
+        // epochs can be finished."
+        assert!(
+            agl.epoch_time > 10.0 * fact.epoch_time,
+            "agl {} vs factored {}",
+            agl.epoch_time,
+            fact.epoch_time
+        );
+    }
+}

@@ -1,0 +1,416 @@
+//! The factored GNNLab epoch co-simulation (§5).
+//!
+//! Samplers and Trainers run on dedicated GPUs, bridged by the host-memory
+//! global queue. A global scheduler hands mini-batches to the next free
+//! Sampler; Trainers pipeline Extract and Train; standby Trainers on
+//! Sampler GPUs wake via the profit metric once their Sampler has drained
+//! the epoch's batches (dynamic switching, §5.3).
+
+use super::context::{build_cache_table, SimContext};
+use crate::memory::{plan_sampler_gpu, plan_timeshare_gpu, plan_trainer_gpu};
+use crate::report::{EpochReport, RunError};
+use crate::schedule::should_switch;
+use crate::systems::SystemKind;
+use crate::trace::EpochTrace;
+use gnnlab_cache::{CacheStats, CacheTable};
+use gnnlab_sim::{ns_to_secs, GatherPath, SampleDevice, SimTime};
+
+/// Profiled per-mini-batch stage times (seconds) for the allocation rule.
+#[derive(Debug, Clone, Copy)]
+pub struct StageTimes {
+    /// Sampler per-batch time `T_s` (G + M + C).
+    pub t_sample: f64,
+    /// Trainer per-batch time `T_t` (pipelined: max(extract, train)).
+    pub t_trainer: f64,
+    /// Standby-Trainer per-batch time `T_t'` (smaller cache), infinite if
+    /// no standby Trainer fits on the Sampler GPU.
+    pub t_standby: f64,
+}
+
+/// Profiles `T_s`, `T_t`, `T_t'` from a recorded epoch — the paper's
+/// "training an epoch in advance" (§5.3).
+pub fn profile_stage_times(
+    ctx: &SimContext<'_>,
+    trace: &EpochTrace,
+) -> Result<StageTimes, RunError> {
+    plan_sampler_gpu(&ctx.testbed, ctx.workload)?;
+    let trainer_plan = plan_trainer_gpu(&ctx.testbed, ctx.workload)?;
+    let trainer_cache = build_cache_table(ctx.workload, ctx.policy, trainer_plan.cache_alpha);
+    let standby_plan = plan_timeshare_gpu(&ctx.testbed, ctx.workload, SystemKind::GnnLab, true);
+    let standby_cache =
+        standby_plan.ok().map(|p| build_cache_table(ctx.workload, ctx.policy, p.cache_alpha));
+
+    let factor = trace.factor;
+    let n = trace.num_batches().max(1) as f64;
+    let mut t_sample = 0.0;
+    let mut t_trainer = 0.0;
+    let mut t_standby = 0.0;
+    for b in &trace.batches {
+        let g = ctx.cost.sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu);
+        let m = ctx.cost.mark_time(b.input_nodes.len() as f64 * factor);
+        let c = ctx.cost.queue_time(b.queue_bytes as f64 * factor);
+        t_sample += ns_to_secs(g + m + c);
+
+        let (miss, hit) = ctx.extract_bytes(b, Some(&trainer_cache), factor);
+        let e = ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, 1);
+        let t = ctx.cost.train_time(b.flops * factor);
+        t_trainer += ns_to_secs(e.max(t));
+
+        if let Some(sc) = &standby_cache {
+            let (miss, hit) = ctx.extract_bytes(b, Some(sc), factor);
+            let e = ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, 1);
+            t_standby += ns_to_secs(e.max(t));
+        }
+    }
+    Ok(StageTimes {
+        t_sample: t_sample / n,
+        t_trainer: t_trainer / n,
+        t_standby: if standby_cache.is_some() {
+            t_standby / n
+        } else {
+            f64::INFINITY
+        },
+    })
+}
+
+/// One executor's pipelined clocks.
+#[derive(Debug, Clone, Copy)]
+struct TrainerClock {
+    extract_free: SimTime,
+    train_free: SimTime,
+    /// Time this executor becomes available at all (0 for normal Trainers;
+    /// the Sampler-done time for standby Trainers).
+    available_from: SimTime,
+    is_standby: bool,
+}
+
+/// Knobs of the factored epoch simulation beyond the GPU split.
+#[derive(Debug, Clone)]
+pub struct FactoredOptions {
+    /// GPUs allocated to Samplers (≥ 1).
+    pub num_samplers: usize,
+    /// GPUs allocated to Trainers (≥ 1; the single-GPU alternating mode
+    /// lives in [`super::run_single_gpu_epoch`]).
+    pub num_trainers: usize,
+    /// Whether standby Trainers may wake via the profit metric (§5.3).
+    pub enable_switching: bool,
+    /// Per-Sampler slowdown factors (multi-tenant contention, §5.3);
+    /// missing entries default to 1.0.
+    pub sampler_slowdown: Vec<f64>,
+    /// Per-Trainer slowdown factors; missing entries default to 1.0.
+    pub trainer_slowdown: Vec<f64>,
+    /// Whether Trainers overlap Extract with Train (§5.2 pipelining);
+    /// `false` serializes the two stages — the ablation knob.
+    pub pipelining: bool,
+}
+
+impl FactoredOptions {
+    /// Standard options for an `ns`×`nt` split.
+    pub fn new(ns: usize, nt: usize) -> Self {
+        FactoredOptions {
+            num_samplers: ns,
+            num_trainers: nt,
+            enable_switching: true,
+            sampler_slowdown: Vec::new(),
+            trainer_slowdown: Vec::new(),
+            pipelining: true,
+        }
+    }
+}
+
+fn slowdown(of: &[f64], i: usize) -> f64 {
+    of.get(i).copied().unwrap_or(1.0).max(1e-6)
+}
+
+fn scaled(d: SimTime, f: f64) -> SimTime {
+    (d as f64 * f).round() as SimTime
+}
+
+/// Simulates one factored epoch with `ns` Samplers and `nt` Trainers.
+pub fn run_factored_epoch(
+    ctx: &SimContext<'_>,
+    trace: &EpochTrace,
+    ns: usize,
+    nt: usize,
+    enable_switching: bool,
+) -> Result<EpochReport, RunError> {
+    let mut opts = FactoredOptions::new(ns, nt);
+    opts.enable_switching = enable_switching;
+    run_factored_epoch_opts(ctx, trace, &opts)
+}
+
+/// Simulates one factored epoch with full [`FactoredOptions`] control.
+pub fn run_factored_epoch_opts(
+    ctx: &SimContext<'_>,
+    trace: &EpochTrace,
+    opts: &FactoredOptions,
+) -> Result<EpochReport, RunError> {
+    let (ns, nt) = (opts.num_samplers, opts.num_trainers);
+    let enable_switching = opts.enable_switching;
+    assert!(ns >= 1, "need at least one Sampler");
+    assert!(nt >= 1, "need at least one Trainer");
+    plan_sampler_gpu(&ctx.testbed, ctx.workload)?;
+    let trainer_plan = plan_trainer_gpu(&ctx.testbed, ctx.workload)?;
+    let trainer_cache = build_cache_table(ctx.workload, ctx.policy, trainer_plan.cache_alpha);
+    // Standby Trainers co-reside with Samplers: topology stays loaded, so
+    // their cache is what's left after topology + both workspaces. If that
+    // plan does not fit, switching is simply unavailable.
+    let standby_plan = plan_timeshare_gpu(&ctx.testbed, ctx.workload, SystemKind::GnnLab, true);
+    let standby_cache: Option<CacheTable> = if enable_switching {
+        standby_plan
+            .ok()
+            .map(|p| build_cache_table(ctx.workload, ctx.policy, p.cache_alpha))
+    } else {
+        None
+    };
+
+    let factor = trace.factor;
+    let row_bytes = ctx.workload.dataset.row_bytes();
+    let mut report = EpochReport::new(SystemKind::GnnLab);
+    report.cache_ratio = trainer_plan.cache_alpha;
+    report.num_samplers = ns;
+    report.num_trainers = nt;
+
+    // --- Phase 1: Samplers drain the epoch's mini-batches. -----------------
+    // The global scheduler hands the next batch to the earliest-free
+    // Sampler (dynamic assignment, §5.2).
+    let mut sampler_free = vec![0u64; ns];
+    let mut ready: Vec<(SimTime, usize)> = Vec::with_capacity(trace.num_batches());
+    for (i, b) in trace.batches.iter().enumerate() {
+        let s = (0..ns)
+            .min_by_key(|&s| sampler_free[s])
+            .expect("ns >= 1");
+        let f = slowdown(&opts.sampler_slowdown, s);
+        let g = scaled(ctx.cost.sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu), f);
+        let m = scaled(ctx.cost.mark_time(b.input_nodes.len() as f64 * factor), f);
+        let c = scaled(ctx.cost.queue_time(b.queue_bytes as f64 * factor), f);
+        sampler_free[s] += g + m + c;
+        ready.push((sampler_free[s], i));
+        report.stages.sample_g += ns_to_secs(g);
+        report.stages.sample_m += ns_to_secs(m);
+        report.stages.sample_c += ns_to_secs(c);
+    }
+    ready.sort_by_key(|&(t, i)| (t, i));
+
+    // --- Phase 2: Trainers consume samples as they become ready. -----------
+    let mut clocks: Vec<TrainerClock> = (0..nt)
+        .map(|_| TrainerClock {
+            extract_free: 0,
+            train_free: 0,
+            available_from: 0,
+            is_standby: false,
+        })
+        .collect();
+    if standby_cache.is_some() {
+        for &done in &sampler_free {
+            clocks.push(TrainerClock {
+                extract_free: done,
+                train_free: done,
+                available_from: done,
+                is_standby: true,
+            });
+        }
+    }
+
+    // Mean times for the profit metric, from the trainer's perspective.
+    let mean_t_train: f64 = {
+        let mut acc = 0.0;
+        for b in &trace.batches {
+            let (miss, hit) = ctx.extract_bytes(b, Some(&trainer_cache), factor);
+            let e = ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, nt);
+            let t = ctx.cost.train_time(b.flops * factor);
+            acc += ns_to_secs(e.max(t));
+        }
+        acc / trace.num_batches().max(1) as f64
+    };
+
+    let mut stats = CacheStats::default();
+    let mut end_time: SimTime = sampler_free.iter().copied().max().unwrap_or(0);
+    let total = ready.len();
+    for (idx, &(ready_at, batch_idx)) in ready.iter().enumerate() {
+        let b = &trace.batches[batch_idx];
+        let deq = ctx.cost.queue_time(b.queue_bytes as f64 * factor);
+        let arrival = ready_at + deq;
+
+        // Candidate executors: normal Trainers always; standby Trainers
+        // only when the profit metric says waking them pays off *now*.
+        // Pick the executor with the earliest predicted *completion* —
+        // extract availability alone would funnel everything to one
+        // Trainer whenever extraction is cheap (high hit rates).
+        let remaining = total - idx;
+        let mut best: Option<(SimTime, SimTime, usize)> = None;
+        for (ci, c) in clocks.iter().enumerate() {
+            let cache = if c.is_standby {
+                match &standby_cache {
+                    Some(sc) => sc,
+                    None => continue,
+                }
+            } else {
+                &trainer_cache
+            };
+            let f = if c.is_standby {
+                1.0
+            } else {
+                slowdown(&opts.trainer_slowdown, ci)
+            };
+            let (miss, hit) = ctx.extract_bytes(b, Some(cache), factor);
+            let e = scaled(ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, nt), f);
+            let t = scaled(ctx.cost.train_time(b.flops * factor), f);
+            if c.is_standby {
+                let t_standby = ns_to_secs(e.max(t));
+                if !should_switch(remaining, mean_t_train, nt, t_standby) {
+                    continue;
+                }
+            }
+            let start = c.extract_free.max(arrival).max(c.available_from);
+            let completion = c.train_free.max(start + e) + t;
+            let better = match best {
+                None => true,
+                Some((bc, _, bi)) => {
+                    completion < bc
+                        || (completion == bc && clocks[bi].is_standby && !c.is_standby)
+                }
+            };
+            if better {
+                best = Some((completion, start, ci));
+            }
+        }
+        let (_, start, ci) = best.expect("at least one trainer");
+        let is_standby = clocks[ci].is_standby;
+        let cache = if is_standby {
+            standby_cache.as_ref().expect("standby implies cache")
+        } else {
+            &trainer_cache
+        };
+        let f = if is_standby {
+            1.0
+        } else {
+            slowdown(&opts.trainer_slowdown, ci)
+        };
+        let (miss, hit) = ctx.extract_bytes(b, Some(cache), factor);
+        let e = scaled(ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, nt), f);
+        let t = scaled(ctx.cost.train_time(b.flops * factor), f);
+        let extract_done = start + e;
+        let train_start = clocks[ci].train_free.max(extract_done);
+        let train_done = train_start + t;
+        // With pipelining, the next Extract may start while this batch
+        // trains; without it, the executor is busy until Train completes.
+        clocks[ci].extract_free = if opts.pipelining {
+            extract_done
+        } else {
+            train_done
+        };
+        clocks[ci].train_free = train_done;
+        end_time = end_time.max(train_done);
+
+        report.stages.extract += ns_to_secs(e);
+        report.stages.train += ns_to_secs(t);
+        report.transferred_bytes += miss;
+        if is_standby {
+            report.switched_batches += 1;
+        } else {
+            stats.record(&trainer_cache, &b.input_nodes, row_bytes);
+        }
+    }
+    report.hit_rate = stats.hit_rate();
+    report.epoch_time = ns_to_secs(end_time);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use gnnlab_graph::{DatasetKind, Scale};
+    use gnnlab_tensor::ModelKind;
+
+    fn workload(model: ModelKind, ds: DatasetKind) -> Workload {
+        Workload::new(model, ds, Scale::new(4096), 1)
+    }
+
+    fn ctx(w: &Workload) -> SimContext<'_> {
+        SimContext::new(w, SystemKind::GnnLab)
+    }
+
+    fn trace(w: &Workload, ctx: &SimContext<'_>) -> EpochTrace {
+        EpochTrace::record(w, SystemKind::GnnLab.kernel(), ctx.epoch)
+    }
+
+    #[test]
+    fn factored_runs_uk_where_timeshare_ooms() {
+        let w = workload(ModelKind::Gcn, DatasetKind::Uk);
+        let c = ctx(&w);
+        let t = trace(&w, &c);
+        let rep = run_factored_epoch(&c, &t, 2, 6, true).unwrap();
+        assert!(rep.epoch_time > 0.0);
+        assert!(rep.cache_ratio > 0.10, "α {}", rep.cache_ratio);
+    }
+
+    #[test]
+    fn profile_produces_finite_times() {
+        let w = workload(ModelKind::GraphSage, DatasetKind::Papers);
+        let c = ctx(&w);
+        let t = trace(&w, &c);
+        let st = profile_stage_times(&c, &t).unwrap();
+        assert!(st.t_sample > 0.0 && st.t_sample.is_finite());
+        assert!(st.t_trainer > 0.0 && st.t_trainer.is_finite());
+        // Standby fits for PA + GraphSAGE.
+        assert!(st.t_standby.is_finite());
+        // Training a batch takes longer than sampling it (K > 1).
+        assert!(st.t_trainer > st.t_sample);
+    }
+
+    #[test]
+    fn more_trainers_shrink_epoch_until_sampler_binds() {
+        let w = workload(ModelKind::Gcn, DatasetKind::Papers);
+        let c = ctx(&w);
+        let t = trace(&w, &c);
+        let e2 = run_factored_epoch(&c, &t, 1, 2, false).unwrap().epoch_time;
+        let e5 = run_factored_epoch(&c, &t, 1, 5, false).unwrap().epoch_time;
+        assert!(e5 < e2, "2T {e2} vs 5T {e5}");
+    }
+
+    #[test]
+    fn switching_helps_skewed_workloads() {
+        // PinSAGE on PA with 1 Sampler + 1 Trainer: K ~ 10, so the Sampler
+        // GPU idles massively without switching (Fig. 17a).
+        let w = workload(ModelKind::PinSage, DatasetKind::Papers);
+        let c = ctx(&w);
+        let t = trace(&w, &c);
+        let without = run_factored_epoch(&c, &t, 1, 1, false).unwrap();
+        let with = run_factored_epoch(&c, &t, 1, 1, true).unwrap();
+        assert_eq!(without.switched_batches, 0);
+        assert!(with.switched_batches > 0, "no batches switched");
+        assert!(
+            with.epoch_time < 0.8 * without.epoch_time,
+            "with {} without {}",
+            with.epoch_time,
+            without.epoch_time
+        );
+    }
+
+    #[test]
+    fn switching_is_a_noop_when_balanced() {
+        // With plenty of Trainers the queue never backs up enough for the
+        // profit metric to fire meaningfully.
+        let w = workload(ModelKind::PinSage, DatasetKind::Papers);
+        let c = ctx(&w);
+        let t = trace(&w, &c);
+        let with = run_factored_epoch(&c, &t, 1, 7, true).unwrap();
+        let without = run_factored_epoch(&c, &t, 1, 7, false).unwrap();
+        let ratio = with.epoch_time / without.epoch_time;
+        assert!(ratio < 1.05, "switching slowed a balanced workload: {ratio}");
+    }
+
+    #[test]
+    fn gnnlab_cache_ratio_beats_tsota() {
+        let w = workload(ModelKind::Gcn, DatasetKind::Twitter);
+        let c = ctx(&w);
+        let t = trace(&w, &c);
+        let rep = run_factored_epoch(&c, &t, 2, 6, false).unwrap();
+        let tsota_plan =
+            crate::memory::plan_timeshare_gpu(&c.testbed, &w, SystemKind::TSota, true).unwrap();
+        assert!(rep.cache_ratio > 1.5 * tsota_plan.cache_alpha);
+        assert!(rep.hit_rate > 0.6, "hit rate {}", rep.hit_rate);
+    }
+}

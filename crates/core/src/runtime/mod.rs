@@ -1,0 +1,58 @@
+//! Epoch co-simulations for every system design.
+//!
+//! All simulators consume the same inputs: a recorded [`EpochTrace`]
+//! (real sampling, exact quantities), a memory plan (capacity accounting)
+//! and the calibrated [`CostModel`]. They differ only in *structure* —
+//! which device does what, in what order, sharing what — which is exactly
+//! the paper's claim about where performance comes from.
+//!
+//! [`run_system`] is the front door: it profiles, allocates GPUs (for
+//! GNNLab), and dispatches to the right simulator.
+
+mod agl;
+mod context;
+mod factored;
+mod preprocess;
+mod single_gpu;
+mod timeshare;
+
+pub use agl::run_agl_epoch;
+pub use context::{build_cache_table, SimContext};
+pub use factored::{
+    profile_stage_times, run_factored_epoch, run_factored_epoch_opts, FactoredOptions, StageTimes,
+};
+pub use preprocess::{preprocess_report, PreprocessReport};
+pub use single_gpu::run_single_gpu_epoch;
+pub use timeshare::run_timeshare_epoch;
+
+use crate::report::{EpochReport, RunError};
+use crate::schedule::num_samplers;
+use crate::systems::SystemKind;
+use crate::trace::EpochTrace;
+use gnnlab_tensor::ModelKind;
+
+/// Runs one epoch of `system` on the context's workload and GPU count,
+/// handling profiling and GPU allocation for GNNLab.
+///
+/// Returns the Table 4 entry: an [`EpochReport`] or the `OOM`/`×` error.
+pub fn run_system(ctx: &SimContext<'_>) -> Result<EpochReport, RunError> {
+    match ctx.system {
+        SystemKind::PygLike if ctx.workload.model == ModelKind::PinSage => Err(
+            RunError::Unsupported("PyG does not support PinSAGE".to_string()),
+        ),
+        SystemKind::PygLike | SystemKind::DglLike | SystemKind::TSota => {
+            let trace = EpochTrace::record(ctx.workload, ctx.system.kernel(), ctx.epoch);
+            run_timeshare_epoch(ctx, &trace)
+        }
+        SystemKind::GnnLab => {
+            let trace = EpochTrace::record(ctx.workload, ctx.system.kernel(), ctx.epoch);
+            if ctx.testbed.num_gpus == 1 {
+                return run_single_gpu_epoch(ctx, &trace);
+            }
+            let times = profile_stage_times(ctx, &trace)?;
+            let ns = num_samplers(ctx.testbed.num_gpus, times.t_sample, times.t_trainer);
+            let nt = ctx.testbed.num_gpus - ns;
+            run_factored_epoch(ctx, &trace, ns, nt, true)
+        }
+    }
+}

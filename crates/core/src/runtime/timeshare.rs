@@ -1,0 +1,181 @@
+//! Time-sharing epoch simulation (PyG-like, DGL-like, T_SOTA).
+//!
+//! The conventional design (§2, Fig. 2): every GPU runs the full
+//! Sample → Extract → Train sequence for its share of mini-batches.
+//! Capacity contention (topology + workspace + cache on the same GPU) and
+//! host-bandwidth contention (all GPUs extract concurrently) both live
+//! here.
+
+use super::context::{build_cache_table, SimContext};
+use crate::memory::{plan_pyg_gpu, plan_timeshare_gpu};
+use crate::report::{EpochReport, RunError};
+use crate::systems::SystemKind;
+use crate::trace::EpochTrace;
+use gnnlab_cache::CacheStats;
+use gnnlab_sim::ns_to_secs;
+
+/// Simulates one time-sharing epoch over `ctx.testbed.num_gpus` GPUs.
+pub fn run_timeshare_epoch(
+    ctx: &SimContext<'_>,
+    trace: &EpochTrace,
+) -> Result<EpochReport, RunError> {
+    let system = ctx.system;
+    let plan = match system {
+        SystemKind::PygLike => plan_pyg_gpu(&ctx.testbed, ctx.workload)?,
+        SystemKind::DglLike => plan_timeshare_gpu(&ctx.testbed, ctx.workload, system, false)?,
+        SystemKind::TSota => plan_timeshare_gpu(&ctx.testbed, ctx.workload, system, true)?,
+        SystemKind::GnnLab => {
+            return Err(RunError::Unsupported(
+                "GNNLab is not a time-sharing system".to_string(),
+            ))
+        }
+    };
+    let cache = system
+        .has_cache()
+        .then(|| build_cache_table(ctx.workload, ctx.policy, plan.cache_alpha));
+
+    let num_gpus = ctx.testbed.num_gpus;
+    let factor = trace.factor;
+    let mut gpu_clock = vec![0u64; num_gpus];
+    let mut report = EpochReport::new(system);
+    report.cache_ratio = plan.cache_alpha;
+    report.num_trainers = num_gpus;
+    let mut stats = CacheStats::default();
+    let row_bytes = ctx.workload.dataset.row_bytes();
+
+    for (i, b) in trace.batches.iter().enumerate() {
+        let gpu = i % num_gpus;
+        let g = ctx
+            .cost
+            .sample_time(&ctx.sample_cost(b, trace), system.sample_device());
+        let m = if cache.is_some() {
+            ctx.cost.mark_time(b.input_nodes.len() as f64 * factor)
+        } else {
+            0
+        };
+        let (miss, hit) = ctx.extract_bytes(b, cache.as_ref(), factor);
+        // All GPUs extract concurrently in steady state — the shared-host-
+        // bandwidth contention that flattens DGL/T_SOTA scalability
+        // (Fig. 14).
+        let e = ctx
+            .cost
+            .extract_time(miss, hit, system.gather_path(), num_gpus);
+        let t = ctx.cost.train_time(b.flops * factor);
+        gpu_clock[gpu] += g + m + e + t;
+
+        report.stages.sample_g += ns_to_secs(g);
+        report.stages.sample_m += ns_to_secs(m);
+        report.stages.extract += ns_to_secs(e);
+        report.stages.train += ns_to_secs(t);
+        report.transferred_bytes += miss;
+        if let Some(table) = &cache {
+            stats.record(table, &b.input_nodes, row_bytes);
+        }
+    }
+    report.hit_rate = stats.hit_rate();
+    report.epoch_time = ns_to_secs(gpu_clock.into_iter().max().unwrap_or(0));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+    use gnnlab_graph::{DatasetKind, Scale};
+    use gnnlab_tensor::ModelKind;
+
+    fn workload(model: ModelKind, ds: DatasetKind) -> Workload {
+        Workload::new(model, ds, Scale::new(4096), 1)
+    }
+
+    fn run(w: &Workload, system: SystemKind, gpus: usize) -> Result<EpochReport, RunError> {
+        let ctx = SimContext::new(w, system).with_gpus(gpus);
+        let trace = EpochTrace::record(w, system.kernel(), ctx.epoch);
+        run_timeshare_epoch(&ctx, &trace)
+    }
+
+    #[test]
+    fn dgl_beats_pyg_and_tsota_beats_dgl() {
+        let w = workload(ModelKind::GraphSage, DatasetKind::Products);
+        let pyg = run(&w, SystemKind::PygLike, 8).unwrap();
+        let dgl = run(&w, SystemKind::DglLike, 8).unwrap();
+        let tsota = run(&w, SystemKind::TSota, 8).unwrap();
+        assert!(
+            pyg.epoch_time > dgl.epoch_time,
+            "pyg {} dgl {}",
+            pyg.epoch_time,
+            dgl.epoch_time
+        );
+        assert!(
+            dgl.epoch_time > tsota.epoch_time,
+            "dgl {} tsota {}",
+            dgl.epoch_time,
+            tsota.epoch_time
+        );
+        // With a single GPU, PyG's CPU sampling dominates and the gap is
+        // large (Table 1 / Table 4 shape).
+        let pyg1 = run(&w, SystemKind::PygLike, 1).unwrap();
+        let dgl1 = run(&w, SystemKind::DglLike, 1).unwrap();
+        assert!(
+            pyg1.epoch_time > 2.0 * dgl1.epoch_time,
+            "pyg1 {} dgl1 {}",
+            pyg1.epoch_time,
+            dgl1.epoch_time
+        );
+    }
+
+    #[test]
+    fn tsota_cache_reduces_transfer() {
+        let w = workload(ModelKind::GraphSage, DatasetKind::Products);
+        let dgl = run(&w, SystemKind::DglLike, 8).unwrap();
+        let tsota = run(&w, SystemKind::TSota, 8).unwrap();
+        // PR fits entirely: T_SOTA hit rate ~ 100 %.
+        assert!(tsota.hit_rate > 0.99, "hit {}", tsota.hit_rate);
+        assert!(tsota.transferred_bytes < 0.05 * dgl.transferred_bytes);
+        assert_eq!(dgl.hit_rate, 0.0);
+    }
+
+    #[test]
+    fn uk_ooms_on_dgl() {
+        let w = workload(ModelKind::Gcn, DatasetKind::Uk);
+        assert!(matches!(
+            run(&w, SystemKind::DglLike, 8),
+            Err(RunError::Oom { .. })
+        ));
+    }
+
+    #[test]
+    fn more_gpus_reduce_epoch_time_sublinearly() {
+        let w = workload(ModelKind::Gcn, DatasetKind::Papers);
+        let one = run(&w, SystemKind::DglLike, 1).unwrap();
+        let eight = run(&w, SystemKind::DglLike, 8).unwrap();
+        assert!(eight.epoch_time < one.epoch_time);
+        // Extract contention prevents linear scaling (Fig. 14).
+        assert!(
+            eight.epoch_time > one.epoch_time / 7.0,
+            "one {} eight {}",
+            one.epoch_time,
+            eight.epoch_time
+        );
+    }
+
+    #[test]
+    fn gnnlab_is_rejected_here() {
+        let w = workload(ModelKind::Gcn, DatasetKind::Products);
+        assert!(matches!(
+            run(&w, SystemKind::GnnLab, 8),
+            Err(RunError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn stage_sums_are_gpu_count_invariant() {
+        // Table 1 vs Table 5 consistency: stage sums barely move with GPU
+        // count (only extract contention changes).
+        let w = workload(ModelKind::GraphSage, DatasetKind::Papers);
+        let one = run(&w, SystemKind::TSota, 1).unwrap();
+        let two = run(&w, SystemKind::TSota, 2).unwrap();
+        assert!((one.stages.sample_g - two.stages.sample_g).abs() < 1e-6);
+        assert!((one.stages.train - two.stages.train).abs() < 1e-6);
+    }
+}

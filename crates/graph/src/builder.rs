@@ -1,0 +1,210 @@
+//! Checked edge-list accumulation and CSR finalization.
+
+use crate::csr::{Csr, VertexId};
+use crate::{GraphError, Result};
+
+/// Accumulates edges (optionally weighted) and finalizes them into a [`Csr`].
+///
+/// Edges are sorted by `(src, dst)` at build time; parallel edges are kept
+/// unless [`GraphBuilder::dedup`] is enabled. Self-loops are kept (sampling
+/// algorithms treat them like any other edge, matching DGL semantics).
+///
+/// # Examples
+///
+/// ```
+/// use gnnlab_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_weighted_edge(2, 0, 1.5);
+/// b.add_weighted_edge(0, 1, 2.0);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.neighbors(2), &[0]);
+/// assert_eq!(g.edge_weights(0), Some(&[2.0][..]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+    weights: Vec<f32>,
+    any_weight: bool,
+    dedup: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            edges: Vec::new(),
+            weights: Vec::new(),
+            any_weight: false,
+            dedup: false,
+        }
+    }
+
+    /// Creates a builder with pre-reserved capacity for `num_edges`.
+    pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
+        let mut b = Self::new(num_vertices);
+        b.edges.reserve(num_edges);
+        b
+    }
+
+    /// Enables deduplication of parallel `(src, dst)` edges at build time.
+    /// For weighted graphs, duplicate edges keep the first weight seen
+    /// (after sorting, the smallest-weight duplicate is unspecified; dedup
+    /// with weights is primarily for generator hygiene).
+    pub fn dedup(&mut self) -> &mut Self {
+        self.dedup = true;
+        self
+    }
+
+    /// Adds an unweighted edge `src -> dst`.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId) {
+        self.edges.push((src, dst));
+        self.weights.push(1.0);
+    }
+
+    /// Adds a weighted edge `src -> dst`.
+    pub fn add_weighted_edge(&mut self, src: VertexId, dst: VertexId, weight: f32) {
+        self.edges.push((src, dst));
+        self.weights.push(weight);
+        self.any_weight = true;
+    }
+
+    /// Number of edges accumulated so far.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalizes into a [`Csr`], validating vertex ranges and weights.
+    pub fn build(self) -> Result<Csr> {
+        let n = self.num_vertices as u64;
+        for &(s, d) in &self.edges {
+            if u64::from(s) >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u64::from(s),
+                    num_vertices: n,
+                });
+            }
+            if u64::from(d) >= n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: u64::from(d),
+                    num_vertices: n,
+                });
+            }
+        }
+
+        // Sort edges by (src, dst), carrying weights along.
+        let mut order: Vec<u32> = (0..self.edges.len() as u32).collect();
+        order.sort_unstable_by_key(|&i| self.edges[i as usize]);
+
+        let mut sorted_edges = Vec::with_capacity(self.edges.len());
+        let mut sorted_weights = Vec::with_capacity(self.edges.len());
+        let mut prev: Option<(VertexId, VertexId)> = None;
+        for &i in &order {
+            let e = self.edges[i as usize];
+            if self.dedup && prev == Some(e) {
+                continue;
+            }
+            prev = Some(e);
+            sorted_edges.push(e);
+            sorted_weights.push(self.weights[i as usize]);
+        }
+
+        let mut indptr = vec![0u64; self.num_vertices + 1];
+        for &(s, _) in &sorted_edges {
+            indptr[s as usize + 1] += 1;
+        }
+        for i in 0..self.num_vertices {
+            indptr[i + 1] += indptr[i];
+        }
+        let indices: Vec<VertexId> = sorted_edges.iter().map(|&(_, d)| d).collect();
+
+        let csr = Csr::from_parts(indptr, indices)?;
+        if self.any_weight {
+            csr.with_weights(sorted_weights)
+        } else {
+            Ok(csr)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_csr() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 1);
+        b.add_edge(0, 2);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[VertexId]);
+        assert_eq!(g.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::VertexOutOfRange { vertex: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn dedup_removes_parallel_edges() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.dedup();
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn keeps_parallel_edges_without_dedup() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn weights_follow_edges_through_sorting() {
+        let mut b = GraphBuilder::new(3);
+        b.add_weighted_edge(1, 0, 7.0);
+        b.add_weighted_edge(0, 2, 3.0);
+        b.add_weighted_edge(0, 1, 2.0);
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_weights(0).unwrap(), &[2.0, 3.0]);
+        assert_eq!(g.edge_weights(1).unwrap(), &[7.0]);
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = GraphBuilder::new(5).build().unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_out_degree(), 0);
+    }
+
+    #[test]
+    fn self_loops_are_kept() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1);
+        let g = b.build().unwrap();
+        assert_eq!(g.neighbors(1), &[1]);
+    }
+}

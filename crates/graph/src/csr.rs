@@ -1,0 +1,315 @@
+//! Immutable compressed-sparse-row graph representation.
+
+use crate::{GraphError, Result};
+
+/// Vertex identifier.
+///
+/// The paper's largest dataset (OGB-Papers, 111 M vertices) fits in `u32`,
+/// and all GNNLab kernels index with 32-bit ids for GPU friendliness; we
+/// mirror that.
+pub type VertexId = u32;
+
+/// An immutable directed graph in compressed-sparse-row layout.
+///
+/// Stores out-neighbors per vertex. Optionally carries per-edge weights and
+/// — when weights are present — per-vertex cumulative weight tables used by
+/// weighted neighborhood sampling (binary search over the CDF, the same
+/// access pattern a GPU kernel would use).
+///
+/// # Examples
+///
+/// ```
+/// use gnnlab_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1);
+/// b.add_edge(0, 2);
+/// b.add_edge(2, 3);
+/// let g = b.build().unwrap();
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.neighbors(0), &[1, 2]);
+/// assert_eq!(g.out_degree(2), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Csr {
+    indptr: Vec<u64>,
+    indices: Vec<VertexId>,
+    weights: Option<Vec<f32>>,
+    /// Per-edge cumulative weights within each vertex's neighbor range.
+    /// Built eagerly when weights are attached; `cum_weights[indptr[v]..indptr[v+1]]`
+    /// is a non-decreasing prefix-sum array ending at the vertex's total weight.
+    cum_weights: Option<Vec<f32>>,
+}
+
+impl Csr {
+    /// Builds a CSR graph directly from index arrays.
+    ///
+    /// `indptr` must have length `n + 1`, start at 0, be non-decreasing and
+    /// end at `indices.len()`. Every entry of `indices` must be `< n`.
+    pub fn from_parts(indptr: Vec<u64>, indices: Vec<VertexId>) -> Result<Self> {
+        if indptr.is_empty() {
+            return Err(GraphError::MalformedCsr("indptr must be non-empty"));
+        }
+        if indptr[0] != 0 {
+            return Err(GraphError::MalformedCsr("indptr[0] must be 0"));
+        }
+        if *indptr.last().expect("non-empty") != indices.len() as u64 {
+            return Err(GraphError::MalformedCsr(
+                "indptr must end at indices.len()",
+            ));
+        }
+        if indptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::MalformedCsr("indptr must be non-decreasing"));
+        }
+        let n = (indptr.len() - 1) as u64;
+        if let Some(&v) = indices.iter().find(|&&v| u64::from(v) >= n) {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u64::from(v),
+                num_vertices: n,
+            });
+        }
+        Ok(Csr {
+            indptr,
+            indices,
+            weights: None,
+            cum_weights: None,
+        })
+    }
+
+    /// Attaches per-edge weights (same order as the internal edge array) and
+    /// builds the per-vertex cumulative weight tables.
+    ///
+    /// Weights must be finite and non-negative; a vertex whose neighbor
+    /// weights are all zero falls back to uniform selection at sampling time.
+    pub fn with_weights(mut self, weights: Vec<f32>) -> Result<Self> {
+        if weights.len() != self.indices.len() {
+            return Err(GraphError::WeightLengthMismatch {
+                edges: self.indices.len(),
+                weights: weights.len(),
+            });
+        }
+        if let Some(idx) = weights.iter().position(|w| !w.is_finite() || *w < 0.0) {
+            return Err(GraphError::InvalidWeight { index: idx });
+        }
+        let mut cum = vec![0.0f32; weights.len()];
+        for v in 0..self.num_vertices() {
+            let (s, e) = self.range(v as VertexId);
+            let mut acc = 0.0f32;
+            for i in s..e {
+                acc += weights[i];
+                cum[i] = acc;
+            }
+        }
+        self.weights = Some(weights);
+        self.cum_weights = Some(cum);
+        Ok(self)
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Whether edge weights are attached.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    #[inline]
+    fn range(&self, v: VertexId) -> (usize, usize) {
+        let v = v as usize;
+        (self.indptr[v] as usize, self.indptr[v + 1] as usize)
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices()`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        let (s, e) = self.range(v);
+        e - s
+    }
+
+    /// Out-neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices()`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (s, e) = self.range(v);
+        &self.indices[s..e]
+    }
+
+    /// Per-edge weights of `v`'s out-edges, if weights are attached.
+    #[inline]
+    pub fn edge_weights(&self, v: VertexId) -> Option<&[f32]> {
+        let (s, e) = self.range(v);
+        self.weights.as_ref().map(|w| &w[s..e])
+    }
+
+    /// Cumulative (prefix-sum) weights of `v`'s out-edges, if attached.
+    ///
+    /// The last entry is the vertex's total out-weight. Used by weighted
+    /// sampling to draw a neighbor in `O(log degree)`.
+    #[inline]
+    pub fn cumulative_weights(&self, v: VertexId) -> Option<&[f32]> {
+        let (s, e) = self.range(v);
+        self.cum_weights.as_ref().map(|w| &w[s..e])
+    }
+
+    /// All out-degrees as a vector (used by the degree-based cache policy).
+    pub fn out_degrees(&self) -> Vec<u32> {
+        (0..self.num_vertices())
+            .map(|v| self.out_degree(v as VertexId) as u32)
+            .collect()
+    }
+
+    /// Size in bytes of the topology data (`indptr` + `indices` + weights
+    /// and cumulative tables if present), as it would occupy GPU memory.
+    pub fn topology_bytes(&self) -> u64 {
+        let mut bytes = (self.indptr.len() * std::mem::size_of::<u64>()) as u64
+            + (self.indices.len() * std::mem::size_of::<VertexId>()) as u64;
+        if self.weights.is_some() {
+            // Weights + cumulative table.
+            bytes += 2 * (self.indices.len() * std::mem::size_of::<f32>()) as u64;
+        }
+        bytes
+    }
+
+    /// Maximum out-degree over all vertices (0 for an empty graph).
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.out_degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Returns `(mean, p99, max)` of the out-degree distribution; a quick
+    /// skewness proxy used by tests and the dataset registry.
+    pub fn degree_summary(&self) -> (f64, usize, usize) {
+        let n = self.num_vertices();
+        if n == 0 {
+            return (0.0, 0, 0);
+        }
+        let mut degs: Vec<usize> = (0..n).map(|v| self.out_degree(v as VertexId)).collect();
+        degs.sort_unstable();
+        let mean = self.num_edges() as f64 / n as f64;
+        let p99 = degs[((n - 1) as f64 * 0.99) as usize];
+        let max = *degs.last().expect("n > 0");
+        (mean, p99, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Csr {
+        // 0 -> {1, 2}, 1 -> {2}, 2 -> {}, 3 -> {0}
+        Csr::from_parts(vec![0, 2, 3, 3, 4], vec![1, 2, 2, 0]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = tiny();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(2), &[] as &[VertexId]);
+        assert_eq!(g.out_degree(3), 1);
+        assert_eq!(g.max_out_degree(), 2);
+        assert!(!g.is_weighted());
+    }
+
+    #[test]
+    fn rejects_bad_indptr() {
+        assert!(matches!(
+            Csr::from_parts(vec![], vec![]),
+            Err(GraphError::MalformedCsr(_))
+        ));
+        assert!(matches!(
+            Csr::from_parts(vec![1, 2], vec![0, 0]),
+            Err(GraphError::MalformedCsr(_))
+        ));
+        assert!(matches!(
+            Csr::from_parts(vec![0, 3], vec![0]),
+            Err(GraphError::MalformedCsr(_))
+        ));
+        assert!(matches!(
+            Csr::from_parts(vec![0, 2, 1], vec![0, 0]),
+            Err(GraphError::MalformedCsr(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex() {
+        let err = Csr::from_parts(vec![0, 1], vec![5]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::VertexOutOfRange {
+                vertex: 5,
+                num_vertices: 1
+            }
+        );
+    }
+
+    #[test]
+    fn weights_roundtrip_and_cumsum() {
+        let g = tiny().with_weights(vec![1.0, 3.0, 2.0, 5.0]).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weights(0).unwrap(), &[1.0, 3.0]);
+        assert_eq!(g.cumulative_weights(0).unwrap(), &[1.0, 4.0]);
+        assert_eq!(g.cumulative_weights(1).unwrap(), &[2.0]);
+        assert_eq!(g.cumulative_weights(2).unwrap(), &[] as &[f32]);
+        assert_eq!(g.cumulative_weights(3).unwrap(), &[5.0]);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(matches!(
+            tiny().with_weights(vec![1.0]),
+            Err(GraphError::WeightLengthMismatch { .. })
+        ));
+        assert!(matches!(
+            tiny().with_weights(vec![1.0, -2.0, 0.0, 0.0]),
+            Err(GraphError::InvalidWeight { index: 1 })
+        ));
+        assert!(matches!(
+            tiny().with_weights(vec![1.0, f32::NAN, 0.0, 0.0]),
+            Err(GraphError::InvalidWeight { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn topology_bytes_counts_weight_tables() {
+        let g = tiny();
+        let unweighted = g.topology_bytes();
+        let weighted = g
+            .clone()
+            .with_weights(vec![1.0; 4])
+            .unwrap()
+            .topology_bytes();
+        assert_eq!(weighted, unweighted + 2 * 4 * 4);
+    }
+
+    #[test]
+    fn degree_summary_sane() {
+        let g = tiny();
+        let (mean, p99, max) = g.degree_summary();
+        assert!((mean - 1.0).abs() < 1e-9);
+        assert_eq!(max, 2);
+        assert!(p99 <= max);
+    }
+}

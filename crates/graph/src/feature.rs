@@ -1,0 +1,137 @@
+//! Vertex feature storage.
+
+use crate::csr::VertexId;
+
+/// Per-vertex feature storage.
+///
+/// Performance experiments only need *byte accounting* — which vertices'
+/// features crossed PCIe — so [`FeatureStore::Virtual`] stores nothing but
+/// the shape. Actual model training (the convergence experiment, the
+/// quickstart example) uses [`FeatureStore::Materialized`] with real rows.
+#[derive(Debug, Clone)]
+pub enum FeatureStore {
+    /// Shape-only features; `row()` is unavailable.
+    Virtual {
+        /// Number of vertices.
+        num_vertices: usize,
+        /// Feature dimension.
+        dim: usize,
+    },
+    /// Real `f32` features, row-major.
+    Materialized {
+        /// Number of vertices.
+        num_vertices: usize,
+        /// Feature dimension.
+        dim: usize,
+        /// Row-major `num_vertices x dim` data.
+        data: Vec<f32>,
+    },
+}
+
+impl FeatureStore {
+    /// Creates a virtual (shape-only) store.
+    pub fn virtual_store(num_vertices: usize, dim: usize) -> Self {
+        FeatureStore::Virtual { num_vertices, dim }
+    }
+
+    /// Creates a materialized store from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != num_vertices * dim`.
+    pub fn materialized(num_vertices: usize, dim: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            num_vertices * dim,
+            "feature data shape mismatch"
+        );
+        FeatureStore::Materialized {
+            num_vertices,
+            dim,
+            data,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            FeatureStore::Virtual { num_vertices, .. }
+            | FeatureStore::Materialized { num_vertices, .. } => *num_vertices,
+        }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        match self {
+            FeatureStore::Virtual { dim, .. } | FeatureStore::Materialized { dim, .. } => *dim,
+        }
+    }
+
+    /// Bytes per feature row (f32 elements).
+    pub fn row_bytes(&self) -> u64 {
+        (self.dim() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Total feature bytes for all vertices.
+    pub fn total_bytes(&self) -> u64 {
+        self.num_vertices() as u64 * self.row_bytes()
+    }
+
+    /// The feature row of `v`, if materialized.
+    pub fn row(&self, v: VertexId) -> Option<&[f32]> {
+        match self {
+            FeatureStore::Virtual { .. } => None,
+            FeatureStore::Materialized { dim, data, .. } => {
+                let s = v as usize * dim;
+                data.get(s..s + dim)
+            }
+        }
+    }
+
+    /// Gathers rows for `ids` into a dense row-major buffer, if
+    /// materialized. This is the host-side Extract gather.
+    pub fn gather(&self, ids: &[VertexId]) -> Option<Vec<f32>> {
+        match self {
+            FeatureStore::Virtual { .. } => None,
+            FeatureStore::Materialized { dim, data, .. } => {
+                let mut out = Vec::with_capacity(ids.len() * dim);
+                for &v in ids {
+                    let s = v as usize * dim;
+                    out.extend_from_slice(&data[s..s + dim]);
+                }
+                Some(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_accounting() {
+        let f = FeatureStore::virtual_store(10, 128);
+        assert_eq!(f.num_vertices(), 10);
+        assert_eq!(f.dim(), 128);
+        assert_eq!(f.row_bytes(), 512);
+        assert_eq!(f.total_bytes(), 5120);
+        assert!(f.row(0).is_none());
+        assert!(f.gather(&[0, 1]).is_none());
+    }
+
+    #[test]
+    fn materialized_rows_and_gather() {
+        let data = (0..6).map(|x| x as f32).collect();
+        let f = FeatureStore::materialized(3, 2, data);
+        assert_eq!(f.row(1).unwrap(), &[2.0, 3.0]);
+        assert_eq!(f.gather(&[2, 0]).unwrap(), vec![4.0, 5.0, 0.0, 1.0]);
+        assert!(f.row(3).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn materialized_shape_checked() {
+        let _ = FeatureStore::materialized(3, 2, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,116 @@
+//! Chung–Lu style power-law graph generator.
+
+use crate::csr::{Csr, VertexId};
+use crate::{GraphBuilder, GraphError, Result};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a directed graph with a power-law out-degree distribution.
+///
+/// Vertex `i` receives an expected weight `w_i ∝ (i + 1)^(-1/(exponent-1))`
+/// (the standard Chung–Lu transform giving a degree distribution with tail
+/// exponent `exponent`). Edge sources are drawn proportionally to `w_i` and
+/// destinations likewise, so both in- and out-degrees are skewed — matching
+/// social/web graphs such as Twitter and UK-2006.
+///
+/// `exponent` must be `> 1`; smaller values give heavier tails (Twitter-like
+/// graphs are ≈ 1.9–2.2).
+///
+/// The output keeps parallel edges (real crawls contain them after
+/// symmetrization and they are harmless to sampling); self-loops are
+/// filtered.
+pub fn chung_lu(
+    num_vertices: usize,
+    num_edges: usize,
+    exponent: f64,
+    seed: u64,
+) -> Result<Csr> {
+    if num_vertices == 0 {
+        return Err(GraphError::InvalidParameter("num_vertices must be > 0"));
+    }
+    if exponent <= 1.0 || exponent.is_nan() {
+        return Err(GraphError::InvalidParameter("exponent must be > 1"));
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let gamma = 1.0 / (exponent - 1.0);
+    let weights: Vec<f64> = (0..num_vertices)
+        .map(|i| ((i + 1) as f64).powf(-gamma))
+        .collect();
+    let dist = WeightedIndex::new(&weights)
+        .map_err(|_| GraphError::InvalidParameter("degenerate weight distribution"))?;
+
+    let mut b = GraphBuilder::with_capacity(num_vertices, num_edges);
+    let mut added = 0usize;
+    // Cap attempts so pathological parameters (e.g. 1 vertex) terminate.
+    let max_attempts = num_edges.saturating_mul(4).max(16);
+    let mut attempts = 0usize;
+    while added < num_edges && attempts < max_attempts {
+        attempts += 1;
+        let s = dist.sample(&mut rng) as VertexId;
+        let d = dist.sample(&mut rng) as VertexId;
+        if s == d {
+            continue;
+        }
+        b.add_edge(s, d);
+        added += 1;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_size() {
+        let g = chung_lu(1000, 8000, 2.0, 1).unwrap();
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(g.num_edges() >= 7000, "got {}", g.num_edges());
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let a = chung_lu(500, 3000, 2.1, 42).unwrap();
+        let b = chung_lu(500, 3000, 2.1, 42).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..500 {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = chung_lu(500, 3000, 2.1, 1).unwrap();
+        let b = chung_lu(500, 3000, 2.1, 2).unwrap();
+        let same = (0..500u32).all(|v| a.neighbors(v) == b.neighbors(v));
+        assert!(!same);
+    }
+
+    #[test]
+    fn low_exponent_is_more_skewed() {
+        let heavy = chung_lu(2000, 20000, 1.8, 7).unwrap();
+        let light = chung_lu(2000, 20000, 3.5, 7).unwrap();
+        let (_, _, max_heavy) = heavy.degree_summary();
+        let (_, _, max_light) = light.degree_summary();
+        assert!(
+            max_heavy > 2 * max_light,
+            "heavy tail max {max_heavy} vs light {max_light}"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(chung_lu(0, 10, 2.0, 1).is_err());
+        assert!(chung_lu(10, 10, 1.0, 1).is_err());
+        assert!(chung_lu(10, 10, 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = chung_lu(300, 3000, 2.0, 3).unwrap();
+        for v in 0..300u32 {
+            assert!(!g.neighbors(v).contains(&v));
+        }
+    }
+}

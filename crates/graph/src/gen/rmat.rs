@@ -1,0 +1,102 @@
+//! R-MAT recursive-matrix graph generator.
+
+use crate::csr::{Csr, VertexId};
+use crate::{GraphBuilder, GraphError, Result};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a directed graph with the classic R-MAT recursive procedure.
+///
+/// The adjacency matrix of a `2^scale`-vertex graph is subdivided into four
+/// quadrants with probabilities `(a, b, c, d)`; each edge recursively
+/// descends into a quadrant until a single cell is reached. Skew grows with
+/// `a`; the Graph500 parameters `(0.57, 0.19, 0.19, 0.05)` are a good
+/// default for power-law graphs.
+///
+/// `a + b + c + d` must sum to 1 (±1e-6), each in `[0, 1]`.
+pub fn rmat(
+    scale: u32,
+    num_edges: usize,
+    probs: (f64, f64, f64, f64),
+    seed: u64,
+) -> Result<Csr> {
+    let (a, b, c, d) = probs;
+    let sum = a + b + c + d;
+    if !(0.999_999..=1.000_001).contains(&sum) || [a, b, c, d].iter().any(|p| *p < 0.0) {
+        return Err(GraphError::InvalidParameter(
+            "rmat probabilities must be non-negative and sum to 1",
+        ));
+    }
+    if scale == 0 || scale > 31 {
+        return Err(GraphError::InvalidParameter("rmat scale must be in 1..=31"));
+    }
+    let n = 1usize << scale;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, num_edges);
+    let mut added = 0usize;
+    let max_attempts = num_edges.saturating_mul(4).max(16);
+    let mut attempts = 0usize;
+    while added < num_edges && attempts < max_attempts {
+        attempts += 1;
+        let (mut lo_r, mut lo_c) = (0usize, 0usize);
+        let mut half = n >> 1;
+        while half > 0 {
+            let p: f64 = rng.gen();
+            if p < a {
+                // top-left: nothing to add
+            } else if p < a + b {
+                lo_c += half;
+            } else if p < a + b + c {
+                lo_r += half;
+            } else {
+                lo_r += half;
+                lo_c += half;
+            }
+            half >>= 1;
+        }
+        if lo_r == lo_c {
+            continue;
+        }
+        builder.add_edge(lo_r as VertexId, lo_c as VertexId);
+        added += 1;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G500: (f64, f64, f64, f64) = (0.57, 0.19, 0.19, 0.05);
+
+    #[test]
+    fn produces_power_law_skew() {
+        let g = rmat(12, 40000, G500, 1).unwrap();
+        let (mean, _, max) = g.degree_summary();
+        assert!(max as f64 > mean * 10.0, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn uniform_probs_are_not_skewed() {
+        let g = rmat(12, 40000, (0.25, 0.25, 0.25, 0.25), 1).unwrap();
+        let (mean, _, max) = g.degree_summary();
+        assert!((max as f64) < mean * 6.0, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = rmat(10, 5000, G500, 42).unwrap();
+        let b = rmat(10, 5000, G500, 42).unwrap();
+        for v in 0..a.num_vertices() as VertexId {
+            assert_eq!(a.neighbors(v), b.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_probs() {
+        assert!(rmat(10, 100, (0.5, 0.5, 0.5, 0.5), 1).is_err());
+        assert!(rmat(10, 100, (-0.1, 0.5, 0.3, 0.3), 1).is_err());
+        assert!(rmat(0, 100, G500, 1).is_err());
+        assert!(rmat(32, 100, G500, 1).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! Edge-weight generators for weighted-sampling experiments.
+
+use crate::csr::Csr;
+use crate::Result;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Attaches "registration year" recency weights to a graph.
+///
+/// Mirrors the setup in §3 of the paper (Twitter + 3-hop weighted
+/// sampling): each vertex gets a registration year, and the weight of edge
+/// `u -> v` grows super-linearly with how recent `v` is, so weighted
+/// sampling strongly prefers *newer* neighbors. Because recency is assigned
+/// independently of degree, this decorrelates sampling frequency from
+/// out-degree — exactly the regime where the degree-based cache policy
+/// collapses (Fig. 5b).
+pub fn recency_weights(csr: Csr, seed: u64) -> Result<Csr> {
+    let n = csr.num_vertices();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // Year in [0, 1): independent of vertex id and degree.
+    let years: Vec<f32> = (0..n).map(|_| rng.gen::<f32>()).collect();
+    let mut weights = Vec::with_capacity(csr.num_edges());
+    for v in 0..n {
+        for &d in csr.neighbors(v as u32) {
+            let y = years[d as usize];
+            // Strong preference for recent vertices (w ~ year^8): the newest
+            // ~10 % of vertices dominate the weighted-sampling footprint,
+            // decorrelating it from out-degree. w in (0, ~1000].
+            weights.push((y * y).powi(4) * 999.0 + 1.0e-3);
+        }
+    }
+    csr.with_weights(weights)
+}
+
+/// Attaches uniform weights (all 1.0); weighted sampling then degenerates
+/// to uniform sampling. Used to sanity-check the weighted sampler.
+pub fn uniform_weights(csr: Csr) -> Result<Csr> {
+    let e = csr.num_edges();
+    csr.with_weights(vec![1.0; e])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::chung_lu;
+
+    #[test]
+    fn recency_weights_attach_and_are_positive() {
+        let g = chung_lu(200, 2000, 2.0, 1).unwrap();
+        let g = recency_weights(g, 7).unwrap();
+        assert!(g.is_weighted());
+        for v in 0..200u32 {
+            if let Some(w) = g.edge_weights(v) {
+                assert!(w.iter().all(|x| *x > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn recency_weights_consistent_per_target() {
+        // All edges into the same target must share a weight.
+        let g = chung_lu(100, 2000, 2.0, 2).unwrap();
+        let g = recency_weights(g, 3).unwrap();
+        let mut seen: std::collections::HashMap<u32, f32> = Default::default();
+        for v in 0..100u32 {
+            let nbrs = g.neighbors(v);
+            let ws = g.edge_weights(v).unwrap();
+            for (d, w) in nbrs.iter().zip(ws) {
+                let prev = seen.insert(*d, *w);
+                if let Some(p) = prev {
+                    assert!((p - w).abs() < 1e-6, "target {d}: {p} vs {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_weights_all_one() {
+        let g = chung_lu(50, 300, 2.0, 1).unwrap();
+        let g = uniform_weights(g).unwrap();
+        assert!(g.edge_weights(0).unwrap().iter().all(|w| *w == 1.0));
+    }
+}

@@ -1,0 +1,289 @@
+//! Graph serialization: text edge lists and a compact binary CSR format.
+//!
+//! Lets downstream users bring their own graphs instead of the synthetic
+//! generators: load an edge list (the format OGB/SNAP dumps use), or
+//! round-trip the compact binary format for fast reloads.
+
+use crate::csr::{Csr, VertexId};
+use crate::{GraphBuilder, GraphError};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from graph I/O (wraps [`GraphError`] for format problems).
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file content was not a valid graph.
+    Format(String),
+    /// The parsed structure failed validation.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(m) => write!(f, "format error: {m}"),
+            IoError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+/// Reads a whitespace-separated edge list (`src dst [weight]` per line;
+/// `#`-prefixed lines are comments). `num_vertices` of `None` infers
+/// `max id + 1`.
+pub fn read_edge_list(path: &Path, num_vertices: Option<usize>) -> std::result::Result<Csr, IoError> {
+    let file = std::fs::File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut edges: Vec<(VertexId, VertexId, Option<f32>)> = Vec::new();
+    let mut max_id: u64 = 0;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> std::result::Result<u64, IoError> {
+            tok.ok_or_else(|| IoError::Format(format!("line {}: missing {what}", lineno + 1)))?
+                .parse::<u64>()
+                .map_err(|_| IoError::Format(format!("line {}: bad {what}", lineno + 1)))
+        };
+        let s = parse(parts.next(), "src")?;
+        let d = parse(parts.next(), "dst")?;
+        let w = match parts.next() {
+            Some(tok) => Some(tok.parse::<f32>().map_err(|_| {
+                IoError::Format(format!("line {}: bad weight", lineno + 1))
+            })?),
+            None => None,
+        };
+        max_id = max_id.max(s).max(d);
+        if s > u64::from(VertexId::MAX) || d > u64::from(VertexId::MAX) {
+            return Err(IoError::Format(format!(
+                "line {}: vertex id exceeds u32",
+                lineno + 1
+            )));
+        }
+        edges.push((s as VertexId, d as VertexId, w));
+    }
+    let n = num_vertices.unwrap_or((max_id + 1) as usize);
+    let any_weight = edges.iter().any(|(_, _, w)| w.is_some());
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (s, d, w) in edges {
+        match (any_weight, w) {
+            (true, w) => b.add_weighted_edge(s, d, w.unwrap_or(1.0)),
+            (false, _) => b.add_edge(s, d),
+        }
+    }
+    Ok(b.build()?)
+}
+
+/// Writes a graph as a text edge list (with weights if present).
+pub fn write_edge_list(csr: &Csr, path: &Path) -> std::result::Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# gnnlab edge list: {} vertices, {} edges", csr.num_vertices(), csr.num_edges())?;
+    for v in 0..csr.num_vertices() as VertexId {
+        let nbrs = csr.neighbors(v);
+        match csr.edge_weights(v) {
+            Some(ws) => {
+                for (d, wt) in nbrs.iter().zip(ws) {
+                    writeln!(w, "{v} {d} {wt}")?;
+                }
+            }
+            None => {
+                for d in nbrs {
+                    writeln!(w, "{v} {d}")?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+const MAGIC: &[u8; 8] = b"GNNLCSR1";
+
+/// Writes the compact binary CSR format (little-endian):
+/// magic, n, m, weighted flag, indptr (u64), indices (u32), weights (f32).
+pub fn write_binary(csr: &Csr, path: &Path) -> std::result::Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    let n = csr.num_vertices() as u64;
+    let m = csr.num_edges() as u64;
+    w.write_all(&n.to_le_bytes())?;
+    w.write_all(&m.to_le_bytes())?;
+    w.write_all(&[u8::from(csr.is_weighted())])?;
+    let mut off: u64 = 0;
+    w.write_all(&off.to_le_bytes())?;
+    for v in 0..csr.num_vertices() as VertexId {
+        off += csr.out_degree(v) as u64;
+        w.write_all(&off.to_le_bytes())?;
+    }
+    for v in 0..csr.num_vertices() as VertexId {
+        for d in csr.neighbors(v) {
+            w.write_all(&d.to_le_bytes())?;
+        }
+    }
+    if csr.is_weighted() {
+        for v in 0..csr.num_vertices() as VertexId {
+            for wt in csr.edge_weights(v).expect("weighted") {
+                w.write_all(&wt.to_le_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_exact_u64(r: &mut impl Read) -> std::result::Result<u64, IoError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Reads the compact binary CSR format written by [`write_binary`].
+pub fn read_binary(path: &Path) -> std::result::Result<Csr, IoError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(IoError::Format("bad magic; not a gnnlab binary CSR".to_string()));
+    }
+    let n = read_exact_u64(&mut r)? as usize;
+    let m = read_exact_u64(&mut r)? as usize;
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let weighted = flag[0] != 0;
+    let mut indptr = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        indptr.push(read_exact_u64(&mut r)?);
+    }
+    let mut indices = Vec::with_capacity(m);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf4)?;
+        indices.push(u32::from_le_bytes(buf4));
+    }
+    let csr = Csr::from_parts(indptr, indices)?;
+    if weighted {
+        let mut weights = Vec::with_capacity(m);
+        for _ in 0..m {
+            r.read_exact(&mut buf4)?;
+            weights.push(f32::from_le_bytes(buf4));
+        }
+        Ok(csr.with_weights(weights)?)
+    } else {
+        Ok(csr)
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::chung_lu;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gnnlab_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn graphs_equal(a: &Csr, b: &Csr) {
+        assert_eq!(a.num_vertices(), b.num_vertices());
+        assert_eq!(a.num_edges(), b.num_edges());
+        for v in 0..a.num_vertices() as VertexId {
+            assert_eq!(a.neighbors(v), b.neighbors(v), "v={v}");
+            assert_eq!(a.edge_weights(v).is_some(), b.edge_weights(v).is_some());
+            if let (Some(wa), Some(wb)) = (a.edge_weights(v), b.edge_weights(v)) {
+                assert_eq!(wa, wb);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = chung_lu(200, 2000, 2.0, 1).unwrap();
+        let path = tmp("edges.txt");
+        write_edge_list(&g, &path).unwrap();
+        let g2 = read_edge_list(&path, Some(200)).unwrap();
+        graphs_equal(&g, &g2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn weighted_edge_list_roundtrip() {
+        let g = crate::gen::recency_weights(chung_lu(100, 800, 2.0, 2).unwrap(), 3).unwrap();
+        let path = tmp("wedges.txt");
+        write_edge_list(&g, &path).unwrap();
+        let g2 = read_edge_list(&path, Some(100)).unwrap();
+        assert!(g2.is_weighted());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = chung_lu(300, 3000, 2.0, 4).unwrap();
+        let path = tmp("graph.bin");
+        write_binary(&g, &path).unwrap();
+        let g2 = read_binary(&path).unwrap();
+        graphs_equal(&g, &g2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_weighted_roundtrip() {
+        let g = crate::gen::recency_weights(chung_lu(150, 1000, 2.0, 5).unwrap(), 7).unwrap();
+        let path = tmp("wgraph.bin");
+        write_binary(&g, &path).unwrap();
+        let g2 = read_binary(&path).unwrap();
+        graphs_equal(&g, &g2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, b"not a graph at all").unwrap();
+        assert!(matches!(read_binary(&path), Err(IoError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edge_list_parses_comments_and_infers_n() {
+        let path = tmp("comments.txt");
+        std::fs::write(&path, "# header\n0 1\n\n2 0\n").unwrap();
+        let g = read_edge_list(&path, None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edge_list_rejects_bad_lines() {
+        let path = tmp("bad.txt");
+        std::fs::write(&path, "0 x\n").unwrap();
+        assert!(matches!(
+            read_edge_list(&path, None),
+            Err(IoError::Format(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

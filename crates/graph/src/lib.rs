@@ -1,0 +1,96 @@
+//! Graph substrate for GNNLab-rs.
+//!
+//! This crate provides everything the sampling, caching and training layers
+//! need from the input data side:
+//!
+//! - [`Csr`]: an immutable compressed-sparse-row graph with optional edge
+//!   weights (and lazily built cumulative-weight tables for weighted
+//!   sampling).
+//! - [`GraphBuilder`]: checked construction from edge lists.
+//! - [`gen`]: deterministic synthetic graph generators used to stand in for
+//!   the paper's datasets (power-law social/web graphs, low-skew citation
+//!   graphs, planted-community graphs for convergence experiments).
+//! - [`Dataset`] / [`DatasetSpec`]: a registry of the four datasets from
+//!   Table 3 of the paper (OGB-Products, Twitter, OGB-Papers, UK-2006) that
+//!   can be instantiated at a configurable [`Scale`].
+//! - [`FeatureStore`]: vertex features, either materialized (real `f32`
+//!   rows, used by actual training) or virtual (dimension-only byte
+//!   accounting, used by performance experiments).
+//! - [`trainset`]: deterministic training-set selection.
+//! - [`partition`]: the simple edge-cut partitioner + self-reliant L-hop
+//!   extension used by the §8 partitioning ablation.
+//!
+//! All randomness is seeded [`rand_chacha::ChaCha8Rng`], so every structure
+//! in this crate is bit-reproducible across runs and platforms.
+
+pub mod builder;
+pub mod csr;
+pub mod dataset;
+pub mod feature;
+pub mod gen;
+pub mod io;
+pub mod partition;
+pub mod scale;
+pub mod trainset;
+
+pub use builder::GraphBuilder;
+pub use csr::{Csr, VertexId};
+pub use dataset::{Dataset, DatasetKind, DatasetSpec};
+pub use feature::FeatureStore;
+pub use scale::Scale;
+
+/// Errors produced while constructing or validating graph structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a vertex id `>= num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u64,
+        /// The declared number of vertices.
+        num_vertices: u64,
+    },
+    /// A weight array had a different length than the edge array.
+    WeightLengthMismatch {
+        /// Number of edges.
+        edges: usize,
+        /// Number of weights provided.
+        weights: usize,
+    },
+    /// A weight was non-finite or negative.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// The CSR index arrays were inconsistent.
+    MalformedCsr(&'static str),
+    /// A requested dataset parameter was out of range.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex id {vertex} out of range (num_vertices = {num_vertices})"
+            ),
+            GraphError::WeightLengthMismatch { edges, weights } => write!(
+                f,
+                "weight array length {weights} does not match edge count {edges}"
+            ),
+            GraphError::InvalidWeight { index } => {
+                write!(f, "weight at index {index} is negative or non-finite")
+            }
+            GraphError::MalformedCsr(msg) => write!(f, "malformed CSR: {msg}"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

@@ -1,0 +1,162 @@
+//! Graph partitioning and self-reliance analysis (§8 ablation).
+//!
+//! The paper's §8 discusses a partitioning-based alternative: split graph
+//! topology + features across GPUs. One variant needs each partition to be
+//! *self-reliant* — extended with all L-hop neighbors of its training
+//! vertices — and the paper reports that on Twitter each of 8 partitions
+//! would need >95 % of all vertices. This module implements the hash
+//! partitioner and the L-hop closure measurement that regenerates that
+//! claim.
+
+use crate::csr::{Csr, VertexId};
+
+/// Assigns each training vertex to one of `num_parts` partitions by a
+/// simple deterministic hash (multiplicative hashing on the vertex id).
+pub fn hash_partition(train_set: &[VertexId], num_parts: usize) -> Vec<Vec<VertexId>> {
+    assert!(num_parts > 0, "need at least one partition");
+    let mut parts = vec![Vec::new(); num_parts];
+    for &v in train_set {
+        let h = (u64::from(v).wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 33;
+        parts[(h as usize) % num_parts].push(v);
+    }
+    parts
+}
+
+/// Computes the L-hop out-neighborhood closure of `seeds`: every vertex
+/// reachable within `hops` edges. This is the vertex set a self-reliant
+/// partition must carry so that `hops`-hop sampling never leaves the
+/// partition.
+pub fn l_hop_closure(csr: &Csr, seeds: &[VertexId], hops: usize) -> Vec<VertexId> {
+    let n = csr.num_vertices();
+    let mut visited = vec![false; n];
+    let mut frontier: Vec<VertexId> = Vec::new();
+    for &s in seeds {
+        if !visited[s as usize] {
+            visited[s as usize] = true;
+            frontier.push(s);
+        }
+    }
+    for _ in 0..hops {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &d in csr.neighbors(v) {
+                if !visited[d as usize] {
+                    visited[d as usize] = true;
+                    next.push(d);
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    let mut out: Vec<VertexId> = visited
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &v)| v.then_some(i as VertexId))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Result of the self-reliance redundancy measurement.
+#[derive(Debug, Clone)]
+pub struct RedundancyReport {
+    /// Number of partitions analyzed.
+    pub num_parts: usize,
+    /// For each partition, the fraction of all vertices its self-reliant
+    /// L-hop extension must contain.
+    pub closure_fractions: Vec<f64>,
+}
+
+impl RedundancyReport {
+    /// Mean closure fraction across partitions.
+    pub fn mean_fraction(&self) -> f64 {
+        if self.closure_fractions.is_empty() {
+            return 0.0;
+        }
+        self.closure_fractions.iter().sum::<f64>() / self.closure_fractions.len() as f64
+    }
+}
+
+/// Measures how much of the whole graph each of `num_parts` self-reliant
+/// partitions would need to carry for `hops`-hop sampling.
+pub fn self_reliance_redundancy(
+    csr: &Csr,
+    train_set: &[VertexId],
+    num_parts: usize,
+    hops: usize,
+) -> RedundancyReport {
+    let parts = hash_partition(train_set, num_parts);
+    let n = csr.num_vertices().max(1) as f64;
+    let closure_fractions = parts
+        .iter()
+        .map(|p| l_hop_closure(csr, p, hops).len() as f64 / n)
+        .collect();
+    RedundancyReport {
+        num_parts,
+        closure_fractions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::chung_lu;
+    use crate::GraphBuilder;
+
+    fn path_graph(n: usize) -> Csr {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n - 1 {
+            b.add_edge(v as VertexId, (v + 1) as VertexId);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hash_partition_covers_all_and_balances() {
+        let ts: Vec<VertexId> = (0..1000).collect();
+        let parts = hash_partition(&ts, 8);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 1000);
+        for p in &parts {
+            assert!(p.len() > 60 && p.len() < 190, "unbalanced: {}", p.len());
+        }
+    }
+
+    #[test]
+    fn closure_on_path_graph() {
+        let g = path_graph(10);
+        assert_eq!(l_hop_closure(&g, &[0], 0), vec![0]);
+        assert_eq!(l_hop_closure(&g, &[0], 2), vec![0, 1, 2]);
+        assert_eq!(l_hop_closure(&g, &[7], 5), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn closure_deduplicates_seeds() {
+        let g = path_graph(5);
+        assert_eq!(l_hop_closure(&g, &[1, 1, 1], 1), vec![1, 2]);
+    }
+
+    #[test]
+    fn power_law_graphs_have_huge_closures() {
+        // The §8 claim: on a skewed graph, even a fraction of the training
+        // set reaches most of the graph within 3 hops.
+        let g = chung_lu(2000, 40000, 1.9, 1).unwrap();
+        let ts: Vec<VertexId> = (0..200).collect();
+        let rep = self_reliance_redundancy(&g, &ts, 8, 3);
+        assert_eq!(rep.num_parts, 8);
+        assert!(
+            rep.mean_fraction() > 0.5,
+            "mean closure {:.2}",
+            rep.mean_fraction()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_parts_panics() {
+        let _ = hash_partition(&[1, 2, 3], 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! The global scale knob.
+
+/// Scales the paper's testbed down to laptop size while preserving ratios.
+///
+/// The paper's experiments run 0.1–3 B-edge graphs on 16 GB V100s. We run
+/// everything at `1/factor` size: vertex counts, edge counts, training-set
+/// sizes and mini-batch sizes are all divided by `factor`. Reported byte
+/// and work quantities are multiplied back by `factor` (see
+/// `gnnlab-sim::cost`), so:
+///
+/// - every *capacity ratio* (topology bytes / GPU memory, cache ratio α,
+///   …) is identical to the paper's, and
+/// - the *number of mini-batches per epoch* is identical to the paper's,
+///   so queueing/pipelining/switching dynamics are preserved.
+///
+/// Statistical quantities (cache hit rates, footprint similarity) are
+/// measured directly on the scaled graph; they are unbiased estimates of
+/// the full-scale values because the generators preserve distribution
+/// shape, not absolute size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    factor: u64,
+}
+
+impl Scale {
+    /// Full paper scale (factor 1). Do not instantiate datasets at this
+    /// scale on a laptop — OGB-Papers alone is 53 GB of features.
+    pub const FULL: Scale = Scale { factor: 1 };
+
+    /// Default benchmark scale (1/256 of the paper's sizes).
+    pub const BENCH: Scale = Scale { factor: 256 };
+
+    /// Small scale for integration tests (1/2048).
+    pub const TEST: Scale = Scale { factor: 2048 };
+
+    /// Creates a scale dividing all sizes by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn new(factor: u64) -> Scale {
+        assert!(factor > 0, "scale factor must be positive");
+        Scale { factor }
+    }
+
+    /// The division factor.
+    #[inline]
+    pub fn factor(&self) -> u64 {
+        self.factor
+    }
+
+    /// Scales a count down, keeping at least `min`.
+    #[inline]
+    pub fn count(&self, paper_count: u64, min: u64) -> usize {
+        (paper_count / self.factor).max(min) as usize
+    }
+
+    /// Scales a measured quantity back up to paper scale for reporting.
+    #[inline]
+    pub fn up(&self, measured: f64) -> f64 {
+        measured * self.factor as f64
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::BENCH
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_scales_and_clamps() {
+        let s = Scale::new(100);
+        assert_eq!(s.count(1000, 1), 10);
+        assert_eq!(s.count(50, 4), 4);
+        assert_eq!(Scale::FULL.count(1000, 1), 1000);
+    }
+
+    #[test]
+    fn up_reverses_down() {
+        let s = Scale::new(256);
+        let paper = 1_000_000.0f64;
+        let measured = paper / 256.0;
+        assert!((s.up(measured) - paper).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_panics() {
+        let _ = Scale::new(0);
+    }
+}

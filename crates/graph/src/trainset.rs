@@ -1,0 +1,69 @@
+//! Deterministic training-set selection.
+
+use crate::csr::VertexId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Selects a random training set of `size` vertices out of `num_vertices`.
+///
+/// Mirrors the paper's practice for Twitter and UK-2006 ("randomly selects a
+/// small portion of vertices as the training set", selected offline once and
+/// shared across runs): the result is a sorted, duplicate-free vertex list,
+/// deterministic in `seed`.
+pub fn random_train_set(num_vertices: usize, size: usize, seed: u64) -> Vec<VertexId> {
+    let size = size.min(num_vertices);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut all: Vec<VertexId> = (0..num_vertices as VertexId).collect();
+    all.partial_shuffle(&mut rng, size);
+    let mut ts: Vec<VertexId> = all[..size].to_vec();
+    ts.sort_unstable();
+    ts
+}
+
+/// Selects the most recent `size` vertices (highest ids) as the training
+/// set — OGB-Papers' official split trains on the newest papers. Used for
+/// the Papers stand-in.
+pub fn recent_train_set(num_vertices: usize, size: usize) -> Vec<VertexId> {
+    let size = size.min(num_vertices);
+    ((num_vertices - size) as VertexId..num_vertices as VertexId).collect()
+}
+
+/// Selects the top-`size` vertices by id (lowest ids). The Chung–Lu
+/// generator orders vertices by expected degree, so this picks the hubs —
+/// matching OGB-Products' official split, which trains on the
+/// top-sales-rank products. Used for the Products stand-in.
+pub fn top_train_set(num_vertices: usize, size: usize) -> Vec<VertexId> {
+    (0..size.min(num_vertices) as VertexId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_sorted_unique() {
+        let a = random_train_set(1000, 100, 7);
+        let b = random_train_set(1000, 100, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        assert!(a.iter().all(|&v| v < 1000));
+    }
+
+    #[test]
+    fn random_differs_by_seed() {
+        assert_ne!(random_train_set(1000, 100, 1), random_train_set(1000, 100, 2));
+    }
+
+    #[test]
+    fn size_clamped_to_population() {
+        assert_eq!(random_train_set(10, 100, 1).len(), 10);
+        assert_eq!(recent_train_set(10, 100).len(), 10);
+    }
+
+    #[test]
+    fn recent_takes_highest_ids() {
+        assert_eq!(recent_train_set(10, 3), vec![7, 8, 9]);
+    }
+}

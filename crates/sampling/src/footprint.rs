@@ -1,0 +1,179 @@
+//! Access-footprint recording: the substrate of PreSC and Table 2.
+
+use crate::sample::Sample;
+
+/// Records how often each vertex is sampled across one or more epochs.
+///
+/// This is the data structure behind:
+/// - the **PreSC** caching policy (hotness = average visit count over K
+///   pre-sampling epochs, §6.3),
+/// - the **Optimal** oracle policy (visit counts over the whole run), and
+/// - the **Table 2** epoch-to-epoch similarity measurement.
+#[derive(Debug, Clone)]
+pub struct FootprintRecorder {
+    counts: Vec<u64>,
+    epochs: u64,
+}
+
+impl FootprintRecorder {
+    /// Creates a recorder for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        FootprintRecorder {
+            counts: vec![0; num_vertices],
+            epochs: 0,
+        }
+    }
+
+    /// Records every visit in `sample` (with multiplicity).
+    pub fn record_sample(&mut self, sample: &Sample) {
+        for &v in &sample.visit_list {
+            self.counts[v as usize] += 1;
+        }
+    }
+
+    /// Marks the end of an epoch (used to average over epochs).
+    pub fn end_epoch(&mut self) {
+        self.epochs += 1;
+    }
+
+    /// Number of completed epochs.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Raw visit counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Average visit count per epoch as an f64 hotness map (the PreSC
+    /// hotness metric `h_v`). If no epoch was completed, returns raw counts.
+    pub fn hotness(&self) -> Vec<f64> {
+        let div = self.epochs.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / div).collect()
+    }
+
+    /// Merges another recorder (same vertex count) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if vertex counts differ.
+    pub fn merge(&mut self, other: &FootprintRecorder) {
+        assert_eq!(self.counts.len(), other.counts.len(), "size mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.epochs += other.epochs;
+    }
+}
+
+/// The Table 2 similarity of epoch `i`'s footprint to epoch `j`'s:
+///
+/// `sum_{v in Ti ∩ Tj} min(fi(v), fj(v)) / sum_{v in Tj} fj(v)`
+///
+/// where `Ti`/`Tj` are the top-`top_fraction` most-visited vertex sets and
+/// `fi`/`fj` the visit counts. Returns a value in `[0, 1]`.
+pub fn footprint_similarity(fi: &[u64], fj: &[u64], top_fraction: f64) -> f64 {
+    assert_eq!(fi.len(), fj.len(), "footprints must cover the same graph");
+    assert!((0.0..=1.0).contains(&top_fraction), "fraction in [0,1]");
+    let top = |f: &[u64]| -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..f.len() as u32).filter(|&v| f[v as usize] > 0).collect();
+        idx.sort_unstable_by(|&a, &b| {
+            f[b as usize].cmp(&f[a as usize]).then(a.cmp(&b))
+        });
+        let k = ((f.len() as f64 * top_fraction) as usize).min(idx.len());
+        idx.truncate(k);
+        idx
+    };
+    let ti = top(fi);
+    let tj = top(fj);
+    let denom: u64 = tj.iter().map(|&v| fj[v as usize]).sum();
+    if denom == 0 {
+        return 0.0;
+    }
+    let ti_set: std::collections::HashSet<u32> = ti.into_iter().collect();
+    let numer: u64 = tj
+        .iter()
+        .filter(|v| ti_set.contains(v))
+        .map(|&v| fi[v as usize].min(fj[v as usize]))
+        .sum();
+    numer as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::SampleWork;
+    use gnnlab_graph::VertexId;
+
+    fn sample_with_visits(visits: Vec<VertexId>) -> Sample {
+        Sample {
+            seeds: vec![],
+            blocks: vec![],
+            visit_list: visits,
+            work: SampleWork::default(),
+            cache_mask: None,
+        }
+    }
+
+    #[test]
+    fn records_with_multiplicity() {
+        let mut r = FootprintRecorder::new(5);
+        r.record_sample(&sample_with_visits(vec![1, 1, 3]));
+        r.record_sample(&sample_with_visits(vec![3]));
+        assert_eq!(r.counts(), &[0, 2, 0, 2, 0]);
+    }
+
+    #[test]
+    fn hotness_averages_over_epochs() {
+        let mut r = FootprintRecorder::new(3);
+        r.record_sample(&sample_with_visits(vec![0, 0, 1]));
+        r.end_epoch();
+        r.record_sample(&sample_with_visits(vec![0]));
+        r.end_epoch();
+        let h = r.hotness();
+        assert!((h[0] - 1.5).abs() < 1e-9);
+        assert!((h[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_epochs() {
+        let mut a = FootprintRecorder::new(2);
+        a.record_sample(&sample_with_visits(vec![0]));
+        a.end_epoch();
+        let mut b = FootprintRecorder::new(2);
+        b.record_sample(&sample_with_visits(vec![1, 1]));
+        b.end_epoch();
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 2]);
+        assert_eq!(a.epochs(), 2);
+    }
+
+    #[test]
+    fn identical_footprints_have_similarity_one() {
+        let f = vec![5u64, 3, 0, 8, 1, 0, 0, 0, 0, 2];
+        let s = footprint_similarity(&f, &f, 0.5);
+        assert!((s - 1.0).abs() < 1e-9, "similarity {s}");
+    }
+
+    #[test]
+    fn disjoint_footprints_have_similarity_zero() {
+        let fi = vec![9u64, 9, 0, 0];
+        let fj = vec![0u64, 0, 9, 9];
+        assert_eq!(footprint_similarity(&fi, &fj, 0.5), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_between() {
+        let fi = vec![10u64, 10, 0, 0, 0, 0, 0, 0, 0, 0];
+        let fj = vec![10u64, 0, 10, 0, 0, 0, 0, 0, 0, 0];
+        let s = footprint_similarity(&fi, &fj, 0.2);
+        assert!(s > 0.0 && s < 1.0, "similarity {s}");
+    }
+
+    #[test]
+    fn empty_footprint_similarity_is_zero() {
+        let z = vec![0u64; 4];
+        assert_eq!(footprint_similarity(&z, &z, 0.5), 0.0);
+    }
+}

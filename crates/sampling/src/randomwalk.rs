@@ -1,0 +1,228 @@
+//! PinSAGE-style random-walk neighbor selection.
+
+use crate::sample::{dedup_remap, LayerBlock, Sample, SampleWork};
+use crate::SamplingAlgorithm;
+use gnnlab_graph::{Csr, VertexId};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Random-walk based neighborhood sampling (PinSAGE, §7.1).
+///
+/// For each frontier vertex, runs `num_walks` uniform random walks of
+/// `walk_len` steps and keeps the `neighbors_per_layer` most-visited
+/// vertices as that vertex's neighbors; repeated for `layers` layers.
+/// The paper's PinSAGE configuration is 3 layers, "5 neighbors from 4
+/// paths of length 3".
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    layers: usize,
+    num_walks: usize,
+    walk_len: usize,
+    neighbors_per_layer: usize,
+}
+
+impl RandomWalk {
+    /// Creates a random-walk sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(layers: usize, num_walks: usize, walk_len: usize, neighbors_per_layer: usize) -> Self {
+        assert!(
+            layers > 0 && num_walks > 0 && walk_len > 0 && neighbors_per_layer > 0,
+            "random-walk parameters must be positive"
+        );
+        RandomWalk {
+            layers,
+            num_walks,
+            walk_len,
+            neighbors_per_layer,
+        }
+    }
+
+    /// The paper's PinSAGE configuration: 3 layers, 4 walks of length 3,
+    /// keep the top 5 visited.
+    pub fn pinsage() -> Self {
+        RandomWalk::new(3, 4, 3, 5)
+    }
+
+    /// Walks from `v`, returning the top visited vertices (excluding `v`).
+    fn select(
+        &self,
+        csr: &Csr,
+        v: VertexId,
+        rng: &mut ChaCha8Rng,
+        work: &mut SampleWork,
+        visits: &mut HashMap<VertexId, u32>,
+    ) -> Vec<VertexId> {
+        visits.clear();
+        for _ in 0..self.num_walks {
+            let mut cur = v;
+            for _ in 0..self.walk_len {
+                let nbrs = csr.neighbors(cur);
+                if nbrs.is_empty() {
+                    break;
+                }
+                // One draw per step; the step reads one neighbor-list entry
+                // (plus the degree), like a GPU walk kernel.
+                let next = nbrs[rng.gen_range(0..nbrs.len())];
+                work.rng_draws += 1;
+                work.edges_scanned += 1;
+                if next != v {
+                    *visits.entry(next).or_insert(0) += 1;
+                }
+                cur = next;
+            }
+        }
+        let mut ranked: Vec<(VertexId, u32)> = visits.iter().map(|(&k, &c)| (k, c)).collect();
+        // Deterministic order: by count desc, then id asc.
+        ranked.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(self.neighbors_per_layer);
+        work.sampled_vertices += ranked.len() as u64;
+        ranked.into_iter().map(|(k, _)| k).collect()
+    }
+}
+
+impl SamplingAlgorithm for RandomWalk {
+    fn sample(&self, csr: &Csr, seeds: &[VertexId], rng: &mut ChaCha8Rng) -> Sample {
+        let mut work = SampleWork::default();
+        let mut visit_list = seeds.to_vec();
+        let mut blocks_outward = Vec::with_capacity(self.layers);
+        let mut frontier: Vec<VertexId> = seeds.to_vec();
+        let mut scratch: HashMap<VertexId, u32> = HashMap::new();
+
+        for _ in 0..self.layers {
+            let mut selected = Vec::with_capacity(frontier.len() * self.neighbors_per_layer);
+            let mut ranges = Vec::with_capacity(frontier.len());
+            for &v in &frontier {
+                let start = selected.len();
+                let sel = self.select(csr, v, rng, &mut work, &mut scratch);
+                selected.extend(sel);
+                ranges.push((start, selected.len()));
+            }
+            visit_list.extend_from_slice(&selected);
+            // A walk layer launches one kernel per walk step plus the
+            // top-k reduction — PinSAGE's "more complex access pattern"
+            // that amplifies per-launch overheads (§7.3).
+            work.kernel_launches += self.walk_len as u64 + 1;
+
+            let (table, map) = dedup_remap(&frontier, &selected);
+            let mut edges = Vec::with_capacity(selected.len() + frontier.len());
+            for (dst_local, &(s, e)) in ranges.iter().enumerate() {
+                edges.push((dst_local as u32, dst_local as u32));
+                for &nbr in &selected[s..e] {
+                    edges.push((map[&nbr], dst_local as u32));
+                }
+            }
+            blocks_outward.push(LayerBlock {
+                dst_count: frontier.len(),
+                src_globals: table.clone(),
+                edges,
+            });
+            frontier = table;
+        }
+
+        blocks_outward.reverse();
+        Sample {
+            seeds: seeds.to_vec(),
+            blocks: blocks_outward,
+            visit_list,
+            work,
+            cache_mask: None,
+        }
+    }
+
+    fn num_layers(&self) -> usize {
+        self.layers
+    }
+
+    fn name(&self) -> &'static str {
+        "random walks"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnlab_graph::gen::chung_lu;
+    use gnnlab_graph::GraphBuilder;
+    use rand::SeedableRng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn pinsage_shape() {
+        let g = chung_lu(300, 6000, 2.0, 1).unwrap();
+        let rw = RandomWalk::pinsage();
+        let s = rw.sample(&g, &[1, 2, 3], &mut rng());
+        assert_eq!(s.blocks.len(), 3);
+        s.validate().unwrap();
+        // Each vertex gets at most 5 neighbors.
+        let b = s.blocks.last().unwrap();
+        assert!(b.edges.len() <= 3 * (5 + 1));
+    }
+
+    #[test]
+    fn walks_stay_in_reachable_set() {
+        // 0 -> 1 -> 2, nothing else: walks from 0 can only visit 1, 2.
+        let mut builder = GraphBuilder::new(4);
+        builder.add_edge(0, 1);
+        builder.add_edge(1, 2);
+        let g = builder.build().unwrap();
+        let rw = RandomWalk::new(1, 8, 3, 5);
+        let s = rw.sample(&g, &[0], &mut rng());
+        let mut inputs = s.input_nodes().to_vec();
+        inputs.sort_unstable();
+        assert!(inputs.iter().all(|&v| v <= 2));
+        assert!(!inputs.contains(&3));
+    }
+
+    #[test]
+    fn dead_end_vertex_selects_nothing() {
+        let mut builder = GraphBuilder::new(2);
+        builder.add_edge(1, 0);
+        let g = builder.build().unwrap();
+        let rw = RandomWalk::new(1, 4, 3, 5);
+        // Vertex 0 has no out-edges: the walk ends immediately.
+        let s = rw.sample(&g, &[0], &mut rng());
+        s.validate().unwrap();
+        assert_eq!(s.num_input_nodes(), 1);
+        // Self-loop edge still present so training aggregates self.
+        assert_eq!(s.blocks[0].edges, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn top_k_prefers_frequently_visited() {
+        // Star out of 0 with a funnel: 0 -> {1,2}, 1 -> 3, 2 -> 3.
+        // Vertex 3 is visited by nearly every walk of length >= 2.
+        let mut builder = GraphBuilder::new(4);
+        builder.add_edge(0, 1);
+        builder.add_edge(0, 2);
+        builder.add_edge(1, 3);
+        builder.add_edge(2, 3);
+        let g = builder.build().unwrap();
+        let rw = RandomWalk::new(1, 16, 2, 1);
+        let s = rw.sample(&g, &[0], &mut rng());
+        // Keep-1 must pick the funnel vertex 3.
+        assert_eq!(s.blocks[0].src_globals[1], 3);
+    }
+
+    #[test]
+    fn work_counters_accumulate() {
+        let g = chung_lu(300, 6000, 2.0, 1).unwrap();
+        let rw = RandomWalk::pinsage();
+        let s = rw.sample(&g, &[5], &mut rng());
+        assert!(s.work.rng_draws > 0);
+        assert!(s.work.kernel_launches >= 3 * 4);
+        assert_eq!(s.work.rng_draws, s.work.edges_scanned);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_walks_panic() {
+        let _ = RandomWalk::new(1, 0, 3, 5);
+    }
+}

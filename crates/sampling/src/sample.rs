@@ -1,0 +1,281 @@
+//! The sample artifact: per-layer blocks with deduplicated local ids.
+
+use gnnlab_graph::VertexId;
+
+/// Exact work counters accumulated while producing a sample.
+///
+/// These are the quantities the cost model (`gnnlab-sim`) converts into
+/// simulated device time; they are *measured*, not estimated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SampleWork {
+    /// Neighbor-list elements read (memory traffic proxy).
+    pub edges_scanned: u64,
+    /// Random numbers drawn (the Reservoir-vs-Fisher–Yates gap, §7.3).
+    pub rng_draws: u64,
+    /// Total neighbor selections, including duplicates.
+    pub sampled_vertices: u64,
+    /// Device kernel launches (per hop per batch; random walks launch more,
+    /// which is why DGL's Python-call overhead hurts PinSAGE most, §7.3).
+    pub kernel_launches: u64,
+}
+
+impl SampleWork {
+    /// Accumulates another work record into this one.
+    pub fn add(&mut self, other: &SampleWork) {
+        self.edges_scanned += other.edges_scanned;
+        self.rng_draws += other.rng_draws;
+        self.sampled_vertices += other.sampled_vertices;
+        self.kernel_launches += other.kernel_launches;
+    }
+}
+
+/// One message-flow block: the bipartite graph feeding one GNN layer.
+///
+/// Follows the DGL MFG convention: `src_globals` lists the global ids of
+/// all input vertices of this layer, with the `dst_count` *output* vertices
+/// first — so a dst vertex's local id is valid in both src and dst space.
+/// `edges` are `(src_local, dst_local)` pairs; every dst also has an
+/// implicit self-connection (included explicitly as an edge).
+#[derive(Debug, Clone)]
+pub struct LayerBlock {
+    /// Global vertex ids of the layer inputs; the first `dst_count` entries
+    /// are the layer outputs.
+    pub src_globals: Vec<VertexId>,
+    /// Number of output vertices.
+    pub dst_count: usize,
+    /// Edges as `(src_local, dst_local)` with `src_local <
+    /// src_globals.len()` and `dst_local < dst_count`.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl LayerBlock {
+    /// Number of input vertices.
+    pub fn src_count(&self) -> usize {
+        self.src_globals.len()
+    }
+
+    /// Asserts internal consistency; used by tests and debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dst_count > self.src_globals.len() {
+            return Err(format!(
+                "dst_count {} exceeds src count {}",
+                self.dst_count,
+                self.src_globals.len()
+            ));
+        }
+        for &(s, d) in &self.edges {
+            if s as usize >= self.src_globals.len() {
+                return Err(format!("src_local {s} out of range"));
+            }
+            if d as usize >= self.dst_count {
+                return Err(format!("dst_local {d} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A mini-batch sample: seeds plus one block per GNN layer.
+///
+/// `blocks[0]` is the *innermost* block (largest frontier, consumed by GNN
+/// layer 0); `blocks.last()` outputs exactly the seeds. Features must be
+/// gathered for [`Sample::input_nodes`].
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// The training vertices this mini-batch started from.
+    pub seeds: Vec<VertexId>,
+    /// Per-layer blocks, innermost first.
+    pub blocks: Vec<LayerBlock>,
+    /// Every vertex selected during sampling, with multiplicity (pre-dedup);
+    /// drives footprint recording and hotness estimation.
+    pub visit_list: Vec<VertexId>,
+    /// Exact work counters.
+    pub work: SampleWork,
+    /// Cache marks for `input_nodes` (set by the Sampler's `M` step when a
+    /// cache is configured): `true` = feature present in GPU cache.
+    pub cache_mask: Option<Vec<bool>>,
+}
+
+impl Sample {
+    /// Global ids of all distinct vertices whose features this sample
+    /// needs — the src set of the innermost block.
+    pub fn input_nodes(&self) -> &[VertexId] {
+        self.blocks
+            .first()
+            .map(|b| b.src_globals.as_slice())
+            .unwrap_or(&self.seeds)
+    }
+
+    /// Number of distinct feature rows needed.
+    pub fn num_input_nodes(&self) -> usize {
+        self.input_nodes().len()
+    }
+
+    /// Total edges across all blocks (training compute proxy).
+    pub fn total_block_edges(&self) -> u64 {
+        self.blocks.iter().map(|b| b.edges.len() as u64).sum()
+    }
+
+    /// Total vertices across all block src sets (training compute proxy).
+    pub fn total_block_nodes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.src_count() as u64).sum()
+    }
+
+    /// Approximate serialized size in bytes — what crossing the host-memory
+    /// global queue costs (paper §5.2: copying samples adds < 0.1 ms).
+    pub fn queue_bytes(&self) -> u64 {
+        let mut bytes = (self.seeds.len() * 4) as u64;
+        for b in &self.blocks {
+            bytes += (b.src_globals.len() * 4 + b.edges.len() * 8) as u64;
+        }
+        if self.cache_mask.is_some() {
+            bytes += self.num_input_nodes() as u64;
+        }
+        bytes
+    }
+
+    /// Validates all blocks and the layer chaining invariant: each block's
+    /// dst set equals the next block's src set prefix.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, b) in self.blocks.iter().enumerate() {
+            b.validate().map_err(|e| format!("block {i}: {e}"))?;
+        }
+        for w in self.blocks.windows(2) {
+            let (inner, outer) = (&w[0], &w[1]);
+            if inner.dst_count != outer.src_count() {
+                return Err(format!(
+                    "layer chaining broken: inner dst {} != outer src {}",
+                    inner.dst_count,
+                    outer.src_count()
+                ));
+            }
+            if inner.src_globals[..inner.dst_count] != outer.src_globals[..] {
+                return Err("layer chaining broken: id mismatch".to_string());
+            }
+        }
+        if let Some(last) = self.blocks.last() {
+            // Neighborhood samplers output exactly the seeds; subgraph
+            // samplers output the whole subgraph with the seeds as the
+            // prefix (the supervised rows).
+            if last.dst_count < self.seeds.len()
+                || last.src_globals[..self.seeds.len()] != self.seeds[..]
+            {
+                return Err("outermost block must output the seeds first".to_string());
+            }
+        }
+        if let Some(mask) = &self.cache_mask {
+            if mask.len() != self.num_input_nodes() {
+                return Err("cache mask length mismatch".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deduplicates `dsts ∪ selected` assigning consecutive local ids with the
+/// dsts first (ids `0..dsts.len()`), returning the global-id table and a
+/// lookup from global id to local id for the selected vertices.
+///
+/// This is the paper's "deduplicated and reassigned with consecutive IDs
+/// (starting from 0)" step (Fig. 1). `dsts` must itself be duplicate-free.
+pub fn dedup_remap(
+    dsts: &[VertexId],
+    selected: &[VertexId],
+) -> (Vec<VertexId>, std::collections::HashMap<VertexId, u32>) {
+    let mut table: Vec<VertexId> = Vec::with_capacity(dsts.len() + selected.len());
+    let mut map = std::collections::HashMap::with_capacity(dsts.len() + selected.len());
+    for &v in dsts {
+        let prev = map.insert(v, table.len() as u32);
+        debug_assert!(prev.is_none(), "dsts must be duplicate-free");
+        table.push(v);
+    }
+    for &v in selected {
+        map.entry(v).or_insert_with(|| {
+            table.push(v);
+            (table.len() - 1) as u32
+        });
+    }
+    (table, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_remap_puts_dsts_first() {
+        let (table, map) = dedup_remap(&[10, 20], &[30, 10, 30, 40]);
+        assert_eq!(table, vec![10, 20, 30, 40]);
+        assert_eq!(map[&10], 0);
+        assert_eq!(map[&20], 1);
+        assert_eq!(map[&30], 2);
+        assert_eq!(map[&40], 3);
+    }
+
+    #[test]
+    fn dedup_remap_is_bijective_on_table() {
+        let (table, map) = dedup_remap(&[5], &[1, 2, 1, 5, 3]);
+        assert_eq!(map.len(), table.len());
+        for (local, &global) in table.iter().enumerate() {
+            assert_eq!(map[&global] as usize, local);
+        }
+    }
+
+    #[test]
+    fn block_validation_catches_bad_edges() {
+        let ok = LayerBlock {
+            src_globals: vec![1, 2, 3],
+            dst_count: 1,
+            edges: vec![(2, 0), (0, 0)],
+        };
+        assert!(ok.validate().is_ok());
+        let bad_src = LayerBlock {
+            src_globals: vec![1, 2],
+            dst_count: 1,
+            edges: vec![(5, 0)],
+        };
+        assert!(bad_src.validate().is_err());
+        let bad_dst = LayerBlock {
+            src_globals: vec![1, 2],
+            dst_count: 1,
+            edges: vec![(0, 1)],
+        };
+        assert!(bad_dst.validate().is_err());
+        let bad_count = LayerBlock {
+            src_globals: vec![1],
+            dst_count: 2,
+            edges: vec![],
+        };
+        assert!(bad_count.validate().is_err());
+    }
+
+    #[test]
+    fn work_accumulates() {
+        let mut a = SampleWork {
+            edges_scanned: 1,
+            rng_draws: 2,
+            sampled_vertices: 3,
+            kernel_launches: 4,
+        };
+        a.add(&a.clone());
+        assert_eq!(a.edges_scanned, 2);
+        assert_eq!(a.kernel_launches, 8);
+    }
+
+    #[test]
+    fn queue_bytes_counts_blocks() {
+        let s = Sample {
+            seeds: vec![0, 1],
+            blocks: vec![LayerBlock {
+                src_globals: vec![0, 1, 2],
+                dst_count: 2,
+                edges: vec![(2, 0)],
+            }],
+            visit_list: vec![],
+            work: SampleWork::default(),
+            cache_mask: None,
+        };
+        assert_eq!(s.queue_bytes(), 8 + 12 + 8);
+        assert_eq!(s.num_input_nodes(), 3);
+    }
+}

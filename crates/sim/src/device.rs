@@ -1,0 +1,201 @@
+//! Simulated devices: GPU memory ledgers and the testbed description.
+
+use std::collections::BTreeMap;
+
+/// Errors from device memory accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// An allocation did not fit — the paper's `OOM` table entries.
+    OutOfMemory {
+        /// Label of the allocation that failed.
+        label: String,
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// Freeing an allocation that does not exist.
+    UnknownAllocation(String),
+}
+
+impl std::fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                label,
+                requested,
+                available,
+            } => write!(
+                f,
+                "OOM allocating '{label}': requested {requested} B, available {available} B"
+            ),
+            DeviceError::UnknownAllocation(l) => write!(f, "unknown allocation '{l}'"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// A GPU memory ledger tracking named allocations against a capacity.
+///
+/// All sizes are *paper-scale* bytes (the workload layer scales measured
+/// bytes back up before accounting), so the capacity is the real 16 GB of
+/// a V100 and every capacity ratio matches the paper's.
+#[derive(Debug, Clone)]
+pub struct GpuMemory {
+    capacity: u64,
+    allocations: BTreeMap<String, u64>,
+}
+
+impl GpuMemory {
+    /// Creates a ledger with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        GpuMemory {
+            capacity,
+            allocations: BTreeMap::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.allocations.values().sum()
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Records a named allocation, failing with OOM if it does not fit.
+    /// Allocating the same label twice replaces the old size (resize).
+    pub fn alloc(&mut self, label: &str, bytes: u64) -> Result<(), DeviceError> {
+        let existing = self.allocations.get(label).copied().unwrap_or(0);
+        let avail = self.available() + existing;
+        if bytes > avail {
+            return Err(DeviceError::OutOfMemory {
+                label: label.to_string(),
+                requested: bytes,
+                available: avail,
+            });
+        }
+        self.allocations.insert(label.to_string(), bytes);
+        Ok(())
+    }
+
+    /// Releases a named allocation.
+    pub fn free(&mut self, label: &str) -> Result<u64, DeviceError> {
+        self.allocations
+            .remove(label)
+            .ok_or_else(|| DeviceError::UnknownAllocation(label.to_string()))
+    }
+
+    /// Size of a named allocation, if present.
+    pub fn allocation(&self, label: &str) -> Option<u64> {
+        self.allocations.get(label).copied()
+    }
+
+    /// Iterates `(label, bytes)` pairs in label order.
+    pub fn allocations(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.allocations.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+/// The machine the paper evaluates on (§7.1), as model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Testbed {
+    /// Number of GPUs (8 in the paper).
+    pub num_gpus: usize,
+    /// Per-GPU memory in bytes (16 GB V100).
+    pub gpu_mem_bytes: u64,
+    /// Total CPU cores (2 × 24).
+    pub cpu_cores: usize,
+    /// Host DRAM in bytes (512 GB).
+    pub host_mem_bytes: u64,
+}
+
+impl Testbed {
+    /// The paper's server: 8× V100-16GB, 48 cores, 512 GB RAM.
+    pub fn paper() -> Self {
+        Testbed {
+            num_gpus: 8,
+            gpu_mem_bytes: 16 * (1 << 30),
+            cpu_cores: 48,
+            host_mem_bytes: 512 * (1 << 30),
+        }
+    }
+
+    /// Same machine with a different GPU count (scalability sweeps).
+    pub fn with_gpus(mut self, n: usize) -> Self {
+        self.num_gpus = n;
+        self
+    }
+
+    /// Creates a fresh memory ledger for one GPU.
+    pub fn gpu_memory(&self) -> GpuMemory {
+        GpuMemory::new(self.gpu_mem_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_accounting() {
+        let mut m = GpuMemory::new(100);
+        m.alloc("topo", 60).unwrap();
+        assert_eq!(m.used(), 60);
+        assert_eq!(m.available(), 40);
+        m.alloc("cache", 40).unwrap();
+        assert_eq!(m.available(), 0);
+        assert_eq!(m.free("topo").unwrap(), 60);
+        assert_eq!(m.available(), 60);
+    }
+
+    #[test]
+    fn oom_is_reported_with_context() {
+        let mut m = GpuMemory::new(100);
+        m.alloc("topo", 80).unwrap();
+        let err = m.alloc("cache", 30).unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::OutOfMemory {
+                label: "cache".to_string(),
+                requested: 30,
+                available: 20
+            }
+        );
+    }
+
+    #[test]
+    fn realloc_replaces_size() {
+        let mut m = GpuMemory::new(100);
+        m.alloc("cache", 90).unwrap();
+        // Shrinking the same label must succeed even though 50 > available.
+        m.alloc("cache", 50).unwrap();
+        assert_eq!(m.used(), 50);
+    }
+
+    #[test]
+    fn free_unknown_fails() {
+        let mut m = GpuMemory::new(10);
+        assert!(matches!(
+            m.free("nope"),
+            Err(DeviceError::UnknownAllocation(_))
+        ));
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        let t = Testbed::paper();
+        assert_eq!(t.num_gpus, 8);
+        assert_eq!(t.gpu_mem_bytes, 17_179_869_184);
+        assert_eq!(t.with_gpus(2).num_gpus, 2);
+        assert_eq!(t.gpu_memory().capacity(), t.gpu_mem_bytes);
+    }
+}

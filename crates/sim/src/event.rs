@@ -1,0 +1,135 @@
+//! A deterministic discrete-event queue.
+
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered event queue with deterministic FIFO tie-breaking.
+///
+/// Events scheduled for the same timestamp pop in insertion order, so a
+/// co-simulation using this queue is bit-reproducible regardless of heap
+/// internals.
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    events: std::collections::HashMap<u64, E>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            events: std::collections::HashMap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// The current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time (causality).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule event in the past");
+        let id = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse((at, id)));
+        self.events.insert(id, event);
+    }
+
+    /// Schedules `event` `delay` nanoseconds from now.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
+        self.schedule(self.now.saturating_add(delay), event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((at, id)) = self.heap.pop()?;
+        self.now = at;
+        let ev = self.events.remove(&id).expect("event body present");
+        Some((at, ev))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.now(), 20);
+        assert_eq!(q.pop(), Some((30, "c")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(5, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((5, i)));
+        }
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.schedule(100, 0);
+        q.pop();
+        q.schedule_after(50, 1);
+        assert_eq!(q.pop(), Some((150, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(100, 0);
+        q.pop();
+        q.schedule(50, 1);
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1, 0);
+        q.schedule(2, 1);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Per-model FLOP estimates from sample shapes — the Train-stage input to
+//! the cost model.
+
+use crate::model::ModelKind;
+use gnnlab_sampling::Sample;
+
+/// Estimates forward+backward FLOPs for training one mini-batch of `kind`
+/// on `sample` with the given dimensions.
+///
+/// Per layer (`e` = block edges, `d` = dst nodes, `i`/`o` = in/out dims):
+///
+/// - GCN: aggregate `2·e·i` + dense `2·d·i·o`
+/// - GraphSAGE: aggregate `2·e·i` + dense on `[self‖agg]` `2·d·(2i)·o`
+/// - PinSAGE: per-neighbor transform `2·e·i·o` (this is why its Train
+///   stage dominates, §7.4) + dense `2·d·(i+o)·o`
+///
+/// Backward is ~2× forward, so the total is multiplied by 3.
+pub fn train_flops(
+    kind: ModelKind,
+    sample: &Sample,
+    in_dim: usize,
+    hidden_dim: usize,
+    num_classes: usize,
+) -> f64 {
+    let l = sample.blocks.len();
+    let mut total = 0.0f64;
+    for (idx, block) in sample.blocks.iter().enumerate() {
+        let e = block.edges.len() as f64;
+        let d = block.dst_count as f64;
+        let i = if idx == 0 { in_dim } else { hidden_dim } as f64;
+        let o = if idx == l - 1 { num_classes } else { hidden_dim } as f64;
+        total += match kind {
+            ModelKind::Gcn => 2.0 * e * i + 2.0 * d * i * o,
+            ModelKind::GraphSage => 2.0 * e * i + 2.0 * d * (2.0 * i) * o,
+            // PinSAGE transforms only distinct neighbors (src nodes), not
+            // every edge occurrence; still the heaviest per-sample model.
+            ModelKind::PinSage => 2.0 * (block.src_count() as f64) * i * o + 2.0 * d * (i + o) * o,
+        };
+    }
+    total * 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnlab_sampling::{LayerBlock, SampleWork};
+
+    fn synthetic_sample(layer_shapes: &[(usize, usize, usize)]) -> Sample {
+        // (src, dst, edges) per block, innermost first.
+        let blocks = layer_shapes
+            .iter()
+            .map(|&(src, dst, edges)| LayerBlock {
+                src_globals: vec![0; src],
+                dst_count: dst,
+                edges: vec![(0, 0); edges],
+            })
+            .collect();
+        Sample {
+            seeds: vec![],
+            blocks,
+            visit_list: vec![],
+            work: SampleWork::default(),
+            cache_mask: None,
+        }
+    }
+
+    #[test]
+    fn gcn_flops_hand_check() {
+        let s = synthetic_sample(&[(100, 10, 50)]);
+        // Single layer: i = in_dim = 8, o = classes = 4.
+        let f = train_flops(ModelKind::Gcn, &s, 8, 16, 4);
+        let expected = (2.0 * 50.0 * 8.0 + 2.0 * 10.0 * 8.0 * 4.0) * 3.0;
+        assert!((f - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pinsage_is_most_expensive_per_edge() {
+        let s = synthetic_sample(&[(1000, 100, 5000), (100, 10, 500)]);
+        let gcn = train_flops(ModelKind::Gcn, &s, 128, 256, 64);
+        let psg = train_flops(ModelKind::PinSage, &s, 128, 256, 64);
+        assert!(psg > 5.0 * gcn, "psg {psg} vs gcn {gcn}");
+    }
+
+    #[test]
+    fn sage_is_heavier_than_gcn() {
+        let s = synthetic_sample(&[(1000, 100, 5000)]);
+        let gcn = train_flops(ModelKind::Gcn, &s, 128, 256, 64);
+        let sage = train_flops(ModelKind::GraphSage, &s, 128, 256, 64);
+        assert!(sage > gcn);
+    }
+
+    #[test]
+    fn paper_scale_gcn_batch_is_tens_of_gflops() {
+        // Approximate paper-scale GCN batch on OGB-Papers (batch 8000,
+        // fanouts [15,10,5], dims 128/256, ~172 classes): frontier sizes
+        // from §3's arithmetic.
+        let s = synthetic_sample(&[
+            (3_900_000, 900_000, 4_500_000),
+            (1_000_000, 110_000, 1_100_000),
+            (118_000, 8_000, 120_000),
+        ]);
+        let f = train_flops(ModelKind::Gcn, &s, 128, 256, 172);
+        // At 3 TFLOPS effective this should be ~20-40 ms (paper: 26.7 ms).
+        let ms = f / 3.0e12 * 1e3;
+        assert!(ms > 10.0 && ms < 80.0, "batch train {ms} ms");
+    }
+}

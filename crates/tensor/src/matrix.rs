@@ -1,0 +1,345 @@
+//! Row-major `f32` matrices with the operations GNN layers need.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization, deterministic in `rng`.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of the underlying data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// A new matrix containing the first `n` rows.
+    pub fn top_rows(&self, n: usize) -> Matrix {
+        assert!(n <= self.rows, "top_rows out of range");
+        Matrix {
+            rows: n,
+            cols: self.cols,
+            data: self.data[..n * self.cols].to_vec(),
+        }
+    }
+
+    /// `self @ other` (ikj loop order for cache friendliness).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other.T`.
+    pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transb shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    /// `self.T @ other`.
+    pub fn transa_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "transa_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds `other` element-wise.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Adds a row vector (bias broadcast) to every row.
+    pub fn add_row_broadcast(&mut self, bias: &Matrix) {
+        assert_eq!(bias.rows, 1, "bias must be a row vector");
+        assert_eq!(bias.cols, self.cols, "bias width mismatch");
+        for r in 0..self.rows {
+            for (a, b) in self.row_mut(r).iter_mut().zip(&bias.data) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Scales all elements by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Sets all elements to zero.
+    pub fn zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// In-place ReLU; returns the activation mask for backprop.
+    pub fn relu_inplace(&mut self) -> Vec<bool> {
+        self.data
+            .iter_mut()
+            .map(|a| {
+                if *a > 0.0 {
+                    true
+                } else {
+                    *a = 0.0;
+                    false
+                }
+            })
+            .collect()
+    }
+
+    /// Applies the stored ReLU mask to a gradient (in place).
+    pub fn relu_backward_inplace(&mut self, mask: &[bool]) {
+        assert_eq!(mask.len(), self.data.len(), "relu mask mismatch");
+        for (g, &m) in self.data.iter_mut().zip(mask) {
+            if !m {
+                *g = 0.0;
+            }
+        }
+    }
+
+    /// Horizontal concatenation `[self | other]`.
+    pub fn hconcat(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hconcat row mismatch");
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Splits a `[left | right]` matrix back into halves of width
+    /// `left_cols` and the remainder.
+    pub fn hsplit(&self, left_cols: usize) -> (Matrix, Matrix) {
+        assert!(left_cols <= self.cols, "hsplit out of range");
+        let mut left = Matrix::zeros(self.rows, left_cols);
+        let mut right = Matrix::zeros(self.rows, self.cols - left_cols);
+        for r in 0..self.rows {
+            left.row_mut(r).copy_from_slice(&self.row(r)[..left_cols]);
+            right.row_mut(r).copy_from_slice(&self.row(r)[left_cols..]);
+        }
+        (left, right)
+    }
+
+    /// Column-wise sum as a 1×cols matrix (bias gradient).
+    pub fn col_sum(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &a) in out.data.iter_mut().zip(self.row(r)) {
+                *o += a;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm (used in gradient tests).
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|a| a * a).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_transb_consistency() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(2, 3, vec![1., 0., 1., 0., 1., 0.]);
+        // a @ b.T == manually transposing b.
+        let bt = Matrix::from_vec(3, 2, vec![1., 0., 0., 1., 1., 0.]);
+        assert_eq!(a.matmul_transb(&b).data(), a.matmul(&bt).data());
+    }
+
+    #[test]
+    fn transa_matmul_consistency() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![1., 1., 0., 1., 1., 0.]);
+        let at = Matrix::from_vec(2, 3, vec![1., 3., 5., 2., 4., 6.]);
+        assert_eq!(a.transa_matmul(&b).data(), at.matmul(&b).data());
+    }
+
+    #[test]
+    fn relu_roundtrip() {
+        let mut m = Matrix::from_vec(1, 4, vec![-1., 2., -3., 4.]);
+        let mask = m.relu_inplace();
+        assert_eq!(m.data(), &[0., 2., 0., 4.]);
+        assert_eq!(mask, vec![false, true, false, true]);
+        let mut g = Matrix::from_vec(1, 4, vec![1., 1., 1., 1.]);
+        g.relu_backward_inplace(&mask);
+        assert_eq!(g.data(), &[0., 1., 0., 1.]);
+    }
+
+    #[test]
+    fn hconcat_hsplit_roundtrip() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(2, 1, vec![5., 6.]);
+        let c = a.hconcat(&b);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.row(1), &[3., 4., 6.]);
+        let (l, r) = c.hsplit(2);
+        assert_eq!(l.data(), a.data());
+        assert_eq!(r.data(), b.data());
+    }
+
+    #[test]
+    fn bias_broadcast_and_colsum() {
+        let mut m = Matrix::zeros(2, 3);
+        let bias = Matrix::from_vec(1, 3, vec![1., 2., 3.]);
+        m.add_row_broadcast(&bias);
+        assert_eq!(m.row(0), &[1., 2., 3.]);
+        assert_eq!(m.col_sum().data(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn xavier_is_bounded_and_deterministic() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(1);
+        let mut r2 = ChaCha8Rng::seed_from_u64(1);
+        let a = Matrix::xavier(8, 8, &mut r1);
+        let b = Matrix::xavier(8, 8, &mut r2);
+        assert_eq!(a.data(), b.data());
+        let bound = (6.0f32 / 16.0).sqrt();
+        assert!(a.data().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn top_rows_takes_prefix() {
+        let m = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let t = m.top_rows(2);
+        assert_eq!(t.data(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

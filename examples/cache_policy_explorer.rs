@@ -1,0 +1,85 @@
+//! Explore the caching-policy design space of §6.
+//!
+//! Sweeps cache ratio × policy (Random / Degree / PreSC#1 / PreSC#2 /
+//! Optimal) for a chosen dataset and sampling algorithm, printing hit
+//! rates and transferred data — a superset of Figs. 5, 10 and 11.
+//!
+//! Usage: `cargo run --release --example cache_policy_explorer [PR|TW|PA|UK] [random|walks|weighted]`
+
+use gnnlab::cache::{load_cache, CachePolicy, CacheStats, PolicyKind};
+use gnnlab::core::trace::EpochTrace;
+use gnnlab::core::Workload;
+use gnnlab::graph::{DatasetKind, Scale};
+use gnnlab::sampling::{AlgorithmKind, Kernel};
+use gnnlab::tensor::ModelKind;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ds = match args.first().map(String::as_str) {
+        Some("PR") => DatasetKind::Products,
+        Some("TW") => DatasetKind::Twitter,
+        Some("UK") => DatasetKind::Uk,
+        _ => DatasetKind::Papers,
+    };
+    let algo = match args.get(1).map(String::as_str) {
+        Some("walks") => AlgorithmKind::RandomWalks,
+        Some("weighted") => AlgorithmKind::Khop3Weighted,
+        _ => AlgorithmKind::Khop3Random,
+    };
+    let w = Workload::new(ModelKind::Gcn, ds, Scale::new(1024), 42).with_algorithm(algo);
+    println!(
+        "Cache-policy explorer: {} with {} ({} vertices, {} edges, training set {})\n",
+        w.dataset.spec.name,
+        algo.label(),
+        w.dataset.csr.num_vertices(),
+        w.dataset.csr.num_edges(),
+        w.dataset.train_set.len()
+    );
+
+    // Measure on an epoch PreSC has not seen.
+    let trace = EpochTrace::record(&w, Kernel::FisherYates, 5);
+    let policies = [
+        PolicyKind::Random,
+        PolicyKind::Degree,
+        PolicyKind::PreSC { k: 1 },
+        PolicyKind::PreSC { k: 2 },
+        PolicyKind::Optimal { epochs: 6 },
+    ];
+    // Hotness maps are alpha-independent: compute once per policy.
+    let sampler = w.sampler(Kernel::FisherYates);
+    let hotness: Vec<Vec<f64>> = policies
+        .iter()
+        .map(|&p| {
+            CachePolicy::hotness(
+                p,
+                &w.dataset.csr,
+                &w.dataset.train_set,
+                sampler.as_ref(),
+                w.batch_size(),
+                w.seed,
+            )
+            .hotness
+        })
+        .collect();
+
+    print!("{:<12}", "ratio");
+    for p in &policies {
+        print!("{:>12}", p.label());
+    }
+    println!();
+    let n = w.dataset.csr.num_vertices();
+    let row_bytes = w.dataset.row_bytes();
+    for alpha in [0.01, 0.02, 0.05, 0.10, 0.20, 0.30] {
+        print!("{:<12}", format!("{:.0}%", alpha * 100.0));
+        for h in &hotness {
+            let table = load_cache(h, alpha, n);
+            let mut stats = CacheStats::default();
+            for b in &trace.batches {
+                stats.record(&table, &b.input_nodes, row_bytes);
+            }
+            print!("{:>12}", format!("{:.1}%", stats.hit_rate() * 100.0));
+        }
+        println!();
+    }
+    println!("\n(hit rate measured on a held-out epoch; PreSC pre-samples epochs 0..K)");
+}

@@ -1,0 +1,64 @@
+//! The paper's headline comparison: the factored (space-sharing) design
+//! against time-sharing baselines on every dataset.
+//!
+//! For each dataset (GraphSAGE workload) this prints a Table-4-style row —
+//! PyG-like, DGL-like, T_SOTA and GNNLab epoch times on the simulated
+//! 8×V100 machine — plus the capacity story: which systems OOM, and what
+//! cache ratio each design affords.
+//!
+//! Run with: `cargo run --release --example factored_vs_timeshare`
+
+use gnnlab::core::report::RunError;
+use gnnlab::core::runtime::{run_system, SimContext};
+use gnnlab::core::{SystemKind, Workload};
+use gnnlab::graph::{DatasetKind, Scale};
+use gnnlab::tensor::ModelKind;
+
+fn main() {
+    let scale = Scale::new(1024);
+    println!("GraphSAGE on 8 simulated V100-16GB GPUs (scale 1/{})\n", scale.factor());
+    println!(
+        "{:<8} {:>9} {:>9} {:>9} {:>14} {:>10} {:>8}",
+        "Dataset", "PyG", "DGL", "T_SOTA", "GNNLab", "cache R%", "hit%"
+    );
+    for ds in DatasetKind::ALL {
+        let w = Workload::new(ModelKind::GraphSage, ds, scale, 42);
+        let mut cells: Vec<String> = Vec::new();
+        let mut gnnlab_extra = (String::new(), String::new());
+        for system in SystemKind::ALL {
+            let ctx = SimContext::new(&w, system);
+            match run_system(&ctx) {
+                Ok(rep) => {
+                    if system == SystemKind::GnnLab {
+                        cells.push(format!(
+                            "{:.2}s ({}S{}T)",
+                            rep.epoch_time, rep.num_samplers, rep.num_trainers
+                        ));
+                        gnnlab_extra = (
+                            format!("{:.0}%", rep.cache_ratio * 100.0),
+                            format!("{:.0}%", rep.hit_rate * 100.0),
+                        );
+                    } else {
+                        cells.push(format!("{:.2}s", rep.epoch_time));
+                    }
+                }
+                Err(RunError::Oom { .. }) => cells.push("OOM".to_string()),
+                Err(RunError::Unsupported(_)) => cells.push("x".to_string()),
+            }
+        }
+        println!(
+            "{:<8} {:>9} {:>9} {:>9} {:>14} {:>10} {:>8}",
+            ds.abbrev(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3],
+            gnnlab_extra.0,
+            gnnlab_extra.1
+        );
+    }
+    println!(
+        "\nThe factored design wins everywhere except tiny PR (everything fits one GPU),\n\
+         and is the only system that can train on UK-2006 at all — the §4 capacity story."
+    );
+}

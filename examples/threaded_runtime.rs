@@ -1,0 +1,54 @@
+//! The factored architecture as a real concurrent program.
+//!
+//! Spawns actual Sampler and Trainer threads bridged by the host-memory
+//! global queue (crossbeam), trains a real GraphSAGE model with
+//! asynchronous bounded-staleness updates, and reports throughput
+//! accounting — the paper's architecture without the timing simulator.
+//!
+//! Run with: `cargo run --release --example threaded_runtime`
+
+use gnnlab::core::threaded::{run_threaded, ThreadedConfig};
+use gnnlab::graph::gen::{sbm, SbmParams};
+use gnnlab::tensor::ModelKind;
+
+fn main() {
+    let graph = sbm(&SbmParams {
+        num_vertices: 3000,
+        num_classes: 6,
+        avg_degree: 12.0,
+        intra_prob: 0.88,
+        feat_dim: 12,
+        noise: 0.9,
+        seed: 13,
+    })
+    .expect("valid SBM parameters");
+
+    for (ns, nt) in [(1usize, 1usize), (1, 3), (2, 6)] {
+        let start = std::time::Instant::now();
+        let res = run_threaded(
+            &graph,
+            ModelKind::GraphSage,
+            &ThreadedConfig {
+                num_samplers: ns,
+                num_trainers: nt,
+                epochs: 8,
+                batch_size: 32,
+                hidden_dim: 24,
+                lr: 0.01,
+                seed: 13,
+                cache_alpha: 0.25,
+            },
+        );
+        println!(
+            "{ns} Sampler(s) + {nt} Trainer(s): {} batches in {:.2}s wall, \
+             peak queue depth {}, cache hit {:.0}%, final accuracy {:.1}%",
+            res.batches_trained,
+            start.elapsed().as_secs_f64(),
+            res.peak_queue_depth,
+            res.cache_hit_rate * 100.0,
+            res.final_accuracy * 100.0
+        );
+        assert_eq!(res.batches_trained, res.samples_produced);
+    }
+    println!("\nEvery sample produced was trained exactly once; accuracy is stable\nacross executor configurations (bounded-staleness async updates).");
+}

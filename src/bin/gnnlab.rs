@@ -1,0 +1,216 @@
+//! `gnnlab` — the command-line front door to the library.
+//!
+//! ```text
+//! gnnlab generate <PR|TW|PA|UK> <scale> <out.bin>     synthesize a dataset's graph to disk
+//! gnnlab inspect  <graph.bin|edges.txt>               print graph statistics
+//! gnnlab policies <PR|TW|PA|UK> [scale]               cache-policy hit-rate table
+//! gnnlab simulate <PR|TW|PA|UK> <GCN|GSG|PSG> [gpus]  one epoch on every system
+//! gnnlab job      <PR|TW|PA|UK> <GCN|GSG|PSG> [epochs] full-job summary incl. preprocessing
+//! ```
+
+use gnnlab::cache::PolicyKind;
+use gnnlab::core::driver::run_job;
+use gnnlab::core::report::RunError;
+use gnnlab::core::runtime::{build_cache_table, run_system, SimContext};
+use gnnlab::core::trace::EpochTrace;
+use gnnlab::core::{SystemKind, Workload};
+use gnnlab::graph::{io, Dataset, DatasetKind, Scale};
+use gnnlab::sampling::Kernel;
+use gnnlab::tensor::ModelKind;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn dataset_kind(s: &str) -> Option<DatasetKind> {
+    match s.to_ascii_uppercase().as_str() {
+        "PR" => Some(DatasetKind::Products),
+        "TW" => Some(DatasetKind::Twitter),
+        "PA" => Some(DatasetKind::Papers),
+        "UK" => Some(DatasetKind::Uk),
+        _ => None,
+    }
+}
+
+fn model_kind(s: &str) -> Option<ModelKind> {
+    match s.to_ascii_uppercase().as_str() {
+        "GCN" => Some(ModelKind::Gcn),
+        "GSG" | "GRAPHSAGE" => Some(ModelKind::GraphSage),
+        "PSG" | "PINSAGE" => Some(ModelKind::PinSage),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  gnnlab generate <PR|TW|PA|UK> <scale> <out.bin>\n  \
+         gnnlab inspect <graph.bin|edges.txt>\n  \
+         gnnlab policies <PR|TW|PA|UK> [scale]\n  \
+         gnnlab simulate <PR|TW|PA|UK> <GCN|GSG|PSG> [gpus]\n  \
+         gnnlab job <PR|TW|PA|UK> <GCN|GSG|PSG> [epochs]"
+    );
+    ExitCode::from(2)
+}
+
+fn cmd_generate(args: &[String]) -> ExitCode {
+    let (Some(kind), Some(scale), Some(out)) = (
+        args.first().and_then(|s| dataset_kind(s)),
+        args.get(1).and_then(|s| s.parse::<u64>().ok()),
+        args.get(2),
+    ) else {
+        return usage();
+    };
+    let d = Dataset::generate(kind, Scale::new(scale.max(1)), 42).expect("valid parameters");
+    if let Err(e) = io::write_binary(&d.csr, Path::new(out)) {
+        eprintln!("write failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{}: {} vertices, {} edges at scale 1/{} -> {out}",
+        d.spec.name,
+        d.csr.num_vertices(),
+        d.csr.num_edges(),
+        scale
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_inspect(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else { return usage() };
+    let p = Path::new(path);
+    let graph = if path.ends_with(".bin") {
+        io::read_binary(p)
+    } else {
+        io::read_edge_list(p, None)
+    };
+    match graph {
+        Ok(g) => {
+            let (mean, p99, max) = g.degree_summary();
+            println!("vertices:    {}", g.num_vertices());
+            println!("edges:       {}", g.num_edges());
+            println!("weighted:    {}", g.is_weighted());
+            println!("out-degree:  mean {mean:.1}, p99 {p99}, max {max}");
+            println!("topology:    {:.1} MB in memory", g.topology_bytes() as f64 / 1e6);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("read failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_policies(args: &[String]) -> ExitCode {
+    let Some(kind) = args.first().and_then(|s| dataset_kind(s)) else {
+        return usage();
+    };
+    let scale = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let w = Workload::new(ModelKind::Gcn, kind, Scale::new(scale), 42);
+    let trace = EpochTrace::record(&w, Kernel::FisherYates, 5);
+    println!("{}: 3-hop uniform sampling, hit rates by cache ratio\n", w.dataset.spec.name);
+    print!("{:<8}", "ratio");
+    let policies = [
+        PolicyKind::Random,
+        PolicyKind::Degree,
+        PolicyKind::PreSC { k: 1 },
+        PolicyKind::Optimal { epochs: 6 },
+    ];
+    for p in policies {
+        print!("{:>10}", p.label());
+    }
+    println!();
+    for alpha in [0.02, 0.05, 0.10, 0.20] {
+        print!("{:<8}", format!("{:.0}%", alpha * 100.0));
+        for p in policies {
+            let table = build_cache_table(&w, p, alpha);
+            let mut stats = gnnlab::cache::CacheStats::default();
+            for b in &trace.batches {
+                stats.record(&table, &b.input_nodes, w.dataset.row_bytes());
+            }
+            print!("{:>10}", format!("{:.0}%", stats.hit_rate() * 100.0));
+        }
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    let (Some(kind), Some(model)) = (
+        args.first().and_then(|s| dataset_kind(s)),
+        args.get(1).and_then(|s| model_kind(s)),
+    ) else {
+        return usage();
+    };
+    let gpus = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let w = Workload::new(model, kind, Scale::new(1024), 42);
+    println!(
+        "{} on {} GPUs (scale 1/1024; simulated paper-scale seconds)\n",
+        w.label(),
+        gpus
+    );
+    for system in SystemKind::ALL {
+        let ctx = SimContext::new(&w, system).with_gpus(gpus);
+        match run_system(&ctx) {
+            Ok(r) => {
+                let detail = if system == SystemKind::GnnLab {
+                    format!(
+                        " ({}S{}T, cache {:.0}%, hit {:.0}%)",
+                        r.num_samplers,
+                        r.num_trainers,
+                        r.cache_ratio * 100.0,
+                        r.hit_rate * 100.0
+                    )
+                } else {
+                    String::new()
+                };
+                println!("{:<8} {:>8.2} s{}", system.label(), r.epoch_time, detail);
+            }
+            Err(RunError::Oom { detail, .. }) => {
+                println!("{:<8}      OOM ({detail})", system.label())
+            }
+            Err(RunError::Unsupported(m)) => println!("{:<8}        x ({m})", system.label()),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_job(args: &[String]) -> ExitCode {
+    let (Some(kind), Some(model)) = (
+        args.first().and_then(|s| dataset_kind(s)),
+        args.get(1).and_then(|s| model_kind(s)),
+    ) else {
+        return usage();
+    };
+    let epochs = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(100);
+    let w = Workload::new(model, kind, Scale::new(1024), 42);
+    let ctx = SimContext::new(&w, SystemKind::GnnLab);
+    match run_job(&ctx, epochs) {
+        Ok(s) => {
+            println!("{} on GNNLab, {} epochs:", w.label(), epochs);
+            println!("  P1 disk->DRAM:    {:>8.2} s", s.preprocess.disk_to_dram);
+            println!("  P2 DRAM->GPU:     {:>8.2} s", s.preprocess.dram_to_gpu());
+            println!("  P3 pre-sampling:  {:>8.2} s", s.preprocess.presampling);
+            println!("  epoch time:       {:>8.2} s x {}", s.epoch.epoch_time, s.epochs);
+            println!("  total job:        {:>8.2} s", s.total_time);
+            println!(
+                "  preprocessing is {:.1}% of the job",
+                s.preprocess_fraction * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("job failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("policies") => cmd_policies(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("job") => cmd_job(&args[1..]),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,13 @@
+//! GNNLab-rs: a factored system for sample-based GNN training over
+//! (simulated) GPUs.
+//!
+//! This is the facade crate: it re-exports the public API of every
+//! workspace crate. See `README.md` for a tour and `DESIGN.md` for the
+//! system inventory.
+
+pub use gnnlab_cache as cache;
+pub use gnnlab_core as core;
+pub use gnnlab_graph as graph;
+pub use gnnlab_sampling as sampling;
+pub use gnnlab_sim as sim;
+pub use gnnlab_tensor as tensor;

@@ -1,0 +1,97 @@
+//! Real-training integration tests (the Fig. 16 machinery).
+
+use gnnlab::core::train_real::{train_to_accuracy, ConvergenceConfig};
+use gnnlab::graph::gen::{sbm, SbmGraph, SbmParams};
+use gnnlab::tensor::ModelKind;
+
+fn graph(seed: u64) -> SbmGraph {
+    sbm(&SbmParams {
+        num_vertices: 900,
+        num_classes: 4,
+        avg_degree: 12.0,
+        intra_prob: 0.9,
+        feat_dim: 8,
+        noise: 0.8,
+        seed,
+    })
+    .expect("valid SBM parameters")
+}
+
+#[test]
+fn all_three_models_learn() {
+    let g = graph(5);
+    for kind in ModelKind::ALL {
+        let res = train_to_accuracy(
+            &g,
+            kind,
+            &ConvergenceConfig {
+                target_accuracy: 0.70,
+                max_epochs: 25,
+                batch_size: 64,
+                hidden_dim: 16,
+                lr: 0.01,
+                num_trainers: 1,
+                seed: 5,
+            },
+        );
+        assert!(
+            res.final_accuracy > 0.55,
+            "{kind:?} accuracy {:.3} too low",
+            res.final_accuracy
+        );
+        // Accuracy trend is upward from the first epoch.
+        let first = res.history.first().unwrap().1;
+        let last = res.history.last().unwrap().1;
+        assert!(last >= first, "{kind:?} got worse: {first} -> {last}");
+    }
+}
+
+#[test]
+fn data_parallelism_shrinks_updates_not_accuracy() {
+    let g = graph(9);
+    let base = ConvergenceConfig {
+        target_accuracy: 0.80,
+        max_epochs: 40,
+        batch_size: 32,
+        hidden_dim: 16,
+        lr: 0.01,
+        num_trainers: 1,
+        seed: 9,
+    };
+    let solo = train_to_accuracy(&g, ModelKind::GraphSage, &base.clone());
+    let wide = train_to_accuracy(
+        &g,
+        ModelKind::GraphSage,
+        &ConvergenceConfig {
+            num_trainers: 6,
+            ..base
+        },
+    );
+    assert!(solo.converged, "1-trainer run failed to converge");
+    assert!(wide.converged, "6-trainer run failed to converge");
+    // Wide training uses fewer updates per epoch, hence more epochs or
+    // equal — the Fig. 16b effect.
+    let solo_upd_per_epoch = solo.gradient_updates as f64 / solo.epochs as f64;
+    let wide_upd_per_epoch = wide.gradient_updates as f64 / wide.epochs as f64;
+    assert!(
+        wide_upd_per_epoch < solo_upd_per_epoch / 3.0,
+        "updates/epoch: solo {solo_upd_per_epoch:.1} wide {wide_upd_per_epoch:.1}"
+    );
+}
+
+#[test]
+fn training_is_deterministic() {
+    let g = graph(11);
+    let cfg = ConvergenceConfig {
+        target_accuracy: 2.0,
+        max_epochs: 3,
+        batch_size: 64,
+        hidden_dim: 8,
+        lr: 0.02,
+        num_trainers: 2,
+        seed: 11,
+    };
+    let a = train_to_accuracy(&g, ModelKind::Gcn, &cfg.clone());
+    let b = train_to_accuracy(&g, ModelKind::Gcn, &cfg);
+    assert_eq!(a.history, b.history);
+}
