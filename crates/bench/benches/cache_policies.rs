@@ -13,7 +13,11 @@ fn bench_hotness(c: &mut Criterion) {
     let algo = KHop::new(vec![15, 10, 5], Kernel::FisherYates, Selection::Uniform);
     let mut group = c.benchmark_group("policy_hotness");
     group.sample_size(10);
-    for policy in [PolicyKind::Random, PolicyKind::Degree, PolicyKind::PreSC { k: 1 }] {
+    for policy in [
+        PolicyKind::Random,
+        PolicyKind::Degree,
+        PolicyKind::PreSC { k: 1 },
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(policy.label()),
             &policy,
@@ -42,7 +46,9 @@ fn bench_lookup(c: &mut Criterion) {
     let n = 1_000_000usize;
     let hotness: Vec<f64> = (0..n).map(|i| ((i * 2_654_435_761) % n) as f64).collect();
     let table = load_cache(&hotness, 0.2, n);
-    let ids: Vec<VertexId> = (0..100_000).map(|i| (i * 31) as VertexId % n as VertexId).collect();
+    let ids: Vec<VertexId> = (0..100_000)
+        .map(|i| (i * 31) as VertexId % n as VertexId)
+        .collect();
     let mut group = c.benchmark_group("cache_lookup");
     group.throughput(Throughput::Elements(ids.len() as u64));
     group.bench_function("partition_100k", |b| {

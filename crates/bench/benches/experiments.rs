@@ -12,6 +12,7 @@ fn cfg() -> ExpConfig {
     ExpConfig {
         scale: Scale::new(16384),
         seed: 1,
+        obs: None,
     }
 }
 

@@ -12,7 +12,12 @@ use gnnlab_graph::{DatasetKind, Scale};
 use gnnlab_tensor::ModelKind;
 
 fn bench_epoch_sims(c: &mut Criterion) {
-    let w = Workload::new(ModelKind::GraphSage, DatasetKind::Papers, Scale::new(4096), 42);
+    let w = Workload::new(
+        ModelKind::GraphSage,
+        DatasetKind::Papers,
+        Scale::new(4096),
+        42,
+    );
     let mut group = c.benchmark_group("epoch_sim");
     group.sample_size(20);
     for system in [SystemKind::DglLike, SystemKind::TSota] {
@@ -39,7 +44,12 @@ fn bench_epoch_sims(c: &mut Criterion) {
 }
 
 fn bench_trace_recording(c: &mut Criterion) {
-    let w = Workload::new(ModelKind::GraphSage, DatasetKind::Papers, Scale::new(4096), 42);
+    let w = Workload::new(
+        ModelKind::GraphSage,
+        DatasetKind::Papers,
+        Scale::new(4096),
+        42,
+    );
     let mut group = c.benchmark_group("trace_record");
     group.sample_size(10);
     group.bench_function("gsg_pa_epoch", |b| {
@@ -64,5 +74,10 @@ fn bench_global_queue(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_epoch_sims, bench_trace_recording, bench_global_queue);
+criterion_group!(
+    benches,
+    bench_epoch_sims,
+    bench_trace_recording,
+    bench_global_queue
+);
 criterion_main!(benches);

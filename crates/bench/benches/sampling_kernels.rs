@@ -22,8 +22,10 @@ fn bench_kernels(c: &mut Criterion) {
     let batch = seeds(64);
     let mut group = c.benchmark_group("khop_kernels");
     group.throughput(Throughput::Elements(batch.len() as u64));
-    for (name, kernel) in [("fisher_yates", Kernel::FisherYates), ("reservoir", Kernel::Reservoir)]
-    {
+    for (name, kernel) in [
+        ("fisher_yates", Kernel::FisherYates),
+        ("reservoir", Kernel::Reservoir),
+    ] {
         let algo = KHop::new(vec![15, 10, 5], kernel, Selection::Uniform);
         group.bench_with_input(BenchmarkId::new("3hop", name), &algo, |b, algo| {
             let mut rng = ChaCha8Rng::seed_from_u64(1);
@@ -37,7 +39,10 @@ fn bench_weighted(c: &mut Criterion) {
     let g = recency_weights(graph(), 3).expect("weights attach");
     let batch = seeds(64);
     let mut group = c.benchmark_group("weighted_vs_uniform");
-    for (name, sel) in [("uniform", Selection::Uniform), ("weighted", Selection::Weighted)] {
+    for (name, sel) in [
+        ("uniform", Selection::Uniform),
+        ("weighted", Selection::Weighted),
+    ] {
         let algo = KHop::new(vec![15, 10, 5], Kernel::FisherYates, sel);
         group.bench_with_input(BenchmarkId::new("3hop", name), &algo, |b, algo| {
             let mut rng = ChaCha8Rng::seed_from_u64(2);

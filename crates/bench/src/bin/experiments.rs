@@ -1,15 +1,24 @@
 //! CLI that regenerates the paper's tables and figures.
 //!
 //! ```text
-//! experiments [--json] [name ...]
+//! experiments [--json] [--trace-out PATH] [--metrics-out PATH]
+//!             [--exp NAME | name ...]
 //!     names: table1 table2 table4 table5 table6
 //!            fig3 fig4 fig5 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 //!            partition all motivation caching performance
 //! Environment: GNNLAB_SCALE=<divisor> (default 1024)
 //! ```
+//!
+//! `--trace-out` writes a Chrome trace-event JSON (open in Perfetto or
+//! `chrome://tracing`) with one track per simulated GPU; `--metrics-out`
+//! writes the structured metrics dump (counters, gauges, histograms,
+//! queue-depth series). Both attach a shared virtual-time observability
+//! hub to every experiment that supports one.
 
 use gnnlab_bench::{exp, ExpConfig, Table};
+use gnnlab_obs::Obs;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Set by the `--json` flag: emit one JSON object per table instead of
 /// aligned text.
@@ -53,12 +62,47 @@ fn run_one(name: &str, cfg: &ExpConfig) -> bool {
 }
 
 const ALL: &[&str] = &[
-    "table1", "fig3", "fig4", "fig5", "table2", "fig10", "fig11", "table4", "table5", "fig12",
-    "fig13", "fig14", "fig15", "table6", "fig16", "fig17", "partition", "ablations",
+    "table1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "table2",
+    "fig10",
+    "fig11",
+    "table4",
+    "table5",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "table6",
+    "fig16",
+    "fig17",
+    "partition",
+    "ablations",
 ];
 
+/// Removes `--flag VALUE` (or `--flag=VALUE`) from `args`, returning VALUE.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        return Some(value);
+    }
+    let prefix = format!("{flag}=");
+    if let Some(pos) = args.iter().position(|a| a.starts_with(&prefix)) {
+        let value = args.remove(pos)[prefix.len()..].to_string();
+        return Some(value);
+    }
+    None
+}
+
 fn main() {
-    let cfg = ExpConfig::default();
+    let mut cfg = ExpConfig::default();
     eprintln!(
         "GNNLab-rs experiment harness (scale 1/{}; set GNNLAB_SCALE to change)\n",
         cfg.scale.factor()
@@ -68,13 +112,25 @@ fn main() {
         args.remove(pos);
         JSON.store(true, Ordering::Relaxed);
     }
+    let trace_out = take_flag(&mut args, "--trace-out");
+    let metrics_out = take_flag(&mut args, "--metrics-out");
+    // `--exp NAME` is an alias for the positional form.
+    while let Some(name) = take_flag(&mut args, "--exp") {
+        args.push(name);
+    }
+    if trace_out.is_some() || metrics_out.is_some() {
+        // The co-simulations record in virtual (simulated) time.
+        cfg.obs = Some(Arc::new(Obs::virtual_time()));
+    }
     let groups: &[(&str, &[&str])] = &[
         ("all", ALL),
         ("motivation", &["table1", "fig3", "fig4", "fig5"]),
         ("caching", &["table2", "fig10", "fig11", "fig12", "fig13"]),
         (
             "performance",
-            &["table4", "table5", "fig14", "fig15", "table6", "fig16", "fig17"],
+            &[
+                "table4", "table5", "fig14", "fig15", "table6", "fig16", "fig17",
+            ],
         ),
     ];
     let mut names: Vec<&str> = Vec::new();
@@ -93,6 +149,26 @@ fn main() {
         if !run_one(name, &cfg) {
             eprintln!("unknown experiment '{name}'; known: {ALL:?} plus groups all/motivation/caching/performance");
             std::process::exit(2);
+        }
+    }
+    if let Some(obs) = &cfg.obs {
+        if let Some(path) = &trace_out {
+            match obs.write_chrome_trace(std::path::Path::new(path)) {
+                Ok(()) => eprintln!("[wrote {} spans to {path}]", obs.span_count()),
+                Err(e) => {
+                    eprintln!("failed to write trace to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        if let Some(path) = &metrics_out {
+            match obs.write_metrics_json(std::path::Path::new(path)) {
+                Ok(()) => eprintln!("[wrote metrics to {path}]"),
+                Err(e) => {
+                    eprintln!("failed to write metrics to {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
         }
     }
 }

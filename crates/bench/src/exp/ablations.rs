@@ -86,7 +86,11 @@ pub fn batch_size(cfg: &ExpConfig) -> Table {
     let cache = build_cache_table(&w, PolicyKind::PreSC { k: 1 }, 0.15);
     let mut table = Table::new(
         "Ablation: mini-batch size (GCN on PA; paper batch = 8000)",
-        &["Batch (paper-scale)", "Sample+Extract+Train sum (s)", "PreSC hit rate"],
+        &[
+            "Batch (paper-scale)",
+            "Sample+Extract+Train sum (s)",
+            "PreSC hit rate",
+        ],
     );
     for mult in [1usize, 2, 4, 8] {
         let bs = (base * mult).max(1);
@@ -122,7 +126,12 @@ pub fn trainset_size(cfg: &ExpConfig) -> Table {
         &["|T| multiplier", "T_SOTA (s)", "GNNLab (s)", "Speedup"],
     );
     for mult in [0.5f64, 1.0, 2.0, 4.0] {
-        let mut w = Workload::new(ModelKind::GraphSage, DatasetKind::Papers, cfg.scale, cfg.seed);
+        let mut w = Workload::new(
+            ModelKind::GraphSage,
+            DatasetKind::Papers,
+            cfg.scale,
+            cfg.seed,
+        );
         let n = w.dataset.csr.num_vertices();
         let size = ((w.dataset.train_set.len() as f64 * mult) as usize).clamp(8, n);
         w.dataset.train_set = trainset::recent_train_set(n, size);
@@ -138,7 +147,12 @@ pub fn trainset_size(cfg: &ExpConfig) -> Table {
                 ]);
             }
             _ => {
-                table.row(vec![format!("{mult}x"), "OOM".into(), "-".into(), "-".into()]);
+                table.row(vec![
+                    format!("{mult}x"),
+                    "OOM".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
             }
         }
     }
@@ -197,13 +211,23 @@ pub fn subgraph_presc(cfg: &ExpConfig) -> Table {
     let cluster = ClusterGcn::new(num_clusters, 3);
     let mut table = Table::new(
         "Ablation: PreSC under subgraph sampling (GCN on TW)",
-        &["Algorithm", "Footprint skew", "PreSC#1 hit @10%", "Optimal hit @10%"],
+        &[
+            "Algorithm",
+            "Footprint skew",
+            "PreSC#1 hit @10%",
+            "Optimal hit @10%",
+        ],
     );
     // khop trains on the normal training set; ClusterGCN on all vertices,
     // one cluster per batch (its real setting).
     let all: Vec<u32> = (0..n as u32).collect();
     let configs: [(&str, &dyn SamplingAlgorithm, &[u32], usize); 2] = [
-        ("3-hop khop", khop.as_ref(), &w.dataset.train_set, w.batch_size()),
+        (
+            "3-hop khop",
+            khop.as_ref(),
+            &w.dataset.train_set,
+            w.batch_size(),
+        ),
         ("ClusterGCN", &cluster, &all, n.div_ceil(num_clusters)),
     ];
     for (name, algo, ts, batch) in configs {
@@ -271,6 +295,7 @@ mod tests {
         ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         }
     }
 
@@ -353,6 +378,9 @@ mod tests {
         // khop's footprint is visibly skewed, ClusterGCN's is flat.
         let khop_skew = val(&t, 0, 1);
         let cluster_skew = val(&t, 1, 1);
-        assert!(khop_skew > 3.0 * cluster_skew, "{khop_skew} vs {cluster_skew}");
+        assert!(
+            khop_skew > 3.0 * cluster_skew,
+            "{khop_skew} vs {cluster_skew}"
+        );
     }
 }

@@ -62,6 +62,7 @@ mod tests {
         let t = run(&ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         });
         assert_eq!(t.rows.len(), 12);
         let val = |row: &Vec<String>, col: usize| -> f64 {
@@ -73,10 +74,7 @@ mod tests {
             let presc = val(row, 3);
             let optimal = val(row, 4);
             // PreSC within striking distance of Optimal (paper: 90-99 %).
-            assert!(
-                presc >= 0.75 * optimal,
-                "PreSC far from optimal: {row:?}"
-            );
+            assert!(presc >= 0.75 * optimal, "PreSC far from optimal: {row:?}");
             // And never worse than Random.
             assert!(presc + 2.0 >= random, "PreSC below random: {row:?}");
             presc_vs_opt.push(presc / optimal.max(1e-9));

@@ -24,7 +24,14 @@ pub fn run_a(cfg: &ExpConfig) -> Table {
     let trace = EpochTrace::record(&w, Kernel::FisherYates, 5);
     let mut table = Table::new(
         "Fig. 11a: PreSC#K on Twitter (weighted sampling): hit rate vs cache ratio",
-        &["Cache ratio", "Degree", "PreSC#1", "PreSC#2", "PreSC#3", "Optimal"],
+        &[
+            "Cache ratio",
+            "Degree",
+            "PreSC#1",
+            "PreSC#2",
+            "PreSC#3",
+            "Optimal",
+        ],
     );
     let policies = [
         PolicyKind::Degree,
@@ -75,7 +82,11 @@ pub fn run_c(cfg: &ExpConfig) -> Table {
         let trace = EpochTrace::record(&w, Kernel::FisherYates, 2);
         let alpha = (5.0 * GB / w.dataset.feature_bytes_paper() as f64).min(1.0);
         let mut row = vec![dim.to_string()];
-        for policy in [PolicyKind::Random, PolicyKind::Degree, PolicyKind::PreSC { k: 1 }] {
+        for policy in [
+            PolicyKind::Random,
+            PolicyKind::Degree,
+            PolicyKind::PreSC { k: 1 },
+        ] {
             let cache = build_cache_table(&w, policy, alpha);
             row.push(bytes(transferred_bytes_paper(&w, &trace, &cache)));
         }
@@ -98,6 +109,7 @@ mod tests {
         ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         }
     }
 

@@ -88,6 +88,7 @@ mod tests {
         let cfg = ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         };
         let w = Workload::new(ModelKind::Gcn, DatasetKind::Papers, cfg.scale, cfg.seed);
         let degree = gnnlab_with_policy(&w, PolicyKind::Degree).unwrap();

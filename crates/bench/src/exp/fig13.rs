@@ -44,9 +44,15 @@ mod tests {
         let cfg = ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         };
         // GraphSAGE on PA: compute-light, PreSC should clearly win vs Random.
-        let w = Workload::new(ModelKind::GraphSage, DatasetKind::Papers, cfg.scale, cfg.seed);
+        let w = Workload::new(
+            ModelKind::GraphSage,
+            DatasetKind::Papers,
+            cfg.scale,
+            cfg.seed,
+        );
         let random = run_policy(&w, PolicyKind::Random).unwrap();
         let presc = run_policy(&w, PolicyKind::PreSC { k: 1 }).unwrap();
         assert!(

@@ -33,7 +33,14 @@ fn gnnlab_cell(w: &Workload, ns: usize, gpus: usize) -> String {
 fn sweep(w: &Workload, title: &str) -> Table {
     let mut table = Table::new(
         title,
-        &["#GPUs", "DGL", "T_SOTA", "GNNLab/1S", "GNNLab/2S", "GNNLab/3S"],
+        &[
+            "#GPUs",
+            "DGL",
+            "T_SOTA",
+            "GNNLab/1S",
+            "GNNLab/2S",
+            "GNNLab/3S",
+        ],
     );
     for gpus in 2..=8usize {
         table.row(vec![
@@ -68,6 +75,7 @@ mod tests {
         let cfg = ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         };
         let tables = run(&cfg);
         let pa = &tables[0];

@@ -55,6 +55,7 @@ mod tests {
         let t = run(&ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         });
         // Parse all (config, epoch) pairs; find the global best for m+n=8
         // and compare with the rule's choice.
@@ -85,10 +86,7 @@ mod tests {
             .to_digit(10)
             .unwrap() as usize;
         let rule_cfg = format!("{ns}S{}T", 8 - ns);
-        let rule_time = by_config
-            .get(&rule_cfg)
-            .copied()
-            .unwrap_or(f64::INFINITY);
+        let rule_time = by_config.get(&rule_cfg).copied().unwrap_or(f64::INFINITY);
         assert!(
             rule_time <= best_time * 1.25,
             "rule {rule_cfg} = {rule_time}s vs best {best_cfg} = {best_time}s"
@@ -100,12 +98,10 @@ mod tests {
         let t = run(&ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         });
         let epoch = |cfg: &str| -> f64 {
-            t.rows
-                .iter()
-                .find(|r| r[0] == cfg)
-                .unwrap()[4]
+            t.rows.iter().find(|r| r[0] == cfg).unwrap()[4]
                 .parse()
                 .unwrap()
         };

@@ -50,7 +50,12 @@ pub fn run(cfg: &ExpConfig) -> Table {
     .expect("valid SBM parameters");
 
     // Epoch times from the performance simulators (GSG on PA, 8 GPUs).
-    let w = Workload::new(ModelKind::GraphSage, DatasetKind::Papers, cfg.scale, cfg.seed);
+    let w = Workload::new(
+        ModelKind::GraphSage,
+        DatasetKind::Papers,
+        cfg.scale,
+        cfg.seed,
+    );
     let epoch_time = |system: SystemKind| -> f64 {
         let ctx = SimContext::new(&w, system);
         run_system(&ctx).map(|r| r.epoch_time).unwrap_or(f64::NAN)
@@ -65,7 +70,15 @@ pub fn run(cfg: &ExpConfig) -> Table {
     let target = 0.80;
     let mut table = Table::new(
         "Fig. 16: GraphSAGE convergence to 80% accuracy",
-        &["System", "Trainers", "Epochs", "Grad updates", "Final acc", "Epoch (s)", "Total (s)"],
+        &[
+            "System",
+            "Trainers",
+            "Epochs",
+            "Grad updates",
+            "Final acc",
+            "Epoch (s)",
+            "Total (s)",
+        ],
     );
     for (system, trainers) in systems {
         let res = train_to_accuracy(
@@ -116,7 +129,12 @@ pub fn run_scalability(cfg: &ExpConfig) -> Table {
         seed: cfg.seed,
     })
     .expect("valid SBM parameters");
-    let w = Workload::new(ModelKind::GraphSage, DatasetKind::Papers, cfg.scale, cfg.seed);
+    let w = Workload::new(
+        ModelKind::GraphSage,
+        DatasetKind::Papers,
+        cfg.scale,
+        cfg.seed,
+    );
     let mut table = Table::new(
         "Convergence scalability (GraphSAGE, accuracy target 80%)",
         &["#GPUs", "Trainers", "Epoch (s)", "Epochs", "Total (s)"],
@@ -124,7 +142,13 @@ pub fn run_scalability(cfg: &ExpConfig) -> Table {
     for gpus in [2usize, 4, 8] {
         let ctx = SimContext::new(&w, SystemKind::GnnLab).with_gpus(gpus);
         let Ok(rep) = run_system(&ctx) else {
-            table.row(vec![gpus.to_string(), "OOM".into(), "-".into(), "-".into(), "-".into()]);
+            table.row(vec![
+                gpus.to_string(),
+                "OOM".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         let res = train_to_accuracy(
@@ -165,13 +189,17 @@ mod tests {
         let t = run_scalability(&ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         });
         let epoch = |r: usize| -> f64 { t.rows[r][2].parse().unwrap() };
         let total = |r: usize| -> f64 { t.rows[r][4].parse().unwrap() };
         let last = t.rows.len() - 1;
         let epoch_speedup = epoch(0) / epoch(last);
         let total_speedup = total(0) / total(last);
-        assert!(total_speedup > 1.0, "total time must still drop: {total_speedup}");
+        assert!(
+            total_speedup > 1.0,
+            "total time must still drop: {total_speedup}"
+        );
         assert!(
             epoch_speedup >= total_speedup * 0.99,
             "epoch {epoch_speedup:.2}x vs total {total_speedup:.2}x"
@@ -183,6 +211,7 @@ mod tests {
         let t = run(&ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         });
         assert_eq!(t.rows.len(), 3);
         let acc = |r: usize| -> f64 { t.rows[r][4].trim_end_matches('%').parse().unwrap() };

@@ -14,14 +14,16 @@ use gnnlab_tensor::ModelKind;
 /// Fig. 17a: PinSAGE on PA, 1 Sampler, n Trainers, switching on/off.
 pub fn run_a(cfg: &ExpConfig) -> Table {
     let w = Workload::new(ModelKind::PinSage, DatasetKind::Papers, cfg.scale, cfg.seed);
-    let ctx = SimContext::new(&w, SystemKind::GnnLab);
+    let ctx = SimContext::new(&w, SystemKind::GnnLab).with_obs(cfg.obs());
     let trace = EpochTrace::record(&w, SystemKind::GnnLab.kernel(), ctx.epoch);
     let mut table = Table::new(
         "Fig. 17a: PinSAGE on PA, 1 Sampler: dynamic switching on/off",
         &["#Trainers", "w/o DS", "w/ DS", "Switched batches"],
     );
     for n in 1..=6usize {
+        cfg.begin_run(&format!("fig17a 1S{n}T w/o DS"));
         let without = run_factored_epoch(&ctx, &trace, 1, n, false).expect("PA fits");
+        cfg.begin_run(&format!("fig17a 1S{n}T w/ DS"));
         let with = run_factored_epoch(&ctx, &trace, 1, n, true).expect("PA fits");
         table.row(vec![
             n.to_string(),
@@ -43,14 +45,18 @@ pub fn run_b(cfg: &ExpConfig) -> Table {
         let w = Workload::new(ModelKind::Gcn, ds, cfg.scale, cfg.seed);
         let mut row = vec![ds.abbrev().to_string()];
         for system in [SystemKind::DglLike, SystemKind::TSota] {
-            let ctx = SimContext::new(&w, system).with_gpus(1);
+            cfg.begin_run(&format!("fig17b {} {}", ds.abbrev(), system.label()));
+            let ctx = SimContext::new(&w, system).with_gpus(1).with_obs(cfg.obs());
             let trace = EpochTrace::record(&w, system.kernel(), ctx.epoch);
             row.push(match run_timeshare_epoch(&ctx, &trace) {
                 Ok(r) => secs(r.epoch_time),
                 Err(_) => "OOM".to_string(),
             });
         }
-        let ctx = SimContext::new(&w, SystemKind::GnnLab).with_gpus(1);
+        cfg.begin_run(&format!("fig17b {} GNNLab", ds.abbrev()));
+        let ctx = SimContext::new(&w, SystemKind::GnnLab)
+            .with_gpus(1)
+            .with_obs(cfg.obs());
         let trace = EpochTrace::record(&w, SystemKind::GnnLab.kernel(), ctx.epoch);
         row.push(match run_single_gpu_epoch(&ctx, &trace) {
             Ok(r) => secs(r.epoch_time),
@@ -75,6 +81,7 @@ mod tests {
         ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         }
     }
 
@@ -106,10 +113,7 @@ mod tests {
             }
             if ds != "PR" {
                 if let Ok(tsota) = row[2].parse::<f64>() {
-                    assert!(
-                        gnnlab < tsota * 1.05,
-                        "{ds}: gnnlab {gnnlab} tsota {tsota}"
-                    );
+                    assert!(gnnlab < tsota * 1.05, "{ds}: gnnlab {gnnlab} tsota {tsota}");
                 }
             }
         }

@@ -21,7 +21,14 @@ pub fn run(cfg: &ExpConfig) -> Table {
     let testbed = Testbed::paper();
     let mut table = Table::new(
         "Fig. 3: GPU memory budgets for GCN on OGB-Papers (16 GB per GPU)",
-        &["GPU role", "Topology", "Sample WS", "Train WS", "Feature cache", "Cache R%"],
+        &[
+            "GPU role",
+            "Topology",
+            "Sample WS",
+            "Train WS",
+            "Feature cache",
+            "Cache R%",
+        ],
     );
     let topo = w.dataset.topo_bytes_paper() as f64;
     let sws = sample_workspace_bytes(SystemKind::GnnLab, w.algorithm) as f64;
@@ -69,10 +76,14 @@ mod tests {
         let t = run(&ExpConfig {
             scale: Scale::new(4096),
             seed: 1,
+            obs: None,
         });
         assert_eq!(t.rows.len(), 3);
         let ts_pct: f64 = t.rows[0][5].trim_end_matches('%').parse().unwrap();
         let tr_pct: f64 = t.rows[2][5].trim_end_matches('%').parse().unwrap();
-        assert!(tr_pct > 1.8 * ts_pct, "trainer {tr_pct}% vs timeshare {ts_pct}%");
+        assert!(
+            tr_pct > 1.8 * ts_pct,
+            "trainer {tr_pct}% vs timeshare {ts_pct}%"
+        );
     }
 }

@@ -47,7 +47,12 @@ pub fn run_a(cfg: &ExpConfig) -> Table {
 pub fn run_b(cfg: &ExpConfig) -> Table {
     let mut table = Table::new(
         "Fig. 4b: feature-dimension sweep, OGB-Papers, 5 GB cache (Degree policy)",
-        &["Feature dim", "Cache ratio", "Hit rate", "Transferred/epoch"],
+        &[
+            "Feature dim",
+            "Cache ratio",
+            "Hit rate",
+            "Transferred/epoch",
+        ],
     );
     for dim in [128usize, 256, 384, 512, 640, 768] {
         let mut w = Workload::new(ModelKind::Gcn, DatasetKind::Papers, cfg.scale, cfg.seed);
@@ -82,6 +87,7 @@ mod tests {
         ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         }
     }
 

@@ -40,14 +40,20 @@ fn sweep(w: &Workload, title: &str) -> Table {
 /// Fig. 5a: OGB-Papers with uniform 3-hop sampling.
 pub fn run_a(cfg: &ExpConfig) -> Table {
     let w = Workload::new(ModelKind::Gcn, DatasetKind::Papers, cfg.scale, cfg.seed);
-    sweep(&w, "Fig. 5a: transferred data per epoch, OGB-Papers, 3-hop uniform")
+    sweep(
+        &w,
+        "Fig. 5a: transferred data per epoch, OGB-Papers, 3-hop uniform",
+    )
 }
 
 /// Fig. 5b: Twitter with weighted 3-hop sampling.
 pub fn run_b(cfg: &ExpConfig) -> Table {
     let w = Workload::new(ModelKind::Gcn, DatasetKind::Twitter, cfg.scale, cfg.seed)
         .with_algorithm(AlgorithmKind::Khop3Weighted);
-    sweep(&w, "Fig. 5b: transferred data per epoch, Twitter, 3-hop weighted")
+    sweep(
+        &w,
+        "Fig. 5b: transferred data per epoch, Twitter, 3-hop weighted",
+    )
 }
 
 /// Both panels.
@@ -64,6 +70,7 @@ mod tests {
         ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         }
     }
 

@@ -57,10 +57,6 @@ pub fn cache_stats_on_trace(
 }
 
 /// Paper-scale transferred bytes of an epoch trace against a cache.
-pub fn transferred_bytes_paper(
-    workload: &Workload,
-    trace: &EpochTrace,
-    table: &CacheTable,
-) -> f64 {
+pub fn transferred_bytes_paper(workload: &Workload, trace: &EpochTrace, table: &CacheTable) -> f64 {
     cache_stats_on_trace(workload, trace, table).transferred_bytes() as f64 * trace.factor
 }

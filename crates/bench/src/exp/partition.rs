@@ -40,6 +40,7 @@ mod tests {
         let t = run(&ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         });
         let v = |r: usize, c: usize| -> f64 { t.rows[r][c].trim_end_matches('%').parse().unwrap() };
         // TW at 3 hops: the paper reports > 95 %; our stand-in should be

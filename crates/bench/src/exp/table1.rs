@@ -54,7 +54,10 @@ fn run_variant(ctx_w: &Workload, v: &Variant, epoch: u64) -> (f64, f64, f64, f64
     let factor = trace.factor;
     let (mut s, mut e, mut t) = (0.0, 0.0, 0.0);
     for b in &trace.batches {
-        s += ns_to_secs(ctx.cost.sample_time(&ctx.sample_cost(b, &trace), v.sample_device));
+        s += ns_to_secs(
+            ctx.cost
+                .sample_time(&ctx.sample_cost(b, &trace), v.sample_device),
+        );
         let (miss, hit) = ctx.extract_bytes(b, cache.as_ref(), factor);
         e += ns_to_secs(ctx.cost.extract_time(miss, hit, v.gather, 1));
         t += ns_to_secs(ctx.cost.train_time(b.flops * factor));
@@ -118,7 +121,14 @@ pub fn run(cfg: &ExpConfig) -> Table {
 
     let mut table = Table::new(
         "Table 1: runtime breakdown (s) of one epoch, GCN on OGB-Papers, 1 GPU",
-        &["GNN System", "Sample", "Extract", "Train", "Total", "Cache R%"],
+        &[
+            "GNN System",
+            "Sample",
+            "Extract",
+            "Train",
+            "Total",
+            "Cache R%",
+        ],
     );
     for v in &variants {
         let (s, e, t, alpha) = run_variant(&w, v, 2);
@@ -143,6 +153,7 @@ mod tests {
         ExpConfig {
             scale: Scale::new(4096),
             seed: 1,
+            obs: None,
         }
     }
 

@@ -56,6 +56,7 @@ mod tests {
         let t = run(&ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         });
         assert_eq!(t.rows.len(), 3);
         for row in &t.rows {

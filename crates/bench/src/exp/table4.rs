@@ -53,6 +53,7 @@ mod tests {
         ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         }
     }
 
@@ -111,10 +112,7 @@ mod tests {
                 continue;
             };
             if ds != "PR" {
-                assert!(
-                    gnnlab < tsota * 1.05,
-                    "GNNLab should win off-PR: {row:?}"
-                );
+                assert!(gnnlab < tsota * 1.05, "GNNLab should win off-PR: {row:?}");
             }
         }
     }

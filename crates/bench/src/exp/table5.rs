@@ -27,9 +27,14 @@ fn breakdown_cells(rep: &Result<EpochReport, RunError>) -> Vec<String> {
     }
 }
 
-/// Runs one system's 2-GPU breakdown for a workload.
-pub fn breakdown(w: &Workload, system: SystemKind) -> Result<EpochReport, RunError> {
-    let ctx = SimContext::new(w, system).with_gpus(2);
+/// Runs one system's 2-GPU breakdown for a workload, recording spans and
+/// metrics into `obs` when given.
+pub fn breakdown(
+    w: &Workload,
+    system: SystemKind,
+    obs: Option<&gnnlab_obs::Obs>,
+) -> Result<EpochReport, RunError> {
+    let ctx = SimContext::new(w, system).with_gpus(2).with_obs(obs);
     let trace = EpochTrace::record(w, system.kernel(), ctx.epoch);
     match system {
         SystemKind::GnnLab => run_factored_epoch(&ctx, &trace, 1, 1, false),
@@ -49,7 +54,8 @@ pub fn run(cfg: &ExpConfig) -> Table {
         for ds in DatasetKind::ALL {
             let w = Workload::new(model, ds, cfg.scale, cfg.seed);
             for system in [SystemKind::DglLike, SystemKind::TSota, SystemKind::GnnLab] {
-                let rep = breakdown(&w, system);
+                cfg.begin_run(&format!("table5 {} {}", w.label(), system.label()));
+                let rep = breakdown(&w, system, cfg.obs());
                 let mut row = vec![w.label(), system.label().to_string()];
                 row.extend(breakdown_cells(&rep));
                 table.row(row);
@@ -68,6 +74,7 @@ mod tests {
         ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         }
     }
 
@@ -75,8 +82,8 @@ mod tests {
     fn gnnlab_extract_beats_tsota_on_papers() {
         let cfg = config();
         let w = Workload::new(ModelKind::Gcn, DatasetKind::Papers, cfg.scale, cfg.seed);
-        let tsota = breakdown(&w, SystemKind::TSota).unwrap();
-        let gnnlab = breakdown(&w, SystemKind::GnnLab).unwrap();
+        let tsota = breakdown(&w, SystemKind::TSota, None).unwrap();
+        let gnnlab = breakdown(&w, SystemKind::GnnLab, None).unwrap();
         // Paper: 4.2x average Extract advantage (except PR).
         assert!(
             gnnlab.stages.extract < tsota.stages.extract / 2.0,
@@ -96,8 +103,8 @@ mod tests {
     fn dgl_sample_is_slower_than_fisher_yates_systems() {
         let cfg = config();
         let w = Workload::new(ModelKind::PinSage, DatasetKind::Papers, cfg.scale, cfg.seed);
-        let dgl = breakdown(&w, SystemKind::DglLike).unwrap();
-        let tsota = breakdown(&w, SystemKind::TSota).unwrap();
+        let dgl = breakdown(&w, SystemKind::DglLike, None).unwrap();
+        let tsota = breakdown(&w, SystemKind::TSota, None).unwrap();
         // §7.3: the gap is largest on PinSAGE (Python launch overheads).
         assert!(
             dgl.stages.sample_g > 1.5 * tsota.stages.sample_g,
@@ -108,11 +115,54 @@ mod tests {
     }
 
     #[test]
+    fn recorded_spans_reproduce_stage_breakdown() {
+        use gnnlab_obs::{stage_secs, Obs, Stage};
+        let cfg = config();
+        let w = Workload::new(ModelKind::Gcn, DatasetKind::Papers, cfg.scale, cfg.seed);
+        for system in [SystemKind::DglLike, SystemKind::TSota, SystemKind::GnnLab] {
+            let obs = Obs::virtual_time();
+            let rep = breakdown(&w, system, Some(&obs)).unwrap();
+            let sums = stage_secs(&obs.spans());
+            let sum = |st: Stage| sums.get(&st).copied().unwrap_or(0.0);
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 + 1e-6 * b.abs();
+            assert!(
+                close(sum(Stage::SampleG), rep.stages.sample_g),
+                "{system:?} G"
+            );
+            assert!(
+                close(sum(Stage::SampleM), rep.stages.sample_m),
+                "{system:?} M"
+            );
+            assert!(
+                close(sum(Stage::SampleC), rep.stages.sample_c),
+                "{system:?} C"
+            );
+            assert!(
+                close(sum(Stage::Extract), rep.stages.extract),
+                "{system:?} E"
+            );
+            assert!(close(sum(Stage::Train), rep.stages.train), "{system:?} T");
+            // The spans form a consistent schedule and a valid trace doc.
+            assert!(
+                gnnlab_obs::find_overlap(&obs.spans()).is_none(),
+                "{system:?}"
+            );
+            let text = serde_json::to_string(&obs.chrome_trace()).unwrap();
+            serde_json::from_str(&text).expect("chrome trace is valid JSON");
+        }
+    }
+
+    #[test]
     fn train_times_agree_across_systems() {
         let cfg = config();
-        let w = Workload::new(ModelKind::GraphSage, DatasetKind::Twitter, cfg.scale, cfg.seed);
-        let dgl = breakdown(&w, SystemKind::DglLike).unwrap();
-        let gnnlab = breakdown(&w, SystemKind::GnnLab).unwrap();
+        let w = Workload::new(
+            ModelKind::GraphSage,
+            DatasetKind::Twitter,
+            cfg.scale,
+            cfg.seed,
+        );
+        let dgl = breakdown(&w, SystemKind::DglLike, None).unwrap();
+        let gnnlab = breakdown(&w, SystemKind::GnnLab, None).unwrap();
         let ratio = dgl.stages.train / gnnlab.stages.train;
         assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
     }

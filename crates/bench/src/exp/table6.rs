@@ -24,7 +24,8 @@ pub fn run(cfg: &ExpConfig) -> Table {
     ];
     for ds in DatasetKind::ALL {
         let w = Workload::new(ModelKind::Gcn, ds, cfg.scale, cfg.seed);
-        let ctx = SimContext::new(&w, SystemKind::GnnLab);
+        cfg.begin_run(&format!("table6 {}", ds.abbrev()));
+        let ctx = SimContext::new(&w, SystemKind::GnnLab).with_obs(cfg.obs());
         let trace = EpochTrace::record(&w, Kernel::FisherYates, 0);
         let rep = preprocess_report(&ctx, &trace).expect("GNNLab plans fit all datasets");
         rows[0].push(secs(rep.disk_to_dram));
@@ -49,6 +50,7 @@ mod tests {
         let t = run(&ExpConfig {
             scale: Scale::new(8192),
             seed: 1,
+            obs: None,
         });
         let v = |r: usize, c: usize| -> f64 { t.rows[r][c].parse().unwrap() };
         for c in 1..=4 {

@@ -17,14 +17,20 @@ pub mod table;
 pub use table::Table;
 
 use gnnlab_graph::Scale;
+use gnnlab_obs::Obs;
+use std::sync::Arc;
 
 /// Shared experiment configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExpConfig {
     /// Dataset scale.
     pub scale: Scale,
     /// Base RNG seed.
     pub seed: u64,
+    /// Optional observability hub: when set, experiments record spans and
+    /// metrics into it (one [`Obs::begin_run`] sub-run per table/system so
+    /// the Chrome trace keeps invocations apart).
+    pub obs: Option<Arc<Obs>>,
 }
 
 impl Default for ExpConfig {
@@ -32,6 +38,28 @@ impl Default for ExpConfig {
         ExpConfig {
             scale: scale_from_env(),
             seed: 42,
+            obs: None,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Attaches an observability hub (builder style).
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// The attached hub as a borrowed option, the shape
+    /// [`gnnlab_core::runtime::SimContext::with_obs`] expects.
+    pub fn obs(&self) -> Option<&Obs> {
+        self.obs.as_deref()
+    }
+
+    /// Opens a labelled sub-run on the attached hub, if any.
+    pub fn begin_run(&self, label: &str) {
+        if let Some(obs) = &self.obs {
+            obs.begin_run(label);
         }
     }
 }
@@ -46,9 +74,7 @@ pub fn scale_from_env() -> Scale {
         Ok(v) => match v.parse::<u64>() {
             Ok(f) if f >= 16 => Scale::new(f),
             _ => {
-                eprintln!(
-                    "GNNLAB_SCALE='{v}' is not an integer >= 16; using the default 1024"
-                );
+                eprintln!("GNNLAB_SCALE='{v}' is not an integer >= 16; using the default 1024");
                 Scale::new(1024)
             }
         },

@@ -67,6 +67,17 @@ impl CacheStats {
         self.miss_bytes += other.miss_bytes;
         self.hit_bytes += other.hit_bytes;
     }
+
+    /// Publishes the accumulated totals into a metrics registry under the
+    /// standard `cache.*` names.
+    pub fn publish(&self, metrics: &gnnlab_obs::MetricsRegistry) {
+        metrics.counter_add("cache.lookups", self.lookups as f64);
+        metrics.counter_add("cache.hits", self.hits as f64);
+        metrics.counter_add("cache.misses", (self.lookups - self.hits) as f64);
+        metrics.counter_add("cache.hit_bytes", self.hit_bytes as f64);
+        metrics.counter_add("cache.miss_bytes", self.miss_bytes as f64);
+        metrics.gauge_set("cache.hit_rate", self.hit_rate());
+    }
 }
 
 /// Byte volumes of one Extract invocation, consumed by the cost model.
@@ -155,6 +166,20 @@ mod tests {
         a.add(&b);
         assert_eq!(a.lookups, 2);
         assert_eq!(a.hits, 1);
+    }
+
+    #[test]
+    fn publish_exports_totals_to_registry() {
+        let t = table();
+        let mut s = CacheStats::default();
+        s.record(&t, &[0, 1, 2, 3], 100);
+        let reg = gnnlab_obs::MetricsRegistry::new();
+        s.publish(&reg);
+        assert_eq!(reg.counter("cache.lookups"), 4.0);
+        assert_eq!(reg.counter("cache.hits"), 2.0);
+        assert_eq!(reg.counter("cache.misses"), 2.0);
+        assert_eq!(reg.counter("cache.miss_bytes"), 200.0);
+        assert_eq!(reg.gauge("cache.hit_rate").unwrap().last, 0.5);
     }
 
     #[test]

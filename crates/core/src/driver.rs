@@ -55,7 +55,12 @@ mod tests {
     use gnnlab_tensor::ModelKind;
 
     fn ctx_workload() -> Workload {
-        Workload::new(ModelKind::GraphSage, DatasetKind::Papers, Scale::new(4096), 1)
+        Workload::new(
+            ModelKind::GraphSage,
+            DatasetKind::Papers,
+            Scale::new(4096),
+            1,
+        )
     }
 
     #[test]
@@ -72,9 +77,7 @@ mod tests {
             long.preprocess_fraction
         );
         assert!(
-            (long.total_time
-                - (long.preprocess.total() + 300.0 * long.epoch.epoch_time))
-                .abs()
+            (long.total_time - (long.preprocess.total() + 300.0 * long.epoch.epoch_time)).abs()
                 < 1e-9
         );
     }

@@ -1,9 +1,10 @@
 //! The host-memory global queue bridging Samplers and Trainers (§5.2).
 
 use crossbeam::queue::SegQueue;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use gnnlab_obs::Obs;
+use std::sync::Arc;
 
-/// An unbounded MPMC queue in host memory with occupancy counters.
+/// An unbounded MPMC queue in host memory with occupancy accounting.
 ///
 /// "GNNLab uses a global queue in the host memory to link two kinds of
 /// executors asynchronously … The concurrent queue would not be the
@@ -11,11 +12,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// mini-batch samples; Trainers (and woken standby Trainers) dequeue them.
 /// The remaining-task count feeds the dynamic-switching profit metric
 /// (`M_r` in §5.3).
+///
+/// Occupancy counters live in an observability registry: a queue built
+/// with [`GlobalQueue::with_obs`] records a `queue.depth` sample on every
+/// enqueue and dequeue (plus `queue.enqueued`/`queue.dequeued` counters);
+/// a plain [`GlobalQueue::new`] queue keeps a private registry so the
+/// accessors below work either way.
 #[derive(Debug)]
 pub struct GlobalQueue<T> {
     inner: SegQueue<T>,
-    enqueued: AtomicUsize,
-    dequeued: AtomicUsize,
+    obs: Arc<Obs>,
 }
 
 impl<T> Default for GlobalQueue<T> {
@@ -25,26 +31,41 @@ impl<T> Default for GlobalQueue<T> {
 }
 
 impl<T> GlobalQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty queue with a private (wall-clock) registry.
     pub fn new() -> Self {
+        Self::with_obs(Arc::new(Obs::wall()))
+    }
+
+    /// Creates an empty queue publishing into a shared observability hub.
+    pub fn with_obs(obs: Arc<Obs>) -> Self {
         GlobalQueue {
             inner: SegQueue::new(),
-            enqueued: AtomicUsize::new(0),
-            dequeued: AtomicUsize::new(0),
+            obs,
         }
     }
 
-    /// Enqueues a task (Sampler side).
-    pub fn enqueue(&self, item: T) {
-        self.inner.push(item);
-        self.enqueued.fetch_add(1, Ordering::Relaxed);
+    fn note_depth(&self) {
+        let depth = self.inner.len() as f64;
+        self.obs
+            .metrics
+            .sample("queue.depth", self.obs.now_ns(), depth);
+        self.obs.metrics.gauge_set("queue.depth", depth);
     }
 
-    /// Dequeues a task if available (Trainer side).
+    /// Enqueues a task (Sampler side), recording a depth sample.
+    pub fn enqueue(&self, item: T) {
+        self.inner.push(item);
+        self.obs.metrics.counter_inc("queue.enqueued");
+        self.note_depth();
+    }
+
+    /// Dequeues a task if available (Trainer side), recording a depth
+    /// sample on success.
     pub fn dequeue(&self) -> Option<T> {
         let item = self.inner.pop();
         if item.is_some() {
-            self.dequeued.fetch_add(1, Ordering::Relaxed);
+            self.obs.metrics.counter_inc("queue.dequeued");
+            self.note_depth();
         }
         item
     }
@@ -56,12 +77,20 @@ impl<T> GlobalQueue<T> {
 
     /// Total tasks ever enqueued.
     pub fn total_enqueued(&self) -> usize {
-        self.enqueued.load(Ordering::Relaxed)
+        self.obs.metrics.counter("queue.enqueued") as usize
     }
 
     /// Total tasks ever dequeued.
     pub fn total_dequeued(&self) -> usize {
-        self.dequeued.load(Ordering::Relaxed)
+        self.obs.metrics.counter("queue.dequeued") as usize
+    }
+
+    /// Largest queue depth ever sampled.
+    pub fn peak_depth(&self) -> usize {
+        self.obs
+            .metrics
+            .gauge("queue.depth")
+            .map_or(0, |g| g.max as usize)
     }
 
     /// Whether the queue is empty.
@@ -73,7 +102,6 @@ impl<T> GlobalQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn fifo_single_thread() {
@@ -88,6 +116,7 @@ mod tests {
         assert!(q.dequeue().is_none());
         assert_eq!(q.total_enqueued(), 10);
         assert_eq!(q.total_dequeued(), 10);
+        assert_eq!(q.peak_depth(), 10);
     }
 
     #[test]
@@ -139,5 +168,19 @@ mod tests {
         assert!(!q.is_empty());
         q.dequeue();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn shared_obs_receives_depth_samples() {
+        let obs = Arc::new(Obs::wall());
+        let q = GlobalQueue::with_obs(Arc::clone(&obs));
+        q.enqueue("a");
+        q.enqueue("b");
+        q.dequeue();
+        assert_eq!(obs.metrics.counter("queue.enqueued"), 2.0);
+        assert_eq!(obs.metrics.counter("queue.dequeued"), 1.0);
+        // One depth sample per enqueue/dequeue.
+        assert_eq!(obs.metrics.series_len("queue.depth"), 3);
+        assert_eq!(obs.metrics.gauge("queue.depth").unwrap().max, 2.0);
     }
 }

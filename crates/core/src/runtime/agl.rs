@@ -11,6 +11,7 @@ use crate::report::{EpochReport, RunError};
 use crate::systems::SystemKind;
 use crate::trace::EpochTrace;
 use gnnlab_cache::CacheStats;
+use gnnlab_obs::{Executor, Stage};
 use gnnlab_sim::{ns_to_secs, GatherPath, SampleDevice};
 
 /// Simulates one AGL batch-mode epoch over all GPUs.
@@ -28,8 +29,7 @@ pub fn run_agl_epoch(ctx: &SimContext<'_>, trace: &EpochTrace) -> Result<EpochRe
     let factor = trace.factor;
     let row_bytes = ctx.workload.dataset.row_bytes();
     let topo_bytes = ctx.workload.dataset.topo_bytes_paper() as f64;
-    let cache_bytes =
-        trainer_plan.cache_alpha * ctx.workload.dataset.feature_bytes_paper() as f64;
+    let cache_bytes = trainer_plan.cache_alpha * ctx.workload.dataset.feature_bytes_paper() as f64;
 
     let mut report = EpochReport::new(SystemKind::GnnLab);
     report.cache_ratio = trainer_plan.cache_alpha;
@@ -39,13 +39,40 @@ pub fn run_agl_epoch(ctx: &SimContext<'_>, trace: &EpochTrace) -> Result<EpochRe
     // Phase A: all GPUs load topology (PCIe shared), then sample shares.
     let topo_load = ctx.cost.topo_load_time(topo_bytes) * num_gpus as u64;
     let mut gpu_clock = vec![topo_load; num_gpus];
+    if let Some(obs) = ctx.obs {
+        for gpu in 0..num_gpus {
+            obs.record_span(
+                gpu as u32,
+                Executor::Sampler,
+                Stage::LoadTopology,
+                0,
+                0,
+                topo_load,
+            );
+        }
+    }
     for (i, b) in trace.batches.iter().enumerate() {
         let gpu = i % num_gpus;
-        let g = ctx.cost.sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu);
+        let g = ctx
+            .cost
+            .sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu);
         let m = ctx.cost.mark_time(b.input_nodes.len() as f64 * factor);
+        let t0 = gpu_clock[gpu];
         gpu_clock[gpu] += g + m;
         report.stages.sample_g += ns_to_secs(g);
         report.stages.sample_m += ns_to_secs(m);
+        if let Some(obs) = ctx.obs {
+            let (d, b_id) = (gpu as u32, i as u64);
+            obs.record_span(d, Executor::Sampler, Stage::SampleG, b_id, t0, t0 + g);
+            obs.record_span(
+                d,
+                Executor::Sampler,
+                Stage::SampleM,
+                b_id,
+                t0 + g,
+                t0 + g + m,
+            );
+        }
     }
     let sample_phase_end = gpu_clock.iter().copied().max().unwrap_or(0);
 
@@ -53,19 +80,44 @@ pub fn run_agl_epoch(ctx: &SimContext<'_>, trace: &EpochTrace) -> Result<EpochRe
     // Extract/Train shares.
     let cache_load = ctx.cost.cache_load_time(cache_bytes) * num_gpus as u64;
     let mut gpu_clock = vec![sample_phase_end + cache_load; num_gpus];
+    if let Some(obs) = ctx.obs {
+        for gpu in 0..num_gpus {
+            obs.record_span(
+                gpu as u32,
+                Executor::Trainer,
+                Stage::LoadCache,
+                0,
+                sample_phase_end,
+                sample_phase_end + cache_load,
+            );
+        }
+    }
     for (i, b) in trace.batches.iter().enumerate() {
         let gpu = i % num_gpus;
         let (miss, hit) = ctx.extract_bytes(b, Some(&cache), factor);
-        let e = ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, num_gpus);
+        let e = ctx
+            .cost
+            .extract_time(miss, hit, GatherPath::GpuDirect, num_gpus);
         let t = ctx.cost.train_time(b.flops * factor);
+        let t0 = gpu_clock[gpu];
         gpu_clock[gpu] += e + t;
         report.stages.extract += ns_to_secs(e);
         report.stages.train += ns_to_secs(t);
         report.transferred_bytes += miss;
         stats.record(&cache, &b.input_nodes, row_bytes);
+        if let Some(obs) = ctx.obs {
+            let (d, b_id) = (gpu as u32, i as u64);
+            obs.record_span(d, Executor::Trainer, Stage::Extract, b_id, t0, t0 + e);
+            obs.record_span(d, Executor::Trainer, Stage::Train, b_id, t0 + e, t0 + e + t);
+            obs.metrics.counter_add("cache.hit_bytes", hit);
+            obs.metrics.counter_add("cache.miss_bytes", miss);
+        }
     }
     report.hit_rate = stats.hit_rate();
     report.epoch_time = ns_to_secs(gpu_clock.into_iter().max().unwrap_or(0));
+    if let Some(obs) = ctx.obs {
+        stats.publish(&obs.metrics);
+    }
     Ok(report)
 }
 
@@ -81,7 +133,12 @@ mod tests {
 
     #[test]
     fn agl_epoch_is_dominated_by_reloads() {
-        let w = Workload::new(ModelKind::GraphSage, DatasetKind::Papers, Scale::new(4096), 1);
+        let w = Workload::new(
+            ModelKind::GraphSage,
+            DatasetKind::Papers,
+            Scale::new(4096),
+            1,
+        );
         let ctx = SimContext::new(&w, SystemKind::GnnLab);
         let t = EpochTrace::record(&w, Kernel::FisherYates, ctx.epoch);
         let agl = run_agl_epoch(&ctx, &t).unwrap();

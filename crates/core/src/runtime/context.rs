@@ -4,6 +4,7 @@ use crate::systems::SystemKind;
 use crate::trace::BatchTrace;
 use crate::workload::Workload;
 use gnnlab_cache::{load_cache, CachePolicy, CacheTable, PolicyKind};
+use gnnlab_obs::Obs;
 use gnnlab_sampling::Kernel;
 use gnnlab_sim::{CostModel, SampleCost, Testbed};
 
@@ -22,6 +23,9 @@ pub struct SimContext<'a> {
     pub policy: PolicyKind,
     /// Epoch index to simulate (selects the deterministic shuffle).
     pub epoch: u64,
+    /// Optional observability hub: when set, the runtimes record
+    /// per-stage spans (in virtual time) and metrics into it.
+    pub obs: Option<&'a Obs>,
 }
 
 impl<'a> SimContext<'a> {
@@ -40,12 +44,20 @@ impl<'a> SimContext<'a> {
             cost: CostModel::default(),
             policy,
             epoch: 2,
+            obs: None,
         }
     }
 
     /// Overrides the GPU count.
     pub fn with_gpus(mut self, n: usize) -> Self {
         self.testbed = self.testbed.with_gpus(n);
+        self
+    }
+
+    /// Attaches an observability hub; the runtimes record spans and
+    /// metrics into it. `None` detaches (the default).
+    pub fn with_obs(mut self, obs: Option<&'a Obs>) -> Self {
+        self.obs = obs;
         self
     }
 
@@ -115,7 +127,12 @@ mod tests {
     use gnnlab_tensor::ModelKind;
 
     fn workload() -> Workload {
-        Workload::new(ModelKind::GraphSage, DatasetKind::Products, Scale::new(4096), 1)
+        Workload::new(
+            ModelKind::GraphSage,
+            DatasetKind::Products,
+            Scale::new(4096),
+            1,
+        )
     }
 
     #[test]

@@ -9,10 +9,11 @@
 use super::context::{build_cache_table, SimContext};
 use crate::memory::{plan_sampler_gpu, plan_timeshare_gpu, plan_trainer_gpu};
 use crate::report::{EpochReport, RunError};
-use crate::schedule::should_switch;
+use crate::schedule::switch_profit;
 use crate::systems::SystemKind;
 use crate::trace::EpochTrace;
 use gnnlab_cache::{CacheStats, CacheTable};
+use gnnlab_obs::{Executor, Stage};
 use gnnlab_sim::{ns_to_secs, GatherPath, SampleDevice, SimTime};
 
 /// Profiled per-mini-batch stage times (seconds) for the allocation rule.
@@ -37,8 +38,9 @@ pub fn profile_stage_times(
     let trainer_plan = plan_trainer_gpu(&ctx.testbed, ctx.workload)?;
     let trainer_cache = build_cache_table(ctx.workload, ctx.policy, trainer_plan.cache_alpha);
     let standby_plan = plan_timeshare_gpu(&ctx.testbed, ctx.workload, SystemKind::GnnLab, true);
-    let standby_cache =
-        standby_plan.ok().map(|p| build_cache_table(ctx.workload, ctx.policy, p.cache_alpha));
+    let standby_cache = standby_plan
+        .ok()
+        .map(|p| build_cache_table(ctx.workload, ctx.policy, p.cache_alpha));
 
     let factor = trace.factor;
     let n = trace.num_batches().max(1) as f64;
@@ -46,7 +48,9 @@ pub fn profile_stage_times(
     let mut t_trainer = 0.0;
     let mut t_standby = 0.0;
     for b in &trace.batches {
-        let g = ctx.cost.sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu);
+        let g = ctx
+            .cost
+            .sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu);
         let m = ctx.cost.mark_time(b.input_nodes.len() as f64 * factor);
         let c = ctx.cost.queue_time(b.queue_bytes as f64 * factor);
         t_sample += ns_to_secs(g + m + c);
@@ -118,6 +122,37 @@ impl FactoredOptions {
     }
 }
 
+/// Reconstructs the global queue's depth-over-time series from the
+/// virtual-time enqueue (`ready`) and dequeue (arrival) instants, sampling
+/// `queue.depth` at every event (enqueues win ties: a sample is in the
+/// queue the instant it becomes ready).
+pub(crate) fn record_queue_depth(
+    obs: &gnnlab_obs::Obs,
+    enqueues: &[(SimTime, usize)],
+    dequeues: &[SimTime],
+) {
+    let mut enq: Vec<SimTime> = enqueues.iter().map(|&(t, _)| t).collect();
+    enq.sort_unstable();
+    let mut deq = dequeues.to_vec();
+    deq.sort_unstable();
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut depth: i64 = 0;
+    while i < enq.len() || j < deq.len() {
+        let take_enq = j >= deq.len() || (i < enq.len() && enq[i] <= deq[j]);
+        let t = if take_enq {
+            depth += 1;
+            i += 1;
+            enq[i - 1]
+        } else {
+            depth -= 1;
+            j += 1;
+            deq[j - 1]
+        };
+        obs.metrics.sample("queue.depth", t, depth as f64);
+        obs.metrics.gauge_set("queue.depth", depth as f64);
+    }
+}
+
 fn slowdown(of: &[f64], i: usize) -> f64 {
     of.get(i).copied().unwrap_or(1.0).max(1e-6)
 }
@@ -177,18 +212,42 @@ pub fn run_factored_epoch_opts(
     let mut sampler_free = vec![0u64; ns];
     let mut ready: Vec<(SimTime, usize)> = Vec::with_capacity(trace.num_batches());
     for (i, b) in trace.batches.iter().enumerate() {
-        let s = (0..ns)
-            .min_by_key(|&s| sampler_free[s])
-            .expect("ns >= 1");
+        let s = (0..ns).min_by_key(|&s| sampler_free[s]).expect("ns >= 1");
         let f = slowdown(&opts.sampler_slowdown, s);
-        let g = scaled(ctx.cost.sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu), f);
+        let g = scaled(
+            ctx.cost
+                .sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu),
+            f,
+        );
         let m = scaled(ctx.cost.mark_time(b.input_nodes.len() as f64 * factor), f);
         let c = scaled(ctx.cost.queue_time(b.queue_bytes as f64 * factor), f);
+        let t0 = sampler_free[s];
         sampler_free[s] += g + m + c;
         ready.push((sampler_free[s], i));
         report.stages.sample_g += ns_to_secs(g);
         report.stages.sample_m += ns_to_secs(m);
         report.stages.sample_c += ns_to_secs(c);
+        if let Some(obs) = ctx.obs {
+            let (d, b_id) = (s as u32, i as u64);
+            obs.record_span(d, Executor::Sampler, Stage::SampleG, b_id, t0, t0 + g);
+            obs.record_span(
+                d,
+                Executor::Sampler,
+                Stage::SampleM,
+                b_id,
+                t0 + g,
+                t0 + g + m,
+            );
+            obs.record_span(
+                d,
+                Executor::Sampler,
+                Stage::SampleC,
+                b_id,
+                t0 + g + m,
+                t0 + g + m + c,
+            );
+            obs.metrics.counter_inc("queue.enqueued");
+        }
     }
     ready.sort_by_key(|&(t, i)| (t, i));
 
@@ -227,6 +286,9 @@ pub fn run_factored_epoch_opts(
     let mut stats = CacheStats::default();
     let mut end_time: SimTime = sampler_free.iter().copied().max().unwrap_or(0);
     let total = ready.len();
+    // Dequeue times (sample arrival at a Trainer), kept to reconstruct the
+    // queue-depth-over-time series when observability is attached.
+    let mut dequeues: Vec<SimTime> = Vec::new();
     for (idx, &(ready_at, batch_idx)) in ready.iter().enumerate() {
         let b = &trace.batches[batch_idx];
         let deq = ctx.cost.queue_time(b.queue_bytes as f64 * factor);
@@ -254,11 +316,25 @@ pub fn run_factored_epoch_opts(
                 slowdown(&opts.trainer_slowdown, ci)
             };
             let (miss, hit) = ctx.extract_bytes(b, Some(cache), factor);
-            let e = scaled(ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, nt), f);
+            let e = scaled(
+                ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, nt),
+                f,
+            );
             let t = scaled(ctx.cost.train_time(b.flops * factor), f);
             if c.is_standby {
                 let t_standby = ns_to_secs(e.max(t));
-                if !should_switch(remaining, mean_t_train, nt, t_standby) {
+                // The profit metric P = M_r * T_t / N_t - T_t' (§5.3);
+                // the standby Trainer is a candidate iff P > 0.
+                let profit = switch_profit(remaining, mean_t_train, nt, t_standby);
+                if let Some(obs) = ctx.obs {
+                    obs.metrics
+                        .sample("scheduler.switch_profit", arrival, profit);
+                    obs.metrics.observe("scheduler.switch_profit", profit);
+                }
+                if profit <= 0.0 {
+                    if let Some(obs) = ctx.obs {
+                        obs.metrics.counter_inc("scheduler.switch_denied");
+                    }
                     continue;
                 }
             }
@@ -267,8 +343,7 @@ pub fn run_factored_epoch_opts(
             let better = match best {
                 None => true,
                 Some((bc, _, bi)) => {
-                    completion < bc
-                        || (completion == bc && clocks[bi].is_standby && !c.is_standby)
+                    completion < bc || (completion == bc && clocks[bi].is_standby && !c.is_standby)
                 }
             };
             if better {
@@ -288,7 +363,10 @@ pub fn run_factored_epoch_opts(
             slowdown(&opts.trainer_slowdown, ci)
         };
         let (miss, hit) = ctx.extract_bytes(b, Some(cache), factor);
-        let e = scaled(ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, nt), f);
+        let e = scaled(
+            ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, nt),
+            f,
+        );
         let t = scaled(ctx.cost.train_time(b.flops * factor), f);
         let extract_done = start + e;
         let train_start = clocks[ci].train_free.max(extract_done);
@@ -311,9 +389,45 @@ pub fn run_factored_epoch_opts(
         } else {
             stats.record(&trainer_cache, &b.input_nodes, row_bytes);
         }
+        if let Some(obs) = ctx.obs {
+            // Standby Trainers run on their Sampler's GPU; normal Trainers
+            // occupy the GPUs after the Sampler block.
+            let (device, executor) = if is_standby {
+                ((ci - nt) as u32, Executor::Standby)
+            } else {
+                ((ns + ci) as u32, Executor::Trainer)
+            };
+            let b_id = batch_idx as u64;
+            obs.record_span(device, executor, Stage::Extract, b_id, start, extract_done);
+            obs.record_span(
+                device,
+                executor,
+                Stage::Train,
+                b_id,
+                train_start,
+                train_done,
+            );
+            obs.metrics.counter_inc("queue.dequeued");
+            obs.metrics
+                .observe("queue.wait_ns", (start - arrival) as f64);
+            obs.metrics.counter_add("cache.hit_bytes", hit);
+            obs.metrics.counter_add("cache.miss_bytes", miss);
+            if hit + miss > 0.0 {
+                obs.metrics
+                    .observe("cache.batch_hit_rate", hit / (hit + miss));
+            }
+            if is_standby {
+                obs.metrics.counter_inc("scheduler.switches");
+            }
+            dequeues.push(arrival);
+        }
     }
     report.hit_rate = stats.hit_rate();
     report.epoch_time = ns_to_secs(end_time);
+    if let Some(obs) = ctx.obs {
+        stats.publish(&obs.metrics);
+        record_queue_depth(obs, &ready, &dequeues);
+    }
     Ok(report)
 }
 
@@ -399,7 +513,10 @@ mod tests {
         let with = run_factored_epoch(&c, &t, 1, 7, true).unwrap();
         let without = run_factored_epoch(&c, &t, 1, 7, false).unwrap();
         let ratio = with.epoch_time / without.epoch_time;
-        assert!(ratio < 1.05, "switching slowed a balanced workload: {ratio}");
+        assert!(
+            ratio < 1.05,
+            "switching slowed a balanced workload: {ratio}"
+        );
     }
 
     #[test]

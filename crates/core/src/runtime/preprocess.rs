@@ -4,6 +4,7 @@ use super::context::SimContext;
 use crate::memory::plan_trainer_gpu;
 use crate::report::RunError;
 use crate::trace::EpochTrace;
+use gnnlab_obs::{Executor, Stage, HOST_DEVICE};
 use gnnlab_sim::{ns_to_secs, SampleDevice};
 
 /// The three preprocessing phases of Table 6 (seconds).
@@ -49,12 +50,36 @@ pub fn preprocess_report(
     let sample_epoch_ns: u64 = trace
         .batches
         .iter()
-        .map(|b| ctx.cost.sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu))
+        .map(|b| {
+            ctx.cost
+                .sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu)
+        })
         .sum();
+    let disk_ns = ctx.cost.disk_load_time(topo + feat);
+    let topo_ns = ctx.cost.topo_load_time(topo);
+    let cache_ns = ctx.cost.cache_load_time(cache_bytes);
+    let presample_ns = (sample_epoch_ns as f64 * 1.4).round() as u64;
+    if let Some(obs) = ctx.obs {
+        // The phases run back-to-back on one host timeline (Table 6 order).
+        let mut t = 0u64;
+        for (stage, dur) in [
+            (Stage::DiskToDram, disk_ns),
+            (Stage::LoadTopology, topo_ns),
+            (Stage::LoadCache, cache_ns),
+            (Stage::Presample, presample_ns),
+        ] {
+            obs.record_span(HOST_DEVICE, Executor::Host, stage, 0, t, t + dur);
+            obs.metrics
+                .observe("preprocess.phase_secs", ns_to_secs(dur));
+            t += dur;
+        }
+        obs.metrics
+            .gauge_set("preprocess.total_secs", ns_to_secs(t));
+    }
     Ok(PreprocessReport {
-        disk_to_dram: ns_to_secs(ctx.cost.disk_load_time(topo + feat)),
-        load_topology: ns_to_secs(ctx.cost.topo_load_time(topo)),
-        load_cache: ns_to_secs(ctx.cost.cache_load_time(cache_bytes)),
+        disk_to_dram: ns_to_secs(disk_ns),
+        load_topology: ns_to_secs(topo_ns),
+        load_cache: ns_to_secs(cache_ns),
         presampling: ns_to_secs(sample_epoch_ns) * 1.4,
     })
 }
@@ -76,13 +101,21 @@ mod tests {
         let rep = preprocess_report(&ctx, &t).unwrap();
         // Paper Table 6 for PA: P1 = 48.6 s, load G = 3.2 s, load $ =
         // 10.7 s, pre-sampling = 1.8 s. Allow generous bands.
-        assert!(rep.disk_to_dram > 30.0 && rep.disk_to_dram < 80.0, "{rep:?}");
-        assert!(rep.load_topology > 1.5 && rep.load_topology < 8.0, "{rep:?}");
+        assert!(
+            rep.disk_to_dram > 30.0 && rep.disk_to_dram < 80.0,
+            "{rep:?}"
+        );
+        assert!(
+            rep.load_topology > 1.5 && rep.load_topology < 8.0,
+            "{rep:?}"
+        );
         assert!(rep.load_cache > 5.0 && rep.load_cache < 20.0, "{rep:?}");
         assert!(rep.presampling > 0.3 && rep.presampling < 5.0, "{rep:?}");
         // P1 dominates; pre-sampling is trivial (the §7.6 takeaway).
         assert!(rep.disk_to_dram > rep.dram_to_gpu());
         assert!(rep.presampling < rep.dram_to_gpu());
-        assert!((rep.total() - (rep.disk_to_dram + rep.dram_to_gpu() + rep.presampling)).abs() < 1e-9);
+        assert!(
+            (rep.total() - (rep.disk_to_dram + rep.dram_to_gpu() + rep.presampling)).abs() < 1e-9
+        );
     }
 }

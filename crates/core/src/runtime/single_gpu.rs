@@ -11,6 +11,7 @@ use crate::report::{EpochReport, RunError};
 use crate::systems::SystemKind;
 use crate::trace::EpochTrace;
 use gnnlab_cache::CacheStats;
+use gnnlab_obs::{Executor, Stage};
 use gnnlab_sim::{ns_to_secs, GatherPath, SampleDevice, SimTime};
 
 /// Simulates one GNNLab epoch on a single GPU.
@@ -37,26 +38,84 @@ pub fn run_single_gpu_epoch(
 
     // Phase 1: sample everything.
     let mut clock: SimTime = 0;
-    for b in &trace.batches {
-        let g = ctx.cost.sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu);
+    let mut enqueues: Vec<(SimTime, usize)> = Vec::new();
+    for (i, b) in trace.batches.iter().enumerate() {
+        let g = ctx
+            .cost
+            .sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu);
         let m = ctx.cost.mark_time(b.input_nodes.len() as f64 * factor);
         let c = ctx.cost.queue_time(b.queue_bytes as f64 * factor);
+        let t0 = clock;
         clock += g + m + c;
         report.stages.sample_g += ns_to_secs(g);
         report.stages.sample_m += ns_to_secs(m);
         report.stages.sample_c += ns_to_secs(c);
+        if let Some(obs) = ctx.obs {
+            let b_id = i as u64;
+            obs.record_span(0, Executor::Sampler, Stage::SampleG, b_id, t0, t0 + g);
+            obs.record_span(
+                0,
+                Executor::Sampler,
+                Stage::SampleM,
+                b_id,
+                t0 + g,
+                t0 + g + m,
+            );
+            obs.record_span(
+                0,
+                Executor::Sampler,
+                Stage::SampleC,
+                b_id,
+                t0 + g + m,
+                t0 + g + m + c,
+            );
+            obs.metrics.counter_inc("queue.enqueued");
+            enqueues.push((clock, i));
+        }
     }
 
     // Phase 2: pipelined Extract/Train over the stored samples.
     let mut extract_free = clock;
     let mut train_free = clock;
-    for b in &trace.batches {
+    let mut dequeues: Vec<SimTime> = Vec::new();
+    for (i, b) in trace.batches.iter().enumerate() {
         let deq = ctx.cost.queue_time(b.queue_bytes as f64 * factor);
         let (miss, hit) = ctx.extract_bytes(b, Some(&cache), factor);
         let e = ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, 1);
         let t = ctx.cost.train_time(b.flops * factor);
         let extract_done = extract_free + deq + e;
-        let train_done = train_free.max(extract_done) + t;
+        let train_start = train_free.max(extract_done);
+        let train_done = train_start + t;
+        if let Some(obs) = ctx.obs {
+            // The solo GPU alternates roles once per epoch; phase 2 is the
+            // standby-Trainer half of the switch.
+            let b_id = i as u64;
+            obs.record_span(
+                0,
+                Executor::Standby,
+                Stage::Extract,
+                b_id,
+                extract_done - e,
+                extract_done,
+            );
+            obs.record_span(
+                0,
+                Executor::Standby,
+                Stage::Train,
+                b_id,
+                train_start,
+                train_done,
+            );
+            obs.metrics.counter_inc("queue.dequeued");
+            obs.metrics.counter_inc("scheduler.switches");
+            obs.metrics.counter_add("cache.hit_bytes", hit);
+            obs.metrics.counter_add("cache.miss_bytes", miss);
+            if hit + miss > 0.0 {
+                obs.metrics
+                    .observe("cache.batch_hit_rate", hit / (hit + miss));
+            }
+            dequeues.push(extract_free + deq);
+        }
         extract_free = extract_done;
         train_free = train_done;
         report.stages.extract += ns_to_secs(e);
@@ -66,6 +125,10 @@ pub fn run_single_gpu_epoch(
     }
     report.hit_rate = stats.hit_rate();
     report.epoch_time = ns_to_secs(train_free);
+    if let Some(obs) = ctx.obs {
+        stats.publish(&obs.metrics);
+        super::factored::record_queue_depth(obs, &enqueues, &dequeues);
+    }
     Ok(report)
 }
 

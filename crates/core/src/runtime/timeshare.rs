@@ -12,6 +12,7 @@ use crate::report::{EpochReport, RunError};
 use crate::systems::SystemKind;
 use crate::trace::EpochTrace;
 use gnnlab_cache::CacheStats;
+use gnnlab_obs::{Executor, Stage};
 use gnnlab_sim::ns_to_secs;
 
 /// Simulates one time-sharing epoch over `ctx.testbed.num_gpus` GPUs.
@@ -61,6 +62,7 @@ pub fn run_timeshare_epoch(
             .cost
             .extract_time(miss, hit, system.gather_path(), num_gpus);
         let t = ctx.cost.train_time(b.flops * factor);
+        let t0 = gpu_clock[gpu];
         gpu_clock[gpu] += g + m + e + t;
 
         report.stages.sample_g += ns_to_secs(g);
@@ -71,9 +73,44 @@ pub fn run_timeshare_epoch(
         if let Some(table) = &cache {
             stats.record(table, &b.input_nodes, row_bytes);
         }
+        if let Some(obs) = ctx.obs {
+            // A time-sharing GPU runs the full pipeline serially; it plays
+            // both roles, recorded here as a Trainer track.
+            let (d, b_id) = (gpu as u32, i as u64);
+            obs.record_span(d, Executor::Trainer, Stage::SampleG, b_id, t0, t0 + g);
+            if m > 0 {
+                obs.record_span(
+                    d,
+                    Executor::Trainer,
+                    Stage::SampleM,
+                    b_id,
+                    t0 + g,
+                    t0 + g + m,
+                );
+            }
+            obs.record_span(
+                d,
+                Executor::Trainer,
+                Stage::Extract,
+                b_id,
+                t0 + g + m,
+                t0 + g + m + e,
+            );
+            let te = t0 + g + m + e;
+            obs.record_span(d, Executor::Trainer, Stage::Train, b_id, te, te + t);
+            obs.metrics.counter_add("cache.hit_bytes", hit);
+            obs.metrics.counter_add("cache.miss_bytes", miss);
+            if hit + miss > 0.0 {
+                obs.metrics
+                    .observe("cache.batch_hit_rate", hit / (hit + miss));
+            }
+        }
     }
     report.hit_rate = stats.hit_rate();
     report.epoch_time = ns_to_secs(gpu_clock.into_iter().max().unwrap_or(0));
+    if let Some(obs) = ctx.obs {
+        stats.publish(&obs.metrics);
+    }
     Ok(report)
 }
 

@@ -18,13 +18,14 @@ use crate::train_real::{gather_features, sampler_for};
 use gnnlab_cache::{load_cache, CachePolicy, CachedFeatureStore, PolicyKind};
 use gnnlab_graph::gen::SbmGraph;
 use gnnlab_graph::{FeatureStore, VertexId};
+use gnnlab_obs::{Executor, Obs, Stage};
 use gnnlab_sampling::{MinibatchIter, Sample};
 use gnnlab_tensor::loss::accuracy;
 use gnnlab_tensor::{Adam, GnnModel, Matrix, ModelConfig, ModelKind, Optimizer};
 use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Configuration of a threaded training run.
@@ -81,6 +82,8 @@ pub struct ThreadedResult {
 
 /// One task flowing through the global queue.
 struct TrainTask {
+    /// Global production sequence number (the span `batch` id).
+    id: u64,
     sample: Sample,
     labels: Vec<u32>,
 }
@@ -133,7 +136,11 @@ fn pull_params(replica: &mut GnnModel, server: &Mutex<ParamServer>) {
 /// (asynchronous update; staleness is bounded by the number of in-flight
 /// Trainers).
 fn push_grads(replica: &mut GnnModel, server: &Mutex<ParamServer>) {
-    let grads: Vec<Matrix> = replica.params_mut().iter().map(|p| p.grad.clone()).collect();
+    let grads: Vec<Matrix> = replica
+        .params_mut()
+        .iter()
+        .map(|p| p.grad.clone())
+        .collect();
     replica.zero_grad();
     let mut guard = server.lock();
     let ParamServer { master, opt } = &mut *guard;
@@ -148,8 +155,26 @@ fn push_grads(replica: &mut GnnModel, server: &Mutex<ParamServer>) {
 ///
 /// Training vertices are the first half of the graph (deterministic
 /// split); accuracy is evaluated on the second half after all epochs.
+/// Records into a private wall-clock [`Obs`]; use [`run_threaded_obs`] to
+/// keep the spans and metrics.
 pub fn run_threaded(graph: &SbmGraph, kind: ModelKind, cfg: &ThreadedConfig) -> ThreadedResult {
-    assert!(cfg.num_samplers >= 1 && cfg.num_trainers >= 1, "need executors");
+    run_threaded_obs(graph, kind, cfg, &Arc::new(Obs::wall()))
+}
+
+/// [`run_threaded`] with a caller-supplied observability hub: every
+/// Sampler/Trainer records wall-clock spans, the global queue records a
+/// depth sample per enqueue/dequeue, and the Trainers' cache statistics
+/// are published under `cache.*`.
+pub fn run_threaded_obs(
+    graph: &SbmGraph,
+    kind: ModelKind,
+    cfg: &ThreadedConfig,
+    obs: &Arc<Obs>,
+) -> ThreadedResult {
+    assert!(
+        cfg.num_samplers >= 1 && cfg.num_trainers >= 1,
+        "need executors"
+    );
     let n = graph.csr.num_vertices();
     let train_set: Vec<VertexId> =
         gnnlab_graph::trainset::random_train_set(n, n / 2, cfg.seed ^ 0x5EED);
@@ -169,10 +194,10 @@ pub fn run_threaded(graph: &SbmGraph, kind: ModelKind, cfg: &ThreadedConfig) -> 
         }),
         opt: Adam::new(cfg.lr),
     }));
-    let queue: Arc<GlobalQueue<TrainTask>> = Arc::new(GlobalQueue::new());
-    let produced = Arc::new(AtomicUsize::new(0));
+    let queue: Arc<GlobalQueue<TrainTask>> = Arc::new(GlobalQueue::with_obs(Arc::clone(obs)));
+    // Production sequence number doubles as the span `batch` id.
+    let produced = Arc::new(AtomicU64::new(0));
     let trained = Arc::new(AtomicUsize::new(0));
-    let peak = Arc::new(AtomicUsize::new(0));
     let sampling_done = Arc::new(AtomicUsize::new(0));
 
     std::thread::scope(|scope| {
@@ -180,8 +205,8 @@ pub fn run_threaded(graph: &SbmGraph, kind: ModelKind, cfg: &ThreadedConfig) -> 
         // out mini-batches dynamically (§5.2). -----------------------------
         for s in 0..cfg.num_samplers {
             let queue = Arc::clone(&queue);
+            let obs = Arc::clone(obs);
             let produced = Arc::clone(&produced);
-            let peak = Arc::clone(&peak);
             let sampling_done = Arc::clone(&sampling_done);
             let feature_store = Arc::clone(&feature_store);
             let train_set = train_set.clone();
@@ -190,28 +215,31 @@ pub fn run_threaded(graph: &SbmGraph, kind: ModelKind, cfg: &ThreadedConfig) -> 
             scope.spawn(move || {
                 let algo = sampler_for(kind);
                 let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (s as u64) << 17);
+                let device = s as u32;
                 for epoch in 0..cfg.epochs {
                     let batches: Vec<Vec<VertexId>> =
                         MinibatchIter::new(&train_set, cfg.batch_size, cfg.seed, epoch as u64)
                             .collect();
                     // Static striping per sampler approximates the dynamic
                     // scheduler without cross-thread coordination overhead.
-                    for batch in batches
-                        .iter()
-                        .skip(s)
-                        .step_by(cfg.num_samplers)
-                    {
-                        let mut sample = algo.sample(&graph.csr, batch, &mut rng);
+                    for batch in batches.iter().skip(s).step_by(cfg.num_samplers) {
+                        let id = produced.fetch_add(1, Ordering::Relaxed);
+                        let mut sample = {
+                            let _g = obs.start_span(device, Executor::Sampler, Stage::SampleG, id);
+                            algo.sample(&graph.csr, batch, &mut rng)
+                        };
                         // The M step (§5.2): the Sampler marks which input
                         // vertices the Trainers' cache holds, so Trainers
                         // need no second membership pass.
-                        sample.cache_mask =
-                            Some(feature_store.table().mark(sample.input_nodes()));
-                        let labels =
-                            batch.iter().map(|&v| graph.labels[v as usize]).collect();
-                        queue.enqueue(TrainTask { sample, labels });
-                        produced.fetch_add(1, Ordering::Relaxed);
-                        peak.fetch_max(queue.remaining(), Ordering::Relaxed);
+                        {
+                            let _g = obs.start_span(device, Executor::Sampler, Stage::SampleM, id);
+                            sample.cache_mask =
+                                Some(feature_store.table().mark(sample.input_nodes()));
+                        }
+                        let labels = batch.iter().map(|&v| graph.labels[v as usize]).collect();
+                        let _g = obs.start_span(device, Executor::Sampler, Stage::SampleC, id);
+                        queue.enqueue(TrainTask { id, sample, labels });
+                        obs.metrics.counter_inc("threaded.samples_produced");
                     }
                 }
                 sampling_done.fetch_add(1, Ordering::Release);
@@ -222,6 +250,7 @@ pub fn run_threaded(graph: &SbmGraph, kind: ModelKind, cfg: &ThreadedConfig) -> 
         // and all Samplers have finished. ----------------------------------
         for t in 0..cfg.num_trainers {
             let queue = Arc::clone(&queue);
+            let obs = Arc::clone(obs);
             let server = Arc::clone(&server);
             let trained = Arc::clone(&trained);
             let sampling_done = Arc::clone(&sampling_done);
@@ -229,6 +258,7 @@ pub fn run_threaded(graph: &SbmGraph, kind: ModelKind, cfg: &ThreadedConfig) -> 
             let graph = &*graph;
             let cfg = cfg.clone();
             scope.spawn(move || {
+                let device = (cfg.num_samplers + t) as u32;
                 let mut replica = GnnModel::new(ModelConfig {
                     kind,
                     in_dim: graph.feat_dim,
@@ -236,9 +266,17 @@ pub fn run_threaded(graph: &SbmGraph, kind: ModelKind, cfg: &ThreadedConfig) -> 
                     num_classes: graph.num_classes,
                     seed: cfg.seed ^ (t as u64),
                 });
+                // Instant the trainer last went idle, for dequeue-wait.
+                let mut wait_started: Option<u64> = None;
                 loop {
                     match queue.dequeue() {
                         Some(task) => {
+                            if let Some(w) = wait_started.take() {
+                                obs.metrics.observe(
+                                    "queue.wait_ns",
+                                    obs.now_ns().saturating_sub(w) as f64,
+                                );
+                            }
                             pull_params(&mut replica, &server);
                             // Real two-tier Extract: device cache + host,
                             // guided by the Sampler's marks.
@@ -247,14 +285,26 @@ pub fn run_threaded(graph: &SbmGraph, kind: ModelKind, cfg: &ThreadedConfig) -> 
                                 Some(task.sample.num_input_nodes()),
                                 "Sampler must mark every input vertex"
                             );
-                            let raw = feature_store.extract(task.sample.input_nodes());
-                            let feats = Matrix::from_vec(
-                                task.sample.num_input_nodes(),
-                                graph.feat_dim,
-                                raw,
-                            );
-                            let _ = replica.train_batch(&task.sample, &feats, &task.labels);
-                            push_grads(&mut replica, &server);
+                            let feats = {
+                                let _g = obs.start_span(
+                                    device,
+                                    Executor::Trainer,
+                                    Stage::Extract,
+                                    task.id,
+                                );
+                                let raw = feature_store.extract(task.sample.input_nodes());
+                                Matrix::from_vec(task.sample.num_input_nodes(), graph.feat_dim, raw)
+                            };
+                            {
+                                let _g = obs.start_span(
+                                    device,
+                                    Executor::Trainer,
+                                    Stage::Train,
+                                    task.id,
+                                );
+                                let _ = replica.train_batch(&task.sample, &feats, &task.labels);
+                                push_grads(&mut replica, &server);
+                            }
                             trained.fetch_add(1, Ordering::Relaxed);
                         }
                         None => {
@@ -263,6 +313,7 @@ pub fn run_threaded(graph: &SbmGraph, kind: ModelKind, cfg: &ThreadedConfig) -> 
                             {
                                 break;
                             }
+                            wait_started.get_or_insert_with(|| obs.now_ns());
                             std::thread::yield_now();
                         }
                     }
@@ -291,12 +342,18 @@ pub fn run_threaded(graph: &SbmGraph, kind: ModelKind, cfg: &ThreadedConfig) -> 
         total += chunk.len();
     }
 
+    let stats = feature_store.stats();
+    stats.publish(&obs.metrics);
     ThreadedResult {
         batches_trained: trained.load(Ordering::Relaxed),
-        samples_produced: produced.load(Ordering::Relaxed),
-        final_accuracy: if total == 0 { 0.0 } else { correct / total as f64 },
-        peak_queue_depth: peak.load(Ordering::Relaxed),
-        cache_hit_rate: feature_store.stats().hit_rate(),
+        samples_produced: produced.load(Ordering::Relaxed) as usize,
+        final_accuracy: if total == 0 {
+            0.0
+        } else {
+            correct / total as f64
+        },
+        peak_queue_depth: queue.peak_depth(),
+        cache_hit_rate: stats.hit_rate(),
     }
 }
 
@@ -379,6 +436,39 @@ mod tests {
             },
         );
         assert_eq!(uncached.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn threaded_run_populates_observability() {
+        let g = graph();
+        let obs = Arc::new(Obs::wall());
+        let cfg = ThreadedConfig {
+            epochs: 2,
+            cache_alpha: 0.5,
+            ..Default::default()
+        };
+        let res = run_threaded_obs(&g, ModelKind::GraphSage, &cfg, &obs);
+
+        // Queue depth was sampled on every enqueue/dequeue.
+        assert!(
+            obs.metrics.series_len("queue.depth") > 0,
+            "no depth samples"
+        );
+        assert_eq!(
+            obs.metrics.counter("queue.enqueued") as usize,
+            res.samples_produced
+        );
+        assert_eq!(
+            obs.metrics.counter("queue.dequeued") as usize,
+            res.batches_trained
+        );
+        // Cache hit/miss totals were published by the Trainers' store.
+        assert!(obs.metrics.counter("cache.lookups") > 0.0);
+        assert!(obs.metrics.counter("cache.hits") > 0.0);
+        assert!(obs.metrics.counter("cache.misses") > 0.0);
+        // Every executor recorded wall-clock spans; none overlap on a lane.
+        assert!(obs.span_count() > 0);
+        assert!(gnnlab_obs::find_overlap(&obs.spans()).is_none());
     }
 
     #[test]

@@ -74,7 +74,11 @@ impl EpochTrace {
                 work: s.work,
                 queue_bytes: s.queue_bytes(),
                 flops,
-                input_nodes: s.blocks.first().map(|b| b.src_globals.clone()).unwrap_or_default(),
+                input_nodes: s
+                    .blocks
+                    .first()
+                    .map(|b| b.src_globals.clone())
+                    .unwrap_or_default(),
             });
         }
         // Intended paper-scale batch count: the default path targets the
@@ -105,7 +109,10 @@ impl EpochTrace {
 
     /// Total distinct-per-batch input vertices over the epoch.
     pub fn total_input_nodes(&self) -> u64 {
-        self.batches.iter().map(|b| b.input_nodes.len() as u64).sum()
+        self.batches
+            .iter()
+            .map(|b| b.input_nodes.len() as u64)
+            .sum()
     }
 
     /// Total feature bytes needed per epoch at paper scale (no cache).
@@ -121,7 +128,12 @@ mod tests {
     use gnnlab_tensor::ModelKind;
 
     fn workload() -> Workload {
-        Workload::new(ModelKind::GraphSage, DatasetKind::Products, Scale::new(4096), 1)
+        Workload::new(
+            ModelKind::GraphSage,
+            DatasetKind::Products,
+            Scale::new(4096),
+            1,
+        )
     }
 
     #[test]

@@ -157,8 +157,7 @@ pub fn train_to_accuracy(
         epochs = epoch + 1;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ ((epoch as u64) << 32));
         let batches: Vec<Vec<VertexId>> =
-            MinibatchIter::new(&train_set, cfg.batch_size.max(1), cfg.seed, epoch as u64)
-                .collect();
+            MinibatchIter::new(&train_set, cfg.batch_size.max(1), cfg.seed, epoch as u64).collect();
         // Each group of `num_trainers` batches is one synchronous update:
         // gradients accumulate (per-replica means), get averaged, and the
         // shared parameters step once.
@@ -177,7 +176,14 @@ pub fn train_to_accuracy(
             opt.step(&mut params);
             updates += 1;
         }
-        let acc = evaluate(graph, &mut model, algo.as_ref(), &test_set, cfg.batch_size, cfg.seed);
+        let acc = evaluate(
+            graph,
+            &mut model,
+            algo.as_ref(),
+            &test_set,
+            cfg.batch_size,
+            cfg.seed,
+        );
         history.push((updates, acc));
         if acc >= cfg.target_accuracy {
             converged = true;

@@ -61,12 +61,7 @@ impl Workload {
 
     /// Builds a workload over a user-supplied [`Dataset`] (see
     /// [`Dataset::custom`]) with explicit hyper-parameters.
-    pub fn with_dataset(
-        model: ModelKind,
-        dataset: Dataset,
-        num_classes: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn with_dataset(model: ModelKind, dataset: Dataset, num_classes: usize, seed: u64) -> Self {
         Workload {
             model,
             algorithm: Self::default_algorithm(model),
@@ -81,12 +76,9 @@ impl Workload {
     /// weights if needed) — used by the §7.4 weighted-sampling runs.
     pub fn with_algorithm(mut self, algorithm: AlgorithmKind) -> Self {
         if algorithm.needs_weights() && !self.dataset.csr.is_weighted() {
-            self.dataset = Dataset::generate_weighted(
-                self.dataset.spec.kind,
-                self.dataset.scale,
-                self.seed,
-            )
-            .expect("valid dataset parameters");
+            self.dataset =
+                Dataset::generate_weighted(self.dataset.spec.kind, self.dataset.scale, self.seed)
+                    .expect("valid dataset parameters");
         }
         self.algorithm = algorithm;
         self
@@ -116,7 +108,11 @@ impl Workload {
 
     /// Short label, e.g. `GCN/PA`.
     pub fn label(&self) -> String {
-        format!("{}/{}", self.model.abbrev(), self.dataset.spec.kind.abbrev())
+        format!(
+            "{}/{}",
+            self.model.abbrev(),
+            self.dataset.spec.kind.abbrev()
+        )
     }
 }
 

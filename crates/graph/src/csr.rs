@@ -55,9 +55,7 @@ impl Csr {
             return Err(GraphError::MalformedCsr("indptr[0] must be 0"));
         }
         if *indptr.last().expect("non-empty") != indices.len() as u64 {
-            return Err(GraphError::MalformedCsr(
-                "indptr must end at indices.len()",
-            ));
+            return Err(GraphError::MalformedCsr("indptr must end at indices.len()"));
         }
         if indptr.windows(2).any(|w| w[0] > w[1]) {
             return Err(GraphError::MalformedCsr("indptr must be non-decreasing"));

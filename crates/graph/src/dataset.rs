@@ -335,8 +335,7 @@ mod tests {
 
     #[test]
     fn weighted_variant_has_weights() {
-        let d =
-            Dataset::generate_weighted(DatasetKind::Twitter, Scale::new(4096), 1).unwrap();
+        let d = Dataset::generate_weighted(DatasetKind::Twitter, Scale::new(4096), 1).unwrap();
         assert!(d.csr.is_weighted());
     }
 

@@ -20,12 +20,7 @@ use rand_chacha::ChaCha8Rng;
 /// The output keeps parallel edges (real crawls contain them after
 /// symmetrization and they are harmless to sampling); self-loops are
 /// filtered.
-pub fn chung_lu(
-    num_vertices: usize,
-    num_edges: usize,
-    exponent: f64,
-    seed: u64,
-) -> Result<Csr> {
+pub fn chung_lu(num_vertices: usize, num_edges: usize, exponent: f64, seed: u64) -> Result<Csr> {
     if num_vertices == 0 {
         return Err(GraphError::InvalidParameter("num_vertices must be > 0"));
     }

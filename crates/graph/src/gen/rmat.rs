@@ -14,12 +14,7 @@ use rand_chacha::ChaCha8Rng;
 /// default for power-law graphs.
 ///
 /// `a + b + c + d` must sum to 1 (±1e-6), each in `[0, 1]`.
-pub fn rmat(
-    scale: u32,
-    num_edges: usize,
-    probs: (f64, f64, f64, f64),
-    seed: u64,
-) -> Result<Csr> {
+pub fn rmat(scale: u32, num_edges: usize, probs: (f64, f64, f64, f64), seed: u64) -> Result<Csr> {
     let (a, b, c, d) = probs;
     let sum = a + b + c + d;
     if !(0.999_999..=1.000_001).contains(&sum) || [a, b, c, d].iter().any(|p| *p < 0.0) {

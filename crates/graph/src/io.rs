@@ -47,7 +47,10 @@ impl From<GraphError> for IoError {
 /// Reads a whitespace-separated edge list (`src dst [weight]` per line;
 /// `#`-prefixed lines are comments). `num_vertices` of `None` infers
 /// `max id + 1`.
-pub fn read_edge_list(path: &Path, num_vertices: Option<usize>) -> std::result::Result<Csr, IoError> {
+pub fn read_edge_list(
+    path: &Path,
+    num_vertices: Option<usize>,
+) -> std::result::Result<Csr, IoError> {
     let file = std::fs::File::open(path)?;
     let reader = BufReader::new(file);
     let mut edges: Vec<(VertexId, VertexId, Option<f32>)> = Vec::new();
@@ -67,9 +70,10 @@ pub fn read_edge_list(path: &Path, num_vertices: Option<usize>) -> std::result::
         let s = parse(parts.next(), "src")?;
         let d = parse(parts.next(), "dst")?;
         let w = match parts.next() {
-            Some(tok) => Some(tok.parse::<f32>().map_err(|_| {
-                IoError::Format(format!("line {}: bad weight", lineno + 1))
-            })?),
+            Some(tok) => Some(
+                tok.parse::<f32>()
+                    .map_err(|_| IoError::Format(format!("line {}: bad weight", lineno + 1)))?,
+            ),
             None => None,
         };
         max_id = max_id.max(s).max(d);
@@ -97,7 +101,12 @@ pub fn read_edge_list(path: &Path, num_vertices: Option<usize>) -> std::result::
 pub fn write_edge_list(csr: &Csr, path: &Path) -> std::result::Result<(), IoError> {
     let file = std::fs::File::create(path)?;
     let mut w = BufWriter::new(file);
-    writeln!(w, "# gnnlab edge list: {} vertices, {} edges", csr.num_vertices(), csr.num_edges())?;
+    writeln!(
+        w,
+        "# gnnlab edge list: {} vertices, {} edges",
+        csr.num_vertices(),
+        csr.num_edges()
+    )?;
     for v in 0..csr.num_vertices() as VertexId {
         let nbrs = csr.neighbors(v);
         match csr.edge_weights(v) {
@@ -163,7 +172,9 @@ pub fn read_binary(path: &Path) -> std::result::Result<Csr, IoError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(IoError::Format("bad magic; not a gnnlab binary CSR".to_string()));
+        return Err(IoError::Format(
+            "bad magic; not a gnnlab binary CSR".to_string(),
+        ));
     }
     let n = read_exact_u64(&mut r)? as usize;
     let m = read_exact_u64(&mut r)? as usize;
@@ -192,7 +203,6 @@ pub fn read_binary(path: &Path) -> std::result::Result<Csr, IoError> {
         Ok(csr)
     }
 }
-
 
 #[cfg(test)]
 mod tests {

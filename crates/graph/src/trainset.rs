@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn random_differs_by_seed() {
-        assert_ne!(random_train_set(1000, 100, 1), random_train_set(1000, 100, 2));
+        assert_ne!(
+            random_train_set(1000, 100, 1),
+            random_train_set(1000, 100, 2)
+        );
     }
 
     #[test]

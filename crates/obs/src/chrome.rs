@@ -1,0 +1,219 @@
+//! Chrome trace-event JSON export (loadable in Perfetto / `chrome://tracing`).
+//!
+//! Each `(run, device)` pair becomes one trace *process* (one track per
+//! simulated GPU), and each stage lane becomes a named *thread* inside it,
+//! so a factored run renders as parallel Sample/Extract/Train swimlanes.
+//! Spans are emitted as `"X"` (complete) events with microsecond
+//! timestamps, the format's native unit.
+
+use crate::span::{Executor, Span, HOST_DEVICE};
+use serde_json::Value;
+
+/// Process-id slot reserved for host-side spans inside a run.
+const HOST_SLOT: u32 = 4095;
+/// Process ids are `run * RUN_STRIDE + device_slot`.
+const RUN_STRIDE: u32 = 4096;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn device_slot(device: u32) -> u32 {
+    if device == HOST_DEVICE {
+        HOST_SLOT
+    } else {
+        device.min(HOST_SLOT - 1)
+    }
+}
+
+fn pid(span: &Span) -> u32 {
+    span.run * RUN_STRIDE + device_slot(span.device)
+}
+
+fn process_name(run_label: &str, device: u32, executors: &[Executor]) -> String {
+    let device_name = if device == HOST_DEVICE {
+        "Host".to_string()
+    } else {
+        format!("GPU {device}")
+    };
+    let mut roles: Vec<&str> = executors
+        .iter()
+        .map(|e| match e {
+            Executor::Sampler => "Sampler",
+            Executor::Trainer => "Trainer",
+            Executor::Standby => "Standby",
+            Executor::Host => "Host",
+        })
+        .collect();
+    roles.sort_unstable();
+    roles.dedup();
+    format!("{run_label} / {device_name} [{}]", roles.join("+"))
+}
+
+/// Builds the full Chrome trace document for `spans`.
+///
+/// `run_labels[i]` names run `i`; missing labels fall back to `run<i>`.
+pub fn chrome_trace(spans: &[Span], run_labels: &[String]) -> Value {
+    let mut events: Vec<Value> = Vec::with_capacity(spans.len() + 64);
+
+    // Metadata: one process per (run, device), one named thread per lane.
+    let mut tracks: Vec<(u32, u32, Vec<Executor>, Vec<&Span>)> = Vec::new();
+    for s in spans {
+        match tracks
+            .iter_mut()
+            .find(|(r, d, _, _)| *r == s.run && *d == s.device)
+        {
+            Some((_, _, execs, members)) => {
+                if !execs.contains(&s.executor) {
+                    execs.push(s.executor);
+                }
+                members.push(s);
+            }
+            None => tracks.push((s.run, s.device, vec![s.executor], vec![s])),
+        }
+    }
+    tracks.sort_by_key(|&(r, d, _, _)| (r, d));
+
+    for (run, device, execs, members) in &tracks {
+        let label = run_labels
+            .get(*run as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("run{run}"));
+        let p = run * RUN_STRIDE + device_slot(*device);
+        events.push(obj(vec![
+            ("ph", Value::Str("M".to_string())),
+            ("name", Value::Str("process_name".to_string())),
+            ("pid", Value::U64(p as u64)),
+            ("tid", Value::U64(0)),
+            (
+                "args",
+                obj(vec![(
+                    "name",
+                    Value::Str(process_name(&label, *device, execs)),
+                )]),
+            ),
+        ]));
+        let mut lanes: Vec<u32> = members.iter().map(|s| s.stage.lane()).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        for lane in lanes {
+            let lane_name = members
+                .iter()
+                .find(|s| s.stage.lane() == lane)
+                .map(|s| s.stage.lane_name())
+                .unwrap_or("?");
+            events.push(obj(vec![
+                ("ph", Value::Str("M".to_string())),
+                ("name", Value::Str("thread_name".to_string())),
+                ("pid", Value::U64(p as u64)),
+                ("tid", Value::U64(lane as u64)),
+                (
+                    "args",
+                    obj(vec![("name", Value::Str(lane_name.to_string()))]),
+                ),
+            ]));
+        }
+    }
+
+    // The spans themselves, as complete ("X") events in microseconds.
+    for s in spans {
+        events.push(obj(vec![
+            ("ph", Value::Str("X".to_string())),
+            ("name", Value::Str(s.stage.name().to_string())),
+            ("cat", Value::Str(s.stage.lane_name().to_lowercase())),
+            ("pid", Value::U64(pid(s) as u64)),
+            ("tid", Value::U64(s.stage.lane() as u64)),
+            ("ts", Value::F64(s.t_start as f64 / 1_000.0)),
+            ("dur", Value::F64(s.duration_ns() as f64 / 1_000.0)),
+            ("args", obj(vec![("batch", Value::U64(s.batch))])),
+        ]));
+    }
+
+    obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Stage;
+
+    fn span(run: u32, device: u32, stage: Stage, t0: u64, t1: u64) -> Span {
+        Span {
+            run,
+            device,
+            executor: Executor::Sampler,
+            stage,
+            batch: 0,
+            t_start: t0,
+            t_end: t1,
+        }
+    }
+
+    #[test]
+    fn trace_has_metadata_and_complete_events() {
+        let spans = vec![
+            span(0, 0, Stage::SampleG, 0, 1_000),
+            span(0, 1, Stage::Extract, 500, 2_000),
+        ];
+        let doc = chrome_trace(&spans, &["table5".to_string()]);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 process_name + 2 thread_name + 2 X events.
+        assert_eq!(events.len(), 6);
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        assert_eq!(xs[0].get("ts").unwrap().as_f64().unwrap(), 0.0);
+        assert_eq!(xs[0].get("dur").unwrap().as_f64().unwrap(), 1.0);
+        let names: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("M"))
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
+            .collect();
+        assert!(names[0]
+            .get("args")
+            .unwrap()
+            .get("name")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .starts_with("table5 / GPU 0"));
+    }
+
+    #[test]
+    fn runs_and_host_get_distinct_pids() {
+        let a = span(0, 0, Stage::SampleG, 0, 1);
+        let b = span(1, 0, Stage::SampleG, 0, 1);
+        let h = span(0, HOST_DEVICE, Stage::DiskToDram, 0, 1);
+        assert_ne!(pid(&a), pid(&b));
+        assert_ne!(pid(&a), pid(&h));
+    }
+
+    #[test]
+    fn trace_round_trips_through_serde_json() {
+        let spans = vec![
+            span(0, 0, Stage::SampleG, 0, 1_234),
+            span(0, 0, Stage::Train, 2_000, 3_500),
+        ];
+        let doc = chrome_trace(&spans, &[]);
+        let text = serde_json::to_string(&doc).unwrap();
+        let back: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(
+            back.get("traceEvents").unwrap().as_array().unwrap().len(),
+            spans.len() + 3 // process_name + 2 lanes
+        );
+        assert_eq!(
+            back.get("displayTimeUnit").and_then(Value::as_str),
+            Some("ms")
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! One clock abstraction over the two time domains the runtimes live in.
+//!
+//! The co-simulations (`gnnlab_core::runtime`) advance *virtual* GPU
+//! clocks themselves and record spans with explicit timestamps; the
+//! threaded runtime (`gnnlab_core::threaded`) runs on real threads and
+//! needs wall-clock timestamps. `Clock` serves both: a wall clock answers
+//! `now_ns()` from a monotonic origin, a virtual clock answers it from a
+//! high-water mark advanced by each recorded span.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A nanosecond clock in either the virtual or the wall time domain.
+#[derive(Debug)]
+pub enum Clock {
+    /// Simulated time: `now_ns` is the largest timestamp seen so far.
+    Virtual(AtomicU64),
+    /// Real time: `now_ns` is elapsed time since the clock was created.
+    Wall(Instant),
+}
+
+impl Clock {
+    /// A virtual clock starting at zero.
+    pub fn virtual_time() -> Self {
+        Clock::Virtual(AtomicU64::new(0))
+    }
+
+    /// A wall clock anchored at "now".
+    pub fn wall() -> Self {
+        Clock::Wall(Instant::now())
+    }
+
+    /// Whether this clock ticks in virtual (simulated) time.
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, Clock::Virtual(_))
+    }
+
+    /// The current time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            Clock::Virtual(hwm) => hwm.load(Ordering::Relaxed),
+            Clock::Wall(origin) => origin.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Advances a virtual clock's high-water mark to at least `t_ns`
+    /// (no-op on wall clocks, whose time advances on its own).
+    pub fn advance_to(&self, t_ns: u64) {
+        if let Clock::Virtual(hwm) = self {
+            hwm.fetch_max(t_ns, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_tracks_high_water_mark() {
+        let c = Clock::virtual_time();
+        assert!(c.is_virtual());
+        assert_eq!(c.now_ns(), 0);
+        c.advance_to(50);
+        c.advance_to(20); // never goes backwards
+        assert_eq!(c.now_ns(), 50);
+    }
+
+    #[test]
+    fn wall_clock_moves_forward() {
+        let c = Clock::wall();
+        assert!(!c.is_virtual());
+        let a = c.now_ns();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        assert!(c.now_ns() > a);
+        c.advance_to(u64::MAX); // no-op
+        assert!(c.now_ns() < 1_000_000_000_000);
+    }
+}

@@ -1,0 +1,249 @@
+//! A thread-safe metrics registry: counters, gauges, histograms and
+//! timestamped series.
+//!
+//! Every runtime publishes into one registry under stable dotted names
+//! (`queue.depth`, `cache.hit_bytes`, `scheduler.switch_profit`, …); the
+//! registry serializes to a structured JSON dump via
+//! [`MetricsRegistry::snapshot`]. Values are `f64` throughout so counts
+//! and byte totals share one code path.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+
+/// A last-value gauge that also remembers its maximum.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct Gauge {
+    /// Most recently set value.
+    pub last: f64,
+    /// Largest value ever set.
+    pub max: f64,
+}
+
+/// A scalar distribution summary (count/sum/min/max).
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Histogram {
+    fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// One timestamped sample of a series metric.
+#[derive(Debug, Clone, Copy, serde::Serialize)]
+pub struct SeriesPoint {
+    /// Timestamp in nanoseconds (virtual or wall, per the owning clock).
+    pub t_ns: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// An immutable snapshot of the registry, ready for JSON export.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, f64>,
+    /// Last-value gauges with maxima.
+    pub gauges: BTreeMap<String, Gauge>,
+    /// Distribution summaries.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Timestamped series, in recording order per name.
+    pub series: BTreeMap<String, Vec<SeriesPoint>>,
+}
+
+/// The thread-safe registry shared by all executors of a run.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, f64>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    series: Mutex<BTreeMap<String, Vec<SeriesPoint>>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name` (creating it at zero).
+    pub fn counter_add(&self, name: &str, delta: f64) {
+        *self.counters.lock().entry(name.to_string()).or_insert(0.0) += delta;
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn counter_inc(&self, name: &str) {
+        self.counter_add(name, 1.0);
+    }
+
+    /// Current value of the counter `name` (0 if never written).
+    pub fn counter(&self, name: &str) -> f64 {
+        self.counters.lock().get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Sets the gauge `name`, tracking its maximum.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        let mut gauges = self.gauges.lock();
+        let g = gauges.entry(name.to_string()).or_insert(Gauge {
+            last: value,
+            max: value,
+        });
+        g.last = value;
+        g.max = g.max.max(value);
+    }
+
+    /// Reads the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<Gauge> {
+        self.gauges.lock().get(name).copied()
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.histograms
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Reads the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.histograms.lock().get(name).copied()
+    }
+
+    /// Appends a timestamped sample to the series `name`.
+    pub fn sample(&self, name: &str, t_ns: u64, value: f64) {
+        self.series
+            .lock()
+            .entry(name.to_string())
+            .or_default()
+            .push(SeriesPoint { t_ns, value });
+    }
+
+    /// Number of samples in the series `name`.
+    pub fn series_len(&self, name: &str) -> usize {
+        self.series.lock().get(name).map_or(0, Vec::len)
+    }
+
+    /// Largest sampled value in the series `name`, if any.
+    pub fn series_max(&self, name: &str) -> Option<f64> {
+        self.series
+            .lock()
+            .get(name)?
+            .iter()
+            .map(|p| p.value)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Snapshots the whole registry for export.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.lock().clone(),
+            gauges: self.gauges.lock().clone(),
+            histograms: self.histograms.lock().clone(),
+            series: self.series.lock().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counters_gauges_histograms_series_round_trip() {
+        let reg = MetricsRegistry::new();
+        reg.counter_inc("a");
+        reg.counter_add("a", 2.5);
+        assert_eq!(reg.counter("a"), 3.5);
+        assert_eq!(reg.counter("missing"), 0.0);
+
+        reg.gauge_set("depth", 4.0);
+        reg.gauge_set("depth", 9.0);
+        reg.gauge_set("depth", 2.0);
+        let g = reg.gauge("depth").unwrap();
+        assert_eq!(g.last, 2.0);
+        assert_eq!(g.max, 9.0);
+
+        reg.observe("wait", 1.0);
+        reg.observe("wait", 3.0);
+        let h = reg.histogram("wait").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.mean(), 2.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+
+        reg.sample("depth", 10, 1.0);
+        reg.sample("depth", 20, 5.0);
+        assert_eq!(reg.series_len("depth"), 2);
+        assert_eq!(reg.series_max("depth"), Some(5.0));
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["a"], 3.5);
+        assert_eq!(snap.series["depth"].len(), 2);
+    }
+
+    /// Satellite requirement: the registry stays consistent under
+    /// concurrent Sampler/Trainer-style recording.
+    #[test]
+    fn registry_is_race_free_under_concurrent_recording() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let threads = 8;
+        let per_thread = 1000;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        reg.counter_inc("produced");
+                        reg.observe("wait", i as f64);
+                        reg.sample("depth", (t * per_thread + i) as u64, i as f64);
+                        reg.gauge_set("depth", i as f64);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.counter("produced"), (threads * per_thread) as f64);
+        let h = reg.histogram("wait").unwrap();
+        assert_eq!(h.count, (threads * per_thread) as u64);
+        assert_eq!(h.max, (per_thread - 1) as f64);
+        assert_eq!(reg.series_len("depth"), threads * per_thread);
+        assert_eq!(reg.gauge("depth").unwrap().max, (per_thread - 1) as f64);
+    }
+}

@@ -78,9 +78,7 @@ pub fn footprint_similarity(fi: &[u64], fj: &[u64], top_fraction: f64) -> f64 {
     assert!((0.0..=1.0).contains(&top_fraction), "fraction in [0,1]");
     let top = |f: &[u64]| -> Vec<u32> {
         let mut idx: Vec<u32> = (0..f.len() as u32).filter(|&v| f[v as usize] > 0).collect();
-        idx.sort_unstable_by(|&a, &b| {
-            f[b as usize].cmp(&f[a as usize]).then(a.cmp(&b))
-        });
+        idx.sort_unstable_by(|&a, &b| f[b as usize].cmp(&f[a as usize]).then(a.cmp(&b)));
         let k = ((f.len() as f64 * top_fraction) as usize).min(idx.len());
         idx.truncate(k);
         idx

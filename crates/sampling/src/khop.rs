@@ -180,8 +180,7 @@ impl KHop {
                         out[base + j] = nbr;
                     }
                 }
-                let lane_steps =
-                    (deg as u64 / 8).clamp(fanout as u64, 64 * fanout as u64);
+                let lane_steps = (deg as u64 / 8).clamp(fanout as u64, 64 * fanout as u64);
                 work.rng_draws += lane_steps;
                 work.edges_scanned += lane_steps;
             }
@@ -210,8 +209,7 @@ impl SamplingAlgorithm for KHop {
             work.kernel_launches += 1;
 
             let (table, map) = dedup_remap(&frontier, &selected);
-            let mut edges =
-                Vec::with_capacity(selected.len() + frontier.len());
+            let mut edges = Vec::with_capacity(selected.len() + frontier.len());
             for (dst_local, &(s, e)) in per_dst_ranges.iter().enumerate() {
                 // Self-connection so isolated dsts still aggregate.
                 edges.push((dst_local as u32, dst_local as u32));

@@ -76,16 +76,22 @@ impl AlgorithmKind {
     /// GNNLab kernel (Fisher–Yates).
     pub fn build(&self) -> Box<dyn SamplingAlgorithm> {
         match self {
-            AlgorithmKind::Khop3Random => {
-                Box::new(KHop::new(vec![15, 10, 5], Kernel::FisherYates, Selection::Uniform))
-            }
-            AlgorithmKind::Khop2Random => {
-                Box::new(KHop::new(vec![25, 10], Kernel::FisherYates, Selection::Uniform))
-            }
+            AlgorithmKind::Khop3Random => Box::new(KHop::new(
+                vec![15, 10, 5],
+                Kernel::FisherYates,
+                Selection::Uniform,
+            )),
+            AlgorithmKind::Khop2Random => Box::new(KHop::new(
+                vec![25, 10],
+                Kernel::FisherYates,
+                Selection::Uniform,
+            )),
             AlgorithmKind::RandomWalks => Box::new(RandomWalk::pinsage()),
-            AlgorithmKind::Khop3Weighted => {
-                Box::new(KHop::new(vec![15, 10, 5], Kernel::FisherYates, Selection::Weighted))
-            }
+            AlgorithmKind::Khop3Weighted => Box::new(KHop::new(
+                vec![15, 10, 5],
+                Kernel::FisherYates,
+                Selection::Weighted,
+            )),
         }
     }
 

@@ -28,7 +28,12 @@ impl RandomWalk {
     /// # Panics
     ///
     /// Panics if any parameter is zero.
-    pub fn new(layers: usize, num_walks: usize, walk_len: usize, neighbors_per_layer: usize) -> Self {
+    pub fn new(
+        layers: usize,
+        num_walks: usize,
+        walk_len: usize,
+        neighbors_per_layer: usize,
+    ) -> Self {
         assert!(
             layers > 0 && num_walks > 0 && walk_len > 0 && neighbors_per_layer > 0,
             "random-walk parameters must be positive"

@@ -83,7 +83,10 @@ impl ClusterGcn {
     ///
     /// Panics if either parameter is zero.
     pub fn new(num_clusters: usize, layers: usize) -> Self {
-        assert!(num_clusters > 0 && layers > 0, "parameters must be positive");
+        assert!(
+            num_clusters > 0 && layers > 0,
+            "parameters must be positive"
+        );
         ClusterGcn {
             num_clusters,
             layers,
@@ -241,7 +244,11 @@ mod tests {
         // Whichever clusters were touched, their members were visited a
         // uniform-ish number of times — no hotness for PreSC to exploit.
         let visited: Vec<u64> = rec.counts().iter().copied().filter(|&c| c > 0).collect();
-        assert!(visited.len() >= 40, "too little coverage: {}", visited.len());
+        assert!(
+            visited.len() >= 40,
+            "too little coverage: {}",
+            visited.len()
+        );
         let max = *visited.iter().max().unwrap();
         let min = *visited.iter().min().unwrap();
         assert!(max <= min * 8, "cluster footprint too skewed: {min}..{max}");
@@ -252,13 +259,21 @@ mod tests {
         // §8: subgraph algorithms are "more lightweight" than 3-hop
         // neighborhood sampling — fewer RNG draws for a similar batch.
         let g = chung_lu(500, 10_000, 2.0, 6).unwrap();
-        let khop = crate::KHop::new(vec![15, 10, 5], crate::Kernel::FisherYates, crate::Selection::Uniform);
+        let khop = crate::KHop::new(
+            vec![15, 10, 5],
+            crate::Kernel::FisherYates,
+            crate::Selection::Uniform,
+        );
         let saint = GraphSaintNode::new(64, 3);
         let seeds: Vec<VertexId> = (0..16).collect();
         let k = khop.sample(&g, &seeds, &mut rng());
         let s = saint.sample(&g, &seeds, &mut rng());
-        assert!(s.work.rng_draws * 10 < k.work.rng_draws.max(1) * 10 + k.work.rng_draws,
-            "saint draws {} vs khop draws {}", s.work.rng_draws, k.work.rng_draws);
+        assert!(
+            s.work.rng_draws * 10 < k.work.rng_draws.max(1) * 10 + k.work.rng_draws,
+            "saint draws {} vs khop draws {}",
+            s.work.rng_draws,
+            k.work.rng_draws
+        );
         assert!(s.work.rng_draws < k.work.rng_draws);
     }
 

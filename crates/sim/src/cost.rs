@@ -177,8 +177,9 @@ impl CostModel {
             GatherPath::GpuDirect => (self.gpu_direct_bps, self.gpu_direct_total_bps),
         };
         let eff = single.min(total / concurrent);
-        let ns =
-            miss_bytes / eff * 1e9 + hit_bytes / self.cache_gather_bps * 1e9 + self.extract_overhead_ns;
+        let ns = miss_bytes / eff * 1e9
+            + hit_bytes / self.cache_gather_bps * 1e9
+            + self.extract_overhead_ns;
         ns.round() as SimTime
     }
 
@@ -251,9 +252,7 @@ mod tests {
             rng_draws: 1e8,
             kernel_launches: 0.0,
         };
-        assert!(
-            m.sample_time(&w, SampleDevice::CpuPyg) > 5 * m.sample_time(&w, SampleDevice::Cpu)
-        );
+        assert!(m.sample_time(&w, SampleDevice::CpuPyg) > 5 * m.sample_time(&w, SampleDevice::Cpu));
     }
 
     #[test]
@@ -312,10 +311,7 @@ mod tests {
         assert!(tsota_e > 4.5 && tsota_e < 7.0, "tsota extract {tsota_e}");
 
         // Train: ~76 GFLOP per batch x 150 batches at 3 TFLOPS ~= 4 s.
-        let train = (0..150)
-            .map(|_| m.train_time(76e9))
-            .sum::<SimTime>() as f64
-            / 1e9;
+        let train = (0..150).map(|_| m.train_time(76e9)).sum::<SimTime>() as f64 / 1e9;
         assert!(train > 3.0 && train < 5.5, "train {train}");
     }
 

@@ -28,7 +28,11 @@ pub fn train_flops(
         let e = block.edges.len() as f64;
         let d = block.dst_count as f64;
         let i = if idx == 0 { in_dim } else { hidden_dim } as f64;
-        let o = if idx == l - 1 { num_classes } else { hidden_dim } as f64;
+        let o = if idx == l - 1 {
+            num_classes
+        } else {
+            hidden_dim
+        } as f64;
         total += match kind {
             ModelKind::Gcn => 2.0 * e * i + 2.0 * d * i * o,
             ModelKind::GraphSage => 2.0 * e * i + 2.0 * d * (2.0 * i) * o,

@@ -53,11 +53,7 @@ pub fn mean_aggregate(block: &LayerBlock, x: &Matrix) -> Matrix {
 
 /// Backward of [`mean_aggregate`]: scatters `grad_out[dst] / deg(dst)` to
 /// each contributing src row.
-pub fn mean_aggregate_backward(
-    block: &LayerBlock,
-    grad_out: &Matrix,
-    src_count: usize,
-) -> Matrix {
+pub fn mean_aggregate_backward(block: &LayerBlock, grad_out: &Matrix, src_count: usize) -> Matrix {
     let mut deg = vec![0u32; block.dst_count];
     for &(_, d) in &block.edges {
         deg[d as usize] += 1;
@@ -240,9 +236,7 @@ impl GnnLayer {
         let block = ctx.block.as_block();
 
         match self.kind {
-            LayerKind::GraphConv => {
-                mean_aggregate_backward(&block, &d_lin_in, ctx.block.src_count)
-            }
+            LayerKind::GraphConv => mean_aggregate_backward(&block, &d_lin_in, ctx.block.src_count),
             LayerKind::SageConv => {
                 let (d_self, d_agg) = d_lin_in.hsplit(self.in_dim);
                 let mut dx = mean_aggregate_backward(&block, &d_agg, ctx.block.src_count);
@@ -327,7 +321,11 @@ mod tests {
     /// Finite-difference gradient check for all layer kinds.
     #[test]
     fn gradient_check_all_kinds() {
-        for kind in [LayerKind::GraphConv, LayerKind::SageConv, LayerKind::PinSageConv] {
+        for kind in [
+            LayerKind::GraphConv,
+            LayerKind::SageConv,
+            LayerKind::PinSageConv,
+        ] {
             let mut rng = ChaCha8Rng::seed_from_u64(3);
             let block = tiny_block();
             let mut layer = GnnLayer::new(kind, 2, 3, true, &mut rng);
@@ -385,7 +383,11 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let block = tiny_block();
         let x = Matrix::zeros(4, 6);
-        for kind in [LayerKind::GraphConv, LayerKind::SageConv, LayerKind::PinSageConv] {
+        for kind in [
+            LayerKind::GraphConv,
+            LayerKind::SageConv,
+            LayerKind::PinSageConv,
+        ] {
             let mut layer = GnnLayer::new(kind, 6, 4, true, &mut rng);
             let out = layer.forward(&block, &x);
             assert_eq!((out.rows(), out.cols()), (2, 4), "{kind:?}");

@@ -79,7 +79,11 @@ impl GnnModel {
         let l = config.kind.num_layers();
         let mut layers = Vec::with_capacity(l);
         for i in 0..l {
-            let in_dim = if i == 0 { config.in_dim } else { config.hidden_dim };
+            let in_dim = if i == 0 {
+                config.in_dim
+            } else {
+                config.hidden_dim
+            };
             let out_dim = if i == l - 1 {
                 config.num_classes
             } else {
@@ -131,7 +135,12 @@ impl GnnModel {
 
     /// Forward + loss + backward for one mini-batch; returns `(loss,
     /// train accuracy)`.
-    pub fn train_batch(&mut self, sample: &Sample, in_feats: &Matrix, labels: &[u32]) -> (f32, f64) {
+    pub fn train_batch(
+        &mut self,
+        sample: &Sample,
+        in_feats: &Matrix,
+        labels: &[u32],
+    ) -> (f32, f64) {
         let logits = self.forward(sample, in_feats);
         let (loss, grad) = softmax_cross_entropy(&logits, labels);
         let acc = accuracy(&logits, labels);
@@ -141,7 +150,10 @@ impl GnnModel {
 
     /// All trainable parameters (layer order, stable across calls).
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Zeroes all parameter gradients.
@@ -187,7 +199,9 @@ mod tests {
 
     fn feats_for(sample: &Sample, dim: usize) -> Matrix {
         let n = sample.num_input_nodes();
-        let data = (0..n * dim).map(|i| ((i % 13) as f32 - 6.0) / 6.0).collect();
+        let data = (0..n * dim)
+            .map(|i| ((i % 13) as f32 - 6.0) / 6.0)
+            .collect();
         Matrix::from_vec(n, dim, data)
     }
 

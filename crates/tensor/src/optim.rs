@@ -158,7 +158,11 @@ mod tests {
         let mut opt = Adam::new(0.01);
         opt.step(&mut [&mut p]);
         // First Adam step magnitude ~= lr regardless of gradient scale.
-        assert!((p.value.get(0, 0) + 0.01).abs() < 1e-4, "{}", p.value.get(0, 0));
+        assert!(
+            (p.value.get(0, 0) + 0.01).abs() < 1e-4,
+            "{}",
+            p.value.get(0, 0)
+        );
     }
 
     #[test]
@@ -171,7 +175,11 @@ mod tests {
             p.grad = Matrix::from_vec(1, 1, vec![x - 3.0]);
             opt.step(&mut [&mut p]);
         }
-        assert!((p.value.get(0, 0) - 3.0).abs() < 0.1, "{}", p.value.get(0, 0));
+        assert!(
+            (p.value.get(0, 0) - 3.0).abs() < 0.1,
+            "{}",
+            p.value.get(0, 0)
+        );
     }
 
     #[test]

@@ -39,8 +39,8 @@ fn main() {
     // 3. Run the factored system on it (full-scale: your data is the
     //    real size, so no scaling applies).
     let workload = Workload::with_dataset(ModelKind::GraphSage, dataset, 32, 7);
-    let ctx = SimContext::new(&workload, SystemKind::GnnLab)
-        .with_policy(PolicyKind::PreSC { k: 1 });
+    let ctx =
+        SimContext::new(&workload, SystemKind::GnnLab).with_policy(PolicyKind::PreSC { k: 1 });
     match run_system(&ctx) {
         Ok(rep) => {
             println!(

@@ -18,7 +18,12 @@ use gnnlab::sampling::Kernel;
 use gnnlab::tensor::ModelKind;
 
 fn main() {
-    let w = Workload::new(ModelKind::PinSage, DatasetKind::Papers, Scale::new(1024), 42);
+    let w = Workload::new(
+        ModelKind::PinSage,
+        DatasetKind::Papers,
+        Scale::new(1024),
+        42,
+    );
     let ctx = SimContext::new(&w, SystemKind::GnnLab);
     let trace = EpochTrace::record(&w, Kernel::FisherYates, ctx.epoch);
 

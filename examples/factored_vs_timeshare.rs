@@ -16,7 +16,10 @@ use gnnlab::tensor::ModelKind;
 
 fn main() {
     let scale = Scale::new(1024);
-    println!("GraphSAGE on 8 simulated V100-16GB GPUs (scale 1/{})\n", scale.factor());
+    println!(
+        "GraphSAGE on 8 simulated V100-16GB GPUs (scale 1/{})\n",
+        scale.factor()
+    );
     println!(
         "{:<8} {:>9} {:>9} {:>9} {:>14} {:>10} {:>8}",
         "Dataset", "PyG", "DGL", "T_SOTA", "GNNLab", "cache R%", "hit%"

@@ -43,11 +43,18 @@ fn main() {
         },
     );
     for (updates, acc) in &result.history {
-        println!("  after {updates:>4} gradient updates: test accuracy {:.1}%", acc * 100.0);
+        println!(
+            "  after {updates:>4} gradient updates: test accuracy {:.1}%",
+            acc * 100.0
+        );
     }
     println!(
         "  -> {} in {} epochs ({} updates)\n",
-        if result.converged { "converged" } else { "did not converge" },
+        if result.converged {
+            "converged"
+        } else {
+            "did not converge"
+        },
         result.epochs,
         result.gradient_updates
     );
@@ -62,11 +69,14 @@ fn main() {
         report.num_samplers, report.num_trainers
     );
     println!("  stage breakdown: {}", report.table5_cell());
-    println!("  epoch time: {:.2} s (simulated, paper-scale)", report.epoch_time);
+    println!(
+        "  epoch time: {:.2} s (simulated, paper-scale)",
+        report.epoch_time
+    );
 
     // And the baseline for contrast.
-    let dgl = run_system(&SimContext::new(&workload, SystemKind::DglLike))
-        .expect("OGB-Papers fits DGL");
+    let dgl =
+        run_system(&SimContext::new(&workload, SystemKind::DglLike)).expect("OGB-Papers fits DGL");
     println!(
         "  DGL epoch time: {:.2} s  ->  GNNLab speedup {:.1}x",
         dgl.epoch_time,

@@ -1,0 +1,137 @@
+//! Offline shim of `rand_chacha`: a genuine ChaCha8 block function behind
+//! the `RngCore`/`SeedableRng` traits of the sibling `rand` shim.
+//!
+//! Output is deterministic per seed (the property the workspace relies
+//! on) but is not bit-compatible with upstream `rand_chacha`, which
+//! layers a different word order and stream-offset API on top.
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha stream cipher with 8 rounds, exposed as an RNG.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// The 16-word ChaCha input block (constants, key, counter, nonce).
+    input: [u32; 16],
+    /// The current 64-byte output block as 16 words.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means "exhausted".
+    cursor: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.input;
+        for _ in 0..ROUNDS / 2 {
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, inp) in working.iter_mut().zip(self.input.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        self.block = working;
+        self.cursor = 0;
+        // 64-bit block counter in words 12..14.
+        let counter = (self.input[12] as u64 | (self.input[13] as u64) << 32).wrapping_add(1);
+        self.input[12] = counter as u32;
+        self.input[13] = (counter >> 32) as u32;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.cursor];
+        self.cursor += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut input = [0u32; 16];
+        // "expand 32-byte k"
+        input[0] = 0x6170_7865;
+        input[1] = 0x3320_646e;
+        input[2] = 0x7962_2d32;
+        input[3] = 0x6b20_6574;
+        for i in 0..8 {
+            input[4 + i] = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        // Counter and nonce start at zero.
+        ChaCha8Rng {
+            input,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | hi << 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn stream_looks_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mean = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Offline shim of `serde_derive`: a dependency-free (no syn/quote)
+//! `#[derive(Serialize)]` covering the shapes this workspace uses:
+//!
+//! - structs with named fields → `Value::Object` in declaration order
+//! - enums with unit variants → `Value::Str(variant_name)`
+//! - enums with newtype variants → `{"VariantName": value}`
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported;
+//! deriving on such a type is a compile error, not a silent mis-encode.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => panic!("derive(Serialize) shim: expected struct or enum, got {other:?}"),
+    };
+    i += 1;
+
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive(Serialize) shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize) shim does not support generic types ({name})");
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize) shim: no braced body on {name}"),
+        }
+    };
+
+    let impl_body = if kind == "struct" {
+        struct_impl(&name, body.stream())
+    } else {
+        enum_impl(&name, body.stream())
+    };
+
+    impl_body
+        .parse()
+        .expect("derive(Serialize) shim: generated code parses")
+}
+
+/// Advances past leading `#[...]` attributes and `pub`/`pub(...)`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // '#' + [..]
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Splits a brace-body stream into top-level comma-separated items,
+/// ignoring commas nested inside generic angle brackets.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut items = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                current.push(tt);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    items.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(tt),
+        }
+    }
+    if !current.is_empty() {
+        items.push(current);
+    }
+    items
+}
+
+fn struct_impl(name: &str, body: TokenStream) -> String {
+    let mut pushes = String::new();
+    for item in split_top_level(body) {
+        let mut j = 0usize;
+        skip_attrs_and_vis(&item, &mut j);
+        let field = match &item.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("derive(Serialize) shim: expected field name in {name}, got {other:?}"),
+        };
+        pushes.push_str(&format!(
+            "fields.push((\"{field}\".to_string(), serde::Serialize::to_value(&self.{field})));\n"
+        ));
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Object(fields)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_impl(name: &str, body: TokenStream) -> String {
+    let mut arms = String::new();
+    for item in split_top_level(body) {
+        let mut j = 0usize;
+        skip_attrs_and_vis(&item, &mut j);
+        let variant = match &item.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("derive(Serialize) shim: expected variant in {name}, got {other:?}"),
+        };
+        j += 1;
+        match item.get(j) {
+            None => {
+                arms.push_str(&format!(
+                    "{name}::{variant} => serde::Value::Str(\"{variant}\".to_string()),\n"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arms.push_str(&format!(
+                    "{name}::{variant}(inner) => serde::Value::Object(vec![\
+                         (\"{variant}\".to_string(), serde::Serialize::to_value(inner))]),\n"
+                ));
+            }
+            other => panic!(
+                "derive(Serialize) shim: unsupported variant shape {name}::{variant} {other:?}"
+            ),
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+             }}\n\
+         }}"
+    )
+}

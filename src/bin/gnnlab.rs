@@ -74,7 +74,9 @@ fn cmd_generate(args: &[String]) -> ExitCode {
 }
 
 fn cmd_inspect(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else { return usage() };
+    let Some(path) = args.first() else {
+        return usage();
+    };
     let p = Path::new(path);
     let graph = if path.ends_with(".bin") {
         io::read_binary(p)
@@ -88,7 +90,10 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
             println!("edges:       {}", g.num_edges());
             println!("weighted:    {}", g.is_weighted());
             println!("out-degree:  mean {mean:.1}, p99 {p99}, max {max}");
-            println!("topology:    {:.1} MB in memory", g.topology_bytes() as f64 / 1e6);
+            println!(
+                "topology:    {:.1} MB in memory",
+                g.topology_bytes() as f64 / 1e6
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -105,7 +110,10 @@ fn cmd_policies(args: &[String]) -> ExitCode {
     let scale = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1024);
     let w = Workload::new(ModelKind::Gcn, kind, Scale::new(scale), 42);
     let trace = EpochTrace::record(&w, Kernel::FisherYates, 5);
-    println!("{}: 3-hop uniform sampling, hit rates by cache ratio\n", w.dataset.spec.name);
+    println!(
+        "{}: 3-hop uniform sampling, hit rates by cache ratio\n",
+        w.dataset.spec.name
+    );
     print!("{:<8}", "ratio");
     let policies = [
         PolicyKind::Random,
@@ -188,7 +196,10 @@ fn cmd_job(args: &[String]) -> ExitCode {
             println!("  P1 disk->DRAM:    {:>8.2} s", s.preprocess.disk_to_dram);
             println!("  P2 DRAM->GPU:     {:>8.2} s", s.preprocess.dram_to_gpu());
             println!("  P3 pre-sampling:  {:>8.2} s", s.preprocess.presampling);
-            println!("  epoch time:       {:>8.2} s x {}", s.epoch.epoch_time, s.epochs);
+            println!(
+                "  epoch time:       {:>8.2} s x {}",
+                s.epoch.epoch_time, s.epochs
+            );
             println!("  total job:        {:>8.2} s", s.total_time);
             println!(
                 "  preprocessing is {:.1}% of the job",

@@ -1,0 +1,109 @@
+//! Observability invariants across the runtimes (tentpole of the obs
+//! crate): recorded virtual-time spans never overlap on an executor lane,
+//! the Chrome trace exporter emits valid JSON, and the metrics registry
+//! stays consistent with the reports.
+
+use gnnlab::core::runtime::{
+    run_agl_epoch, run_factored_epoch, run_single_gpu_epoch, run_timeshare_epoch, SimContext,
+};
+use gnnlab::core::trace::EpochTrace;
+use gnnlab::core::{SystemKind, Workload};
+use gnnlab::graph::{DatasetKind, Scale};
+use gnnlab::obs::{find_overlap, stage_secs, Obs, Stage};
+use gnnlab::tensor::ModelKind;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared workload + trace: recording an epoch trace is the expensive
+/// part, and the span invariants must hold for *any* executor split over
+/// the same trace.
+fn fixture() -> &'static (Workload, EpochTrace) {
+    static FIX: OnceLock<(Workload, EpochTrace)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let w = Workload::new(
+            ModelKind::GraphSage,
+            DatasetKind::Papers,
+            Scale::new(8192),
+            7,
+        );
+        let t = EpochTrace::record(&w, SystemKind::GnnLab.kernel(), 0);
+        (w, t)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Factored co-simulation: for any Sampler/Trainer split, with or
+    /// without dynamic switching, no two spans overlap on one
+    /// `(device, lane)` track of the virtual timeline.
+    #[test]
+    fn factored_spans_never_overlap_per_device(
+        ns in 1usize..4,
+        nt in 1usize..5,
+        switching in any::<bool>(),
+    ) {
+        let (w, trace) = fixture();
+        let obs = Obs::virtual_time();
+        let ctx = SimContext::new(w, SystemKind::GnnLab)
+            .with_gpus(ns + nt)
+            .with_obs(Some(&obs));
+        let rep = run_factored_epoch(&ctx, trace, ns, nt, switching).expect("PA fits");
+        prop_assert!(obs.span_count() > 0);
+        if let Some((a, b)) = find_overlap(&obs.spans()) {
+            prop_assert!(false, "overlap: {a:?} vs {b:?}");
+        }
+        // Span sums reproduce the report's stage breakdown.
+        let sums = stage_secs(&obs.spans());
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 + 1e-6 * b.abs();
+        prop_assert!(close(sums[&Stage::SampleG], rep.stages.sample_g));
+        prop_assert!(close(sums[&Stage::Extract], rep.stages.extract));
+        prop_assert!(close(sums[&Stage::Train], rep.stages.train));
+        // Every batch went through the queue exactly once.
+        prop_assert_eq!(
+            obs.metrics.counter("queue.enqueued") as usize,
+            trace.num_batches()
+        );
+        prop_assert_eq!(
+            obs.metrics.counter("queue.dequeued") as usize,
+            trace.num_batches()
+        );
+    }
+
+    /// The other three runtimes uphold the same non-overlap invariant, and
+    /// one shared hub keeps their sub-runs apart.
+    #[test]
+    fn all_runtimes_share_one_hub_without_overlaps(gpus in 1usize..5) {
+        let (w, trace) = fixture();
+        let obs = Obs::virtual_time();
+
+        let ctx = SimContext::new(w, SystemKind::TSota)
+            .with_gpus(gpus)
+            .with_obs(Some(&obs));
+        run_timeshare_epoch(&ctx, trace).expect("PA fits");
+
+        obs.begin_run("single-gpu");
+        let ctx = SimContext::new(w, SystemKind::GnnLab)
+            .with_gpus(1)
+            .with_obs(Some(&obs));
+        run_single_gpu_epoch(&ctx, trace).expect("PA fits");
+
+        obs.begin_run("agl");
+        let ctx = SimContext::new(w, SystemKind::GnnLab)
+            .with_gpus(gpus.max(2))
+            .with_obs(Some(&obs));
+        run_agl_epoch(&ctx, trace).expect("PA fits");
+
+        if let Some((a, b)) = find_overlap(&obs.spans()) {
+            prop_assert!(false, "overlap: {a:?} vs {b:?}");
+        }
+        // The combined trace exports as valid Chrome trace JSON.
+        let text = serde_json::to_string(&obs.chrome_trace()).expect("serializes");
+        let doc = serde_json::from_str(&text).expect("round-trips");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("traceEvents array");
+        prop_assert!(events.len() > obs.span_count());
+    }
+}
