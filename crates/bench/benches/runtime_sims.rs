@@ -60,15 +60,38 @@ fn bench_trace_recording(c: &mut Criterion) {
 
 fn bench_global_queue(c: &mut Criterion) {
     c.bench_function("global_queue_pingpong_1k", |b| {
-        let q: GlobalQueue<u64> = GlobalQueue::new();
+        let q: GlobalQueue<u64> = GlobalQueue::bounded(1024);
         b.iter(|| {
             for i in 0..1000u64 {
-                q.enqueue(i);
+                q.enqueue(i).expect("open queue");
             }
             let mut sum = 0u64;
-            while let Some(v) = q.dequeue() {
+            while let Ok(Some(v)) = q.dequeue_timeout(std::time::Duration::ZERO) {
                 sum += v;
             }
+            sum
+        });
+    });
+    // The bounded handoff: producer and consumer threads coupled through a
+    // small queue, so the backpressure path (blocking enqueue + condvar
+    // wakeups) is what gets measured.
+    c.bench_function("global_queue_handoff_cap8_1k", |b| {
+        b.iter(|| {
+            let q: std::sync::Arc<GlobalQueue<u64>> = std::sync::Arc::new(GlobalQueue::bounded(8));
+            let producer = {
+                let q = std::sync::Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        q.enqueue(i).expect("open queue");
+                    }
+                    q.close();
+                })
+            };
+            let mut sum = 0u64;
+            while let Ok(v) = q.dequeue() {
+                sum += v;
+            }
+            producer.join().expect("producer");
             sum
         });
     });

@@ -1,26 +1,84 @@
 //! The host-memory global queue bridging Samplers and Trainers (§5.2).
+//!
+//! "GNNLab uses a global queue in the host memory to link two kinds of
+//! executors asynchronously … The concurrent queue would not be the
+//! bottleneck since the updates are infrequent." Samplers enqueue whole
+//! mini-batch samples; Trainers (and woken standby Trainers) dequeue
+//! them. The remaining-task count feeds the dynamic-switching profit
+//! metric (`M_r` in §5.3).
+//!
+//! Unlike the seed's unbounded lock-free queue, this queue is
+//!
+//! * **bounded** — [`GlobalQueue::enqueue`] blocks once `capacity` tasks
+//!   are waiting, so Samplers cannot race arbitrarily far ahead of
+//!   Trainers and blow up host memory (the decoupled-pipeline failure
+//!   mode BGL and NeutronOrch both call out);
+//! * **blocking** — [`GlobalQueue::dequeue`] sleeps on a condition
+//!   variable instead of making idle Trainers spin, waking on enqueue,
+//!   close, or poison (with a periodic timeout as a lost-wakeup safety
+//!   net);
+//! * **closable** — the last Sampler calls [`GlobalQueue::close`];
+//!   blocked consumers drain what remains and then observe
+//!   [`DequeueError::Drained`];
+//! * **poisonable** — a crashed executor calls [`GlobalQueue::poison`];
+//!   every blocked producer and consumer wakes immediately with
+//!   [`EnqueueError::Poisoned`] / [`DequeueError::Poisoned`] so a panic
+//!   terminates the run in bounded time instead of deadlocking it.
+//!
+//! Occupancy counters live in an observability registry: a queue built
+//! with [`GlobalQueue::bounded_with_obs`] records a `queue.depth` sample
+//! on every enqueue and dequeue (plus `queue.enqueued`/`queue.dequeued`
+//! counters, a `queue.capacity` gauge, and `queue.blocked_ns` for time
+//! spent blocked on either side); a plain [`GlobalQueue::bounded`] queue
+//! keeps a private registry so the accessors below work either way.
 
-use crossbeam::queue::SegQueue;
-use gnnlab_obs::Obs;
+use gnnlab_obs::{names, Obs};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Duration;
 
-/// An unbounded MPMC queue in host memory with occupancy accounting.
-///
-/// "GNNLab uses a global queue in the host memory to link two kinds of
-/// executors asynchronously … The concurrent queue would not be the
-/// bottleneck since the updates are infrequent." Samplers enqueue whole
-/// mini-batch samples; Trainers (and woken standby Trainers) dequeue them.
-/// The remaining-task count feeds the dynamic-switching profit metric
-/// (`M_r` in §5.3).
-///
-/// Occupancy counters live in an observability registry: a queue built
-/// with [`GlobalQueue::with_obs`] records a `queue.depth` sample on every
-/// enqueue and dequeue (plus `queue.enqueued`/`queue.dequeued` counters);
-/// a plain [`GlobalQueue::new`] queue keeps a private registry so the
-/// accessors below work either way.
+/// Default capacity when none is given: deep enough to decouple bursts,
+/// shallow enough that a stalled Trainer back-pressures Samplers quickly.
+pub const DEFAULT_CAPACITY: usize = 64;
+
+/// Condvar waits re-check state at least this often, guarding against any
+/// lost wakeup turning into an unbounded sleep.
+const WAIT_SLICE: Duration = Duration::from_millis(50);
+
+/// Why an [`GlobalQueue::enqueue`] call could not deliver its task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The queue was closed; no new tasks are accepted.
+    Closed,
+    /// An executor panicked; the run is being torn down.
+    Poisoned(String),
+}
+
+/// Why a [`GlobalQueue::dequeue`] call returned no task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DequeueError {
+    /// The queue was closed and every task has been consumed.
+    Drained,
+    /// An executor panicked; the run is being torn down.
+    Poisoned(String),
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    poison: Option<String>,
+}
+
+/// A bounded, blocking MPMC queue in host memory with occupancy
+/// accounting (see the module docs for the full contract).
 #[derive(Debug)]
 pub struct GlobalQueue<T> {
-    inner: SegQueue<T>,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
     obs: Arc<Obs>,
 }
 
@@ -31,122 +89,297 @@ impl<T> Default for GlobalQueue<T> {
 }
 
 impl<T> GlobalQueue<T> {
-    /// Creates an empty queue with a private (wall-clock) registry.
+    /// Creates an empty queue with [`DEFAULT_CAPACITY`] and a private
+    /// (wall-clock) registry.
     pub fn new() -> Self {
-        Self::with_obs(Arc::new(Obs::wall()))
+        Self::bounded(DEFAULT_CAPACITY)
     }
 
-    /// Creates an empty queue publishing into a shared observability hub.
-    pub fn with_obs(obs: Arc<Obs>) -> Self {
+    /// Creates an empty queue holding at most `capacity` tasks, with a
+    /// private (wall-clock) registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        Self::bounded_with_obs(capacity, Arc::new(Obs::wall()))
+    }
+
+    /// Creates an empty bounded queue publishing into a shared
+    /// observability hub.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded_with_obs(capacity: usize, obs: Arc<Obs>) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        obs.metrics
+            .gauge_set(names::QUEUE_CAPACITY, capacity as f64);
         GlobalQueue {
-            inner: SegQueue::new(),
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                poison: None,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
             obs,
         }
     }
 
-    fn note_depth(&self) {
-        let depth = self.inner.len() as f64;
+    /// Creates an empty queue with [`DEFAULT_CAPACITY`] publishing into a
+    /// shared observability hub.
+    pub fn with_obs(obs: Arc<Obs>) -> Self {
+        Self::bounded_with_obs(DEFAULT_CAPACITY, obs)
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn note_depth(&self, depth: usize) {
+        let depth = depth as f64;
         self.obs
             .metrics
-            .sample("queue.depth", self.obs.now_ns(), depth);
-        self.obs.metrics.gauge_set("queue.depth", depth);
+            .sample(names::QUEUE_DEPTH, self.obs.now_ns(), depth);
+        self.obs.metrics.gauge_set(names::QUEUE_DEPTH, depth);
     }
 
-    /// Enqueues a task (Sampler side), recording a depth sample.
-    pub fn enqueue(&self, item: T) {
-        self.inner.push(item);
-        self.obs.metrics.counter_inc("queue.enqueued");
-        self.note_depth();
-    }
-
-    /// Dequeues a task if available (Trainer side), recording a depth
-    /// sample on success.
-    pub fn dequeue(&self) -> Option<T> {
-        let item = self.inner.pop();
-        if item.is_some() {
-            self.obs.metrics.counter_inc("queue.dequeued");
-            self.note_depth();
+    /// Records one blocking episode of `blocked_ns` nanoseconds under the
+    /// shared counter plus the side-specific histogram.
+    fn note_blocked(&self, histogram: &str, blocked_ns: u64) {
+        if blocked_ns > 0 {
+            self.obs
+                .metrics
+                .counter_add(names::QUEUE_BLOCKED_NS, blocked_ns as f64);
+            self.obs.metrics.observe(histogram, blocked_ns as f64);
         }
-        item
+    }
+
+    /// Enqueues a task (Sampler side), blocking while the queue is at
+    /// capacity. Returns an error — with the task long dropped — once the
+    /// queue is closed or poisoned.
+    pub fn enqueue(&self, item: T) -> Result<(), EnqueueError> {
+        let mut state = self.state.lock();
+        let mut blocked_since: Option<u64> = None;
+        loop {
+            if let Some(reason) = &state.poison {
+                let reason = reason.clone();
+                drop(state);
+                if let Some(t0) = blocked_since {
+                    self.note_blocked(
+                        names::QUEUE_ENQUEUE_BLOCK_NS,
+                        self.obs.now_ns().saturating_sub(t0),
+                    );
+                }
+                return Err(EnqueueError::Poisoned(reason));
+            }
+            if state.closed {
+                return Err(EnqueueError::Closed);
+            }
+            if state.items.len() < self.capacity {
+                state.items.push_back(item);
+                let depth = state.items.len();
+                drop(state);
+                self.obs.metrics.counter_inc(names::QUEUE_ENQUEUED);
+                self.note_depth(depth);
+                if let Some(t0) = blocked_since {
+                    self.note_blocked(
+                        names::QUEUE_ENQUEUE_BLOCK_NS,
+                        self.obs.now_ns().saturating_sub(t0),
+                    );
+                }
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            blocked_since.get_or_insert_with(|| self.obs.now_ns());
+            self.not_full.wait_for(&mut state, WAIT_SLICE);
+        }
+    }
+
+    /// Dequeues a task (Trainer side), blocking while the queue is empty
+    /// but still open. Returns [`DequeueError::Drained`] once the queue is
+    /// closed and empty, or [`DequeueError::Poisoned`] as soon as an
+    /// executor crash is flagged.
+    pub fn dequeue(&self) -> Result<T, DequeueError> {
+        self.dequeue_deadline(None)
+            .map(|opt| opt.expect("deadline-free dequeue never times out"))
+    }
+
+    /// [`GlobalQueue::dequeue`] with a timeout: returns `Ok(None)` if no
+    /// task arrived (and the queue neither drained nor poisoned) within
+    /// `timeout`.
+    pub fn dequeue_timeout(&self, timeout: Duration) -> Result<Option<T>, DequeueError> {
+        self.dequeue_deadline(Some(timeout))
+    }
+
+    fn dequeue_deadline(&self, timeout: Option<Duration>) -> Result<Option<T>, DequeueError> {
+        let start = std::time::Instant::now();
+        let mut state = self.state.lock();
+        let mut blocked_since: Option<u64> = None;
+        let finish_blocked = |blocked_since: Option<u64>| {
+            if let Some(t0) = blocked_since {
+                self.note_blocked(names::QUEUE_WAIT_NS, self.obs.now_ns().saturating_sub(t0));
+            }
+        };
+        loop {
+            if let Some(reason) = &state.poison {
+                let reason = reason.clone();
+                drop(state);
+                finish_blocked(blocked_since);
+                return Err(DequeueError::Poisoned(reason));
+            }
+            if let Some(item) = state.items.pop_front() {
+                let depth = state.items.len();
+                drop(state);
+                self.obs.metrics.counter_inc(names::QUEUE_DEQUEUED);
+                self.note_depth(depth);
+                finish_blocked(blocked_since);
+                self.not_full.notify_one();
+                return Ok(Some(item));
+            }
+            if state.closed {
+                drop(state);
+                finish_blocked(blocked_since);
+                return Err(DequeueError::Drained);
+            }
+            let slice = match timeout {
+                Some(t) => {
+                    let left = t.saturating_sub(start.elapsed());
+                    if left.is_zero() {
+                        drop(state);
+                        finish_blocked(blocked_since);
+                        return Ok(None);
+                    }
+                    left.min(WAIT_SLICE)
+                }
+                None => WAIT_SLICE,
+            };
+            blocked_since.get_or_insert_with(|| self.obs.now_ns());
+            self.not_empty.wait_for(&mut state, slice);
+        }
+    }
+
+    /// Closes the queue: no further enqueues; consumers drain what is left
+    /// and then observe [`DequeueError::Drained`]. Idempotent.
+    pub fn close(&self) {
+        self.state.lock().closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Poisons the queue after an executor crash: every pending and future
+    /// enqueue/dequeue fails immediately with the given reason. The first
+    /// reason wins; later calls keep it.
+    pub fn poison(&self, reason: &str) {
+        let mut state = self.state.lock();
+        if state.poison.is_none() {
+            state.poison = Some(reason.to_string());
+        }
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Whether [`GlobalQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+
+    /// The poison reason, if an executor crashed.
+    pub fn poison_reason(&self) -> Option<String> {
+        self.state.lock().poison.clone()
     }
 
     /// Tasks currently waiting (`M_r` for the profit metric).
     pub fn remaining(&self) -> usize {
-        self.inner.len()
+        self.state.lock().items.len()
     }
 
     /// Total tasks ever enqueued.
     pub fn total_enqueued(&self) -> usize {
-        self.obs.metrics.counter("queue.enqueued") as usize
+        self.obs.metrics.counter(names::QUEUE_ENQUEUED) as usize
     }
 
     /// Total tasks ever dequeued.
     pub fn total_dequeued(&self) -> usize {
-        self.obs.metrics.counter("queue.dequeued") as usize
+        self.obs.metrics.counter(names::QUEUE_DEQUEUED) as usize
     }
 
     /// Largest queue depth ever sampled.
     pub fn peak_depth(&self) -> usize {
         self.obs
             .metrics
-            .gauge("queue.depth")
+            .gauge(names::QUEUE_DEPTH)
             .map_or(0, |g| g.max as usize)
+    }
+
+    /// Total nanoseconds producers and consumers spent blocked.
+    pub fn blocked_ns(&self) -> u64 {
+        self.obs.metrics.counter(names::QUEUE_BLOCKED_NS) as u64
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
+        self.state.lock().items.is_empty()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
 
     #[test]
     fn fifo_single_thread() {
-        let q = GlobalQueue::new();
+        let q = GlobalQueue::bounded(16);
         for i in 0..10 {
-            q.enqueue(i);
+            q.enqueue(i).unwrap();
         }
         assert_eq!(q.remaining(), 10);
         for i in 0..10 {
-            assert_eq!(q.dequeue(), Some(i));
+            assert_eq!(q.dequeue(), Ok(i));
         }
-        assert!(q.dequeue().is_none());
+        assert_eq!(q.dequeue_timeout(Duration::from_millis(1)), Ok(None));
         assert_eq!(q.total_enqueued(), 10);
         assert_eq!(q.total_dequeued(), 10);
         assert_eq!(q.peak_depth(), 10);
+        assert_eq!(q.capacity(), 16);
     }
 
     #[test]
     fn concurrent_producers_consumers_preserve_items() {
-        let q = Arc::new(GlobalQueue::new());
+        let q = Arc::new(GlobalQueue::bounded(8));
+        // Producers and consumers run together: the bounded queue would
+        // deadlock a produce-everything-first schedule at depth 8.
         let producers: Vec<_> = (0..4)
             .map(|p| {
                 let q = Arc::clone(&q);
                 std::thread::spawn(move || {
                     for i in 0..250 {
-                        q.enqueue(p * 1000 + i);
+                        q.enqueue(p * 1000 + i).unwrap();
                     }
                 })
             })
             .collect();
-        for t in producers {
-            t.join().unwrap();
-        }
         let consumers: Vec<_> = (0..4)
             .map(|_| {
                 let q = Arc::clone(&q);
                 std::thread::spawn(move || {
                     let mut got = Vec::new();
-                    while let Some(v) = q.dequeue() {
+                    while let Ok(v) = q.dequeue() {
                         got.push(v);
                     }
                     got
                 })
             })
             .collect();
+        for t in producers {
+            t.join().unwrap();
+        }
+        q.close();
         let mut all: Vec<i32> = consumers
             .into_iter()
             .flat_map(|t| t.join().unwrap())
@@ -155,32 +388,152 @@ mod tests {
         assert_eq!(all.len(), 1000);
         all.dedup();
         assert_eq!(all.len(), 1000, "duplicates or losses detected");
+        assert!(
+            q.peak_depth() <= 8,
+            "depth {} above capacity",
+            q.peak_depth()
+        );
     }
 
     #[test]
     fn remaining_tracks_occupancy() {
         let q = GlobalQueue::new();
-        q.enqueue(1);
-        q.enqueue(2);
+        q.enqueue(1).unwrap();
+        q.enqueue(2).unwrap();
         assert_eq!(q.remaining(), 2);
-        q.dequeue();
+        q.dequeue().unwrap();
         assert_eq!(q.remaining(), 1);
         assert!(!q.is_empty());
-        q.dequeue();
+        q.dequeue().unwrap();
         assert!(q.is_empty());
     }
 
     #[test]
-    fn shared_obs_receives_depth_samples() {
+    fn shared_obs_receives_depth_samples_and_capacity() {
         let obs = Arc::new(Obs::wall());
-        let q = GlobalQueue::with_obs(Arc::clone(&obs));
-        q.enqueue("a");
-        q.enqueue("b");
-        q.dequeue();
+        let q = GlobalQueue::bounded_with_obs(32, Arc::clone(&obs));
+        q.enqueue("a").unwrap();
+        q.enqueue("b").unwrap();
+        q.dequeue().unwrap();
         assert_eq!(obs.metrics.counter("queue.enqueued"), 2.0);
         assert_eq!(obs.metrics.counter("queue.dequeued"), 1.0);
         // One depth sample per enqueue/dequeue.
         assert_eq!(obs.metrics.series_len("queue.depth"), 3);
         assert_eq!(obs.metrics.gauge("queue.depth").unwrap().max, 2.0);
+        assert_eq!(obs.metrics.gauge("queue.capacity").unwrap().last, 32.0);
+    }
+
+    #[test]
+    fn blocking_dequeue_wakes_on_enqueue() {
+        let q = Arc::new(GlobalQueue::bounded(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.dequeue())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.enqueue(7).unwrap();
+        assert_eq!(waiter.join().unwrap(), Ok(7));
+        // The consumer blocked and the episode was accounted.
+        assert!(q.blocked_ns() > 0, "no blocked time recorded");
+    }
+
+    #[test]
+    fn blocking_dequeue_wakes_on_close() {
+        let q: Arc<GlobalQueue<u32>> = Arc::new(GlobalQueue::bounded(4));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.dequeue())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(waiter.join().unwrap(), Err(DequeueError::Drained));
+    }
+
+    #[test]
+    fn enqueue_blocks_at_capacity_and_resumes_after_dequeue() {
+        let q = Arc::new(GlobalQueue::bounded(2));
+        q.enqueue(0).unwrap();
+        q.enqueue(1).unwrap();
+        let started = Instant::now();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                q.enqueue(2).unwrap();
+                started.elapsed()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.remaining(), 2, "producer must not exceed capacity");
+        assert_eq!(q.dequeue(), Ok(0));
+        let blocked_for = producer.join().unwrap();
+        assert!(
+            blocked_for >= Duration::from_millis(20),
+            "producer should have blocked, returned after {blocked_for:?}"
+        );
+        assert_eq!(q.remaining(), 2);
+        assert_eq!(q.peak_depth(), 2);
+        assert!(q.blocked_ns() > 0);
+    }
+
+    #[test]
+    fn close_rejects_new_enqueues_but_drains_existing() {
+        let q = GlobalQueue::bounded(4);
+        q.enqueue(1).unwrap();
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.enqueue(2), Err(EnqueueError::Closed));
+        assert_eq!(q.dequeue(), Ok(1));
+        assert_eq!(q.dequeue(), Err(DequeueError::Drained));
+    }
+
+    #[test]
+    fn poison_wakes_a_blocked_producer() {
+        // Full queue: the producer blocks until the poison arrives.
+        let q = Arc::new(GlobalQueue::bounded(1));
+        q.enqueue(0).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.enqueue(1))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.poison("trainer 3 panicked");
+        assert_eq!(
+            producer.join().unwrap(),
+            Err(EnqueueError::Poisoned("trainer 3 panicked".into()))
+        );
+        assert_eq!(q.poison_reason().as_deref(), Some("trainer 3 panicked"));
+        // First poison reason wins.
+        q.poison("later");
+        assert_eq!(q.poison_reason().as_deref(), Some("trainer 3 panicked"));
+    }
+
+    #[test]
+    fn poison_wakes_a_blocked_consumer() {
+        // Empty queue: the consumer blocks until the poison arrives.
+        let q: Arc<GlobalQueue<i32>> = Arc::new(GlobalQueue::bounded(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.dequeue())
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.poison("sampler 0 panicked");
+        assert_eq!(
+            consumer.join().unwrap(),
+            Err(DequeueError::Poisoned("sampler 0 panicked".into()))
+        );
+    }
+
+    #[test]
+    fn dequeue_timeout_returns_none_without_producers() {
+        let q: GlobalQueue<u8> = GlobalQueue::bounded(1);
+        let started = Instant::now();
+        assert_eq!(q.dequeue_timeout(Duration::from_millis(30)), Ok(None));
+        assert!(started.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = GlobalQueue::<u8>::bounded(0);
     }
 }

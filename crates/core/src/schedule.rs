@@ -35,7 +35,7 @@ pub fn num_samplers(num_gpus: usize, t_sample: f64, t_train: f64) -> usize {
 
 /// The dynamic-switching profit metric:
 ///
-/// `P = M_r * T_t / N_t - T_t'` (or `+∞` when `N_t = 0`),
+/// `P = M_r * T_t / N_t - T_t'` (or `+∞` when `N_t = 0` with work left),
 ///
 /// where `M_r` is the number of tasks remaining in the global queue, `N_t`
 /// the number of active (normal) Trainers, `T_t` their per-batch time and
@@ -43,7 +43,15 @@ pub fn num_samplers(num_gpus: usize, t_sample: f64, t_train: f64) -> usize {
 /// holds topology, so its cache is smaller). A standby Trainer wakes iff
 /// `P > 0` — it can finish one task before the normal Trainers drain the
 /// queue.
+///
+/// An empty queue yields a non-positive profit regardless of `N_t`: with
+/// no tasks remaining there is nothing a standby Trainer could win, so it
+/// must never wake (waking onto an empty queue would pay the switch cost
+/// `T_t'` for zero work).
 pub fn switch_profit(remaining: usize, t_train: f64, num_trainers: usize, t_standby: f64) -> f64 {
+    if remaining == 0 {
+        return -t_standby;
+    }
     if num_trainers == 0 {
         return f64::INFINITY;
     }
@@ -102,9 +110,20 @@ mod tests {
     }
 
     #[test]
-    fn no_trainers_means_always_switch() {
+    fn no_trainers_with_work_left_means_always_switch() {
         assert!(switch_profit(1, 1.0, 0, 100.0).is_infinite());
-        assert!(should_switch(0, 1.0, 0, 100.0));
+        assert!(should_switch(1, 1.0, 0, 100.0));
+    }
+
+    #[test]
+    fn empty_queue_never_switches() {
+        // Regression: `N_t = 0` used to dominate, waking a standby Trainer
+        // onto an empty queue. No tasks remaining must mean no profit.
+        assert!(switch_profit(0, 1.0, 0, 100.0) <= 0.0);
+        assert!(!should_switch(0, 1.0, 0, 100.0));
+        assert!(!should_switch(0, 5.0, 4, 0.5));
+        // Even a free standby switch (T_t' = 0) is not *profitable*.
+        assert!(!should_switch(0, 1.0, 2, 0.0));
     }
 
     #[test]

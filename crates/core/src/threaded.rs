@@ -2,31 +2,69 @@
 //!
 //! The co-simulations in [`crate::runtime`] model the paper's *timing* on
 //! simulated GPUs; this module is the paper's *architecture* as an actual
-//! concurrent program: Sampler threads pull mini-batches from a global
-//! scheduler, sample for real, and enqueue whole samples into the
-//! host-memory [`GlobalQueue`]; Trainer threads dequeue asynchronously and
-//! train real model replicas, publishing gradients to a shared parameter
-//! server with bounded staleness ("GNNLab updates model gradients with
-//! bounded staleness … which effectively mitigates the convergence
-//! problem", §5.2).
+//! concurrent program: Sampler threads pull mini-batches from a dynamic
+//! global scheduler (a shared atomic cursor, §5.2), sample for real, and
+//! enqueue whole samples into the bounded host-memory [`GlobalQueue`];
+//! Trainer threads block on the queue (no busy-spinning) and train real
+//! model replicas, publishing gradients to a shared parameter server with
+//! bounded staleness ("GNNLab updates model gradients with bounded
+//! staleness … which effectively mitigates the convergence problem",
+//! §5.2).
+//!
+//! Dynamic executor switching (§5.3) runs live: every executor feeds EWMA
+//! estimates of `T_s`, `T_t` and `T_t'` from its recorded batch times, and
+//! a Sampler that finishes its share of the epoch flips into a standby
+//! Trainer whenever the profit metric `P = M_r·T_t/N_t − T_t'` is
+//! positive, training until the queue drains.
+//!
+//! A panicking executor poisons the queue, so every other thread unblocks
+//! and [`run_threaded`] returns an error in bounded time instead of
+//! deadlocking — the crash-safety half of the paper's robustness story.
 //!
 //! Used by tests and examples to demonstrate that the factored
 //! architecture trains correctly end to end on real data.
 
-use crate::queue::GlobalQueue;
+use crate::queue::{DequeueError, GlobalQueue, DEFAULT_CAPACITY};
+use crate::schedule::switch_profit;
 use crate::train_real::{gather_features, sampler_for};
 use gnnlab_cache::{load_cache, CachePolicy, CachedFeatureStore, PolicyKind};
 use gnnlab_graph::gen::SbmGraph;
 use gnnlab_graph::{FeatureStore, VertexId};
-use gnnlab_obs::{Executor, Obs, Stage};
+use gnnlab_obs::{names, Executor, Obs, Stage};
 use gnnlab_sampling::{MinibatchIter, Sample};
 use gnnlab_tensor::loss::accuracy;
 use gnnlab_tensor::{Adam, GnnModel, Matrix, ModelConfig, ModelKind, Optimizer};
 use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// An injected executor crash, for testing the run's failure behavior:
+/// the poisoned queue must unblock every thread and surface the panic as
+/// a [`ThreadedError`] instead of hanging the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultInjection {
+    /// No injected fault.
+    #[default]
+    None,
+    /// Panic Trainer `trainer` once it has trained `after_batches`.
+    TrainerPanic {
+        /// Index of the Trainer to crash (0-based).
+        trainer: usize,
+        /// Batches it trains successfully before panicking.
+        after_batches: usize,
+    },
+    /// Panic Sampler `sampler` once it has produced `after_batches`.
+    SamplerPanic {
+        /// Index of the Sampler to crash (0-based).
+        sampler: usize,
+        /// Batches it produces successfully before panicking.
+        after_batches: usize,
+    },
+}
 
 /// Configuration of a threaded training run.
 #[derive(Debug, Clone)]
@@ -43,11 +81,24 @@ pub struct ThreadedConfig {
     pub hidden_dim: usize,
     /// Adam learning rate.
     pub lr: f32,
-    /// RNG seed.
+    /// RNG seed; per-executor streams derive from it via SplitMix64 so no
+    /// two consumers (Samplers, model inits, evaluation, shuffling) ever
+    /// share a stream.
     pub seed: u64,
     /// Feature-cache ratio for the Trainers' real two-tier extraction
     /// (PreSC#1 hotness); 0 disables the cache.
     pub cache_alpha: f64,
+    /// Capacity of the bounded global queue: Samplers block once this many
+    /// samples wait unconsumed (host-memory backpressure, §5.2).
+    pub queue_capacity: usize,
+    /// Whether finished Samplers may flip into standby Trainers when the
+    /// profit metric is positive (§5.3).
+    pub dynamic_switching: bool,
+    /// Artificial per-batch Trainer delay, for tests and experiments that
+    /// need slow Trainers (backpressure, switching).
+    pub trainer_delay: Option<Duration>,
+    /// Injected executor crash (crash-safety tests).
+    pub fault: FaultInjection,
 }
 
 impl Default for ThreadedConfig {
@@ -61,28 +112,54 @@ impl Default for ThreadedConfig {
             lr: 0.01,
             seed: 0,
             cache_alpha: 0.2,
+            queue_capacity: DEFAULT_CAPACITY,
+            dynamic_switching: true,
+            trainer_delay: None,
+            fault: FaultInjection::None,
         }
     }
 }
 
+/// An executor crash surfaced by [`run_threaded`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadedError {
+    /// Which executor crashed (e.g. `"Trainer 2"`).
+    pub executor: String,
+    /// The panic payload rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for ThreadedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} panicked: {}", self.executor, self.message)
+    }
+}
+
+impl std::error::Error for ThreadedError {}
+
 /// Outcome of a threaded run.
 #[derive(Debug, Clone)]
 pub struct ThreadedResult {
-    /// Mini-batches trained (across all trainers and epochs).
+    /// Mini-batches trained (across all trainers, standbys and epochs).
     pub batches_trained: usize,
     /// Samples produced by Samplers.
     pub samples_produced: usize,
     /// Final test accuracy of the shared model.
     pub final_accuracy: f64,
-    /// Largest queue backlog observed (scheduling-pressure indicator).
+    /// Largest queue backlog observed; capped by the queue capacity.
     pub peak_queue_depth: usize,
     /// Cache hit rate of the Trainers' real two-tier extraction.
     pub cache_hit_rate: f64,
+    /// Standby-Trainer switches performed by finished Samplers (§5.3).
+    pub switches: usize,
+    /// Total nanoseconds executors spent blocked on the global queue
+    /// (producer backpressure + consumer waits).
+    pub queue_blocked_ns: u64,
 }
 
 /// One task flowing through the global queue.
 struct TrainTask {
-    /// Global production sequence number (the span `batch` id).
+    /// Global schedule index (the span `batch` id).
     id: u64,
     sample: Sample,
     labels: Vec<u32>,
@@ -93,6 +170,125 @@ struct ParamServer {
     master: GnnModel,
     opt: Adam,
 }
+
+// ---------------------------------------------------------------------------
+// Per-executor RNG streams.
+// ---------------------------------------------------------------------------
+
+/// SplitMix64 finalizer: a bijective avalanche mix (Steele et al.), so
+/// nearby inputs map to uncorrelated outputs.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The independent RNG consumers of a threaded run. Each `(role, index)`
+/// pair gets its own stream; the seed's raw value is never used directly
+/// (the old `seed ^ (index << 17)` scheme made Sampler 0, the model init
+/// and the shuffle all share `cfg.seed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamRole {
+    /// Master model initialization.
+    Model = 1,
+    /// A Sampler's sampling stream.
+    Sampler = 2,
+    /// A Trainer replica's initialization.
+    Trainer = 3,
+    /// A standby Trainer replica's initialization.
+    Standby = 4,
+    /// Held-out evaluation sampling.
+    Eval = 5,
+    /// The train/test vertex split.
+    Split = 6,
+    /// The per-epoch mini-batch shuffle (shared by all Samplers).
+    Shuffle = 7,
+}
+
+/// Derives the RNG stream for `(seed, role, index)`.
+fn stream_seed(seed: u64, role: StreamRole, index: u64) -> u64 {
+    splitmix64(splitmix64(splitmix64(seed) ^ role as u64) ^ index)
+}
+
+// ---------------------------------------------------------------------------
+// Live stage-time estimates (EWMA over recorded batch times).
+// ---------------------------------------------------------------------------
+
+/// EWMA smoothing factor for the live stage-time estimates.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// Standby prior: until a standby Trainer has run, assume it is this much
+/// slower than a normal Trainer (its cache is colder, §5.3).
+const STANDBY_PRIOR: f64 = 1.5;
+
+/// A lock-free EWMA cell (f64 bits in an atomic; NaN = no samples yet).
+#[derive(Debug)]
+struct AtomicEwma(AtomicU64);
+
+impl AtomicEwma {
+    fn new() -> Self {
+        AtomicEwma(AtomicU64::new(f64::NAN.to_bits()))
+    }
+
+    /// Folds one observation in and returns the new estimate.
+    fn update(&self, x: f64) -> f64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let old = f64::from_bits(cur);
+            let new = if old.is_nan() {
+                x
+            } else {
+                old + EWMA_ALPHA * (x - old)
+            };
+            match self.0.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return new,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn get(&self) -> Option<f64> {
+        let v = f64::from_bits(self.0.load(Ordering::Relaxed));
+        (!v.is_nan()).then_some(v)
+    }
+}
+
+/// Live `T_s`/`T_t`/`T_t'` estimates plus the active-Trainer count, shared
+/// by every executor of a run.
+struct LiveStats {
+    t_sample: AtomicEwma,
+    t_train: AtomicEwma,
+    t_standby: AtomicEwma,
+    active_trainers: AtomicUsize,
+}
+
+impl LiveStats {
+    fn new(num_trainers: usize) -> Self {
+        LiveStats {
+            t_sample: AtomicEwma::new(),
+            t_train: AtomicEwma::new(),
+            t_standby: AtomicEwma::new(),
+            active_trainers: AtomicUsize::new(num_trainers),
+        }
+    }
+
+    /// Folds a per-batch observation into `cell` and publishes the new
+    /// estimate as an obs series point.
+    fn update(&self, cell: &AtomicEwma, series: &str, secs: f64, obs: &Obs) {
+        let est = cell.update(secs);
+        obs.metrics.sample(series, obs.now_ns(), est);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Helpers.
+// ---------------------------------------------------------------------------
 
 /// Builds the Trainers' two-tier feature store with PreSC#1 hotness.
 fn build_feature_store(
@@ -151,33 +347,113 @@ fn push_grads(replica: &mut GnnModel, server: &Mutex<ParamServer>) {
     opt.step(&mut params);
 }
 
+/// Renders a caught panic payload as text.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Everything a (normal or standby) Trainer needs to process one task.
+struct TrainerEnv<'a> {
+    obs: &'a Obs,
+    server: &'a Mutex<ParamServer>,
+    store: &'a CachedFeatureStore,
+    graph: &'a SbmGraph,
+    trained: &'a AtomicUsize,
+    delay: Option<Duration>,
+}
+
+impl TrainerEnv<'_> {
+    /// Pulls, extracts, trains and pushes one task; returns the wall
+    /// seconds of Extract + Train (the per-batch time the EWMAs track).
+    fn process(
+        &self,
+        device: u32,
+        role: Executor,
+        replica: &mut GnnModel,
+        task: &TrainTask,
+    ) -> f64 {
+        let started = Instant::now();
+        pull_params(replica, self.server);
+        // Real two-tier Extract: device cache + host, guided by the
+        // Sampler's marks.
+        debug_assert_eq!(
+            task.sample.cache_mask.as_deref().map(<[bool]>::len),
+            Some(task.sample.num_input_nodes()),
+            "Sampler must mark every input vertex"
+        );
+        let feats = {
+            let _g = self.obs.start_span(device, role, Stage::Extract, task.id);
+            let raw = self.store.extract(task.sample.input_nodes());
+            Matrix::from_vec(task.sample.num_input_nodes(), self.graph.feat_dim, raw)
+        };
+        {
+            let _g = self.obs.start_span(device, role, Stage::Train, task.id);
+            if let Some(d) = self.delay {
+                std::thread::sleep(d);
+            }
+            let _ = replica.train_batch(&task.sample, &feats, &task.labels);
+            push_grads(replica, self.server);
+        }
+        self.trained.fetch_add(1, Ordering::Relaxed);
+        started.elapsed().as_secs_f64()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The run.
+// ---------------------------------------------------------------------------
+
 /// Runs the factored architecture with real threads on real data.
 ///
 /// Training vertices are the first half of the graph (deterministic
 /// split); accuracy is evaluated on the second half after all epochs.
 /// Records into a private wall-clock [`Obs`]; use [`run_threaded_obs`] to
 /// keep the spans and metrics.
-pub fn run_threaded(graph: &SbmGraph, kind: ModelKind, cfg: &ThreadedConfig) -> ThreadedResult {
+///
+/// # Errors
+///
+/// Returns a [`ThreadedError`] if any executor panics mid-run: the
+/// poisoned queue unblocks every thread, so the error surfaces in bounded
+/// time instead of hanging the run.
+pub fn run_threaded(
+    graph: &SbmGraph,
+    kind: ModelKind,
+    cfg: &ThreadedConfig,
+) -> Result<ThreadedResult, ThreadedError> {
     run_threaded_obs(graph, kind, cfg, &Arc::new(Obs::wall()))
 }
 
 /// [`run_threaded`] with a caller-supplied observability hub: every
 /// Sampler/Trainer records wall-clock spans, the global queue records a
-/// depth sample per enqueue/dequeue, and the Trainers' cache statistics
-/// are published under `cache.*`.
+/// depth sample per enqueue/dequeue plus blocked time, the live EWMA
+/// stage-time estimates publish under `scheduler.ewma_*`, and the
+/// Trainers' cache statistics are published under `cache.*`.
+///
+/// # Errors
+///
+/// See [`run_threaded`].
 pub fn run_threaded_obs(
     graph: &SbmGraph,
     kind: ModelKind,
     cfg: &ThreadedConfig,
     obs: &Arc<Obs>,
-) -> ThreadedResult {
+) -> Result<ThreadedResult, ThreadedError> {
     assert!(
         cfg.num_samplers >= 1 && cfg.num_trainers >= 1,
         "need executors"
     );
     let n = graph.csr.num_vertices();
-    let train_set: Vec<VertexId> =
-        gnnlab_graph::trainset::random_train_set(n, n / 2, cfg.seed ^ 0x5EED);
+    let train_set: Vec<VertexId> = gnnlab_graph::trainset::random_train_set(
+        n,
+        n / 2,
+        stream_seed(cfg.seed, StreamRole::Split, 0),
+    );
     let in_train: std::collections::HashSet<VertexId> = train_set.iter().copied().collect();
     let test_set: Vec<VertexId> = (0..n as VertexId)
         .filter(|v| !in_train.contains(v))
@@ -190,147 +466,190 @@ pub fn run_threaded_obs(
             in_dim: graph.feat_dim,
             hidden_dim: cfg.hidden_dim,
             num_classes: graph.num_classes,
-            seed: cfg.seed,
+            seed: stream_seed(cfg.seed, StreamRole::Model, 0),
         }),
         opt: Adam::new(cfg.lr),
     }));
-    let queue: Arc<GlobalQueue<TrainTask>> = Arc::new(GlobalQueue::with_obs(Arc::clone(obs)));
-    // Production sequence number doubles as the span `batch` id.
-    let produced = Arc::new(AtomicU64::new(0));
+    let queue: Arc<GlobalQueue<TrainTask>> = Arc::new(GlobalQueue::bounded_with_obs(
+        cfg.queue_capacity,
+        Arc::clone(obs),
+    ));
+    let batches_per_epoch = train_set.len().div_ceil(cfg.batch_size);
+    let total_batches = batches_per_epoch * cfg.epochs;
+    // The dynamic global scheduler (§5.2): one shared cursor over the
+    // whole run's `(epoch, batch)` sequence. Whichever Sampler is free
+    // claims the next index — no static striping, no idle Samplers while
+    // a slow peer still holds unclaimed batches.
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let produced = Arc::new(AtomicUsize::new(0));
     let trained = Arc::new(AtomicUsize::new(0));
     let sampling_done = Arc::new(AtomicUsize::new(0));
+    let switches = Arc::new(AtomicUsize::new(0));
+    let stats = Arc::new(LiveStats::new(cfg.num_trainers));
+    let first_error: Arc<Mutex<Option<ThreadedError>>> = Arc::new(Mutex::new(None));
+    let shuffle_seed = stream_seed(cfg.seed, StreamRole::Shuffle, 0);
+
+    // Records `err` (first crash wins) and poisons the queue so every
+    // blocked executor unwinds promptly.
+    let fail = |who: String, payload: Box<dyn std::any::Any + Send>| {
+        let err = ThreadedError {
+            executor: who,
+            message: panic_text(payload),
+        };
+        let mut slot = first_error.lock();
+        if slot.is_none() {
+            *slot = Some(err.clone());
+        }
+        drop(slot);
+        queue.poison(&err.to_string());
+    };
 
     std::thread::scope(|scope| {
-        // --- Samplers: a global scheduler (atomic cursor per epoch) hands
-        // out mini-batches dynamically (§5.2). -----------------------------
+        // --- Samplers ------------------------------------------------------
         for s in 0..cfg.num_samplers {
             let queue = Arc::clone(&queue);
             let obs = Arc::clone(obs);
+            let cursor = Arc::clone(&cursor);
             let produced = Arc::clone(&produced);
+            let trained = Arc::clone(&trained);
             let sampling_done = Arc::clone(&sampling_done);
+            let switches = Arc::clone(&switches);
+            let stats = Arc::clone(&stats);
             let feature_store = Arc::clone(&feature_store);
+            let server = Arc::clone(&server);
             let train_set = train_set.clone();
             let graph = &*graph;
             let cfg = cfg.clone();
+            let fail = &fail;
             scope.spawn(move || {
-                let algo = sampler_for(kind);
-                let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ (s as u64) << 17);
-                let device = s as u32;
-                for epoch in 0..cfg.epochs {
-                    let batches: Vec<Vec<VertexId>> =
-                        MinibatchIter::new(&train_set, cfg.batch_size, cfg.seed, epoch as u64)
-                            .collect();
-                    // Static striping per sampler approximates the dynamic
-                    // scheduler without cross-thread coordination overhead.
-                    for batch in batches.iter().skip(s).step_by(cfg.num_samplers) {
-                        let id = produced.fetch_add(1, Ordering::Relaxed);
-                        let mut sample = {
-                            let _g = obs.start_span(device, Executor::Sampler, Stage::SampleG, id);
-                            algo.sample(&graph.csr, batch, &mut rng)
-                        };
-                        // The M step (§5.2): the Sampler marks which input
-                        // vertices the Trainers' cache holds, so Trainers
-                        // need no second membership pass.
-                        {
-                            let _g = obs.start_span(device, Executor::Sampler, Stage::SampleM, id);
-                            sample.cache_mask =
-                                Some(feature_store.table().mark(sample.input_nodes()));
-                        }
-                        let labels = batch.iter().map(|&v| graph.labels[v as usize]).collect();
-                        let _g = obs.start_span(device, Executor::Sampler, Stage::SampleC, id);
-                        queue.enqueue(TrainTask { id, sample, labels });
-                        obs.metrics.counter_inc("threaded.samples_produced");
+                let body = AssertUnwindSafe(|| {
+                    sampler_loop(
+                        s,
+                        &cfg,
+                        kind,
+                        graph,
+                        &train_set,
+                        shuffle_seed,
+                        batches_per_epoch,
+                        total_batches,
+                        &cursor,
+                        &produced,
+                        &queue,
+                        &obs,
+                        &stats,
+                        &feature_store,
+                    );
+                    // Last Sampler out closes the queue: blocked Trainers
+                    // drain what remains and exit instead of spinning.
+                    if sampling_done.fetch_add(1, Ordering::AcqRel) + 1 == cfg.num_samplers {
+                        queue.close();
                     }
+                    if cfg.dynamic_switching {
+                        standby_switch(
+                            s,
+                            &cfg,
+                            kind,
+                            graph,
+                            &queue,
+                            &obs,
+                            &stats,
+                            &switches,
+                            &TrainerEnv {
+                                obs: &obs,
+                                server: &server,
+                                store: &feature_store,
+                                graph,
+                                trained: &trained,
+                                delay: cfg.trainer_delay,
+                            },
+                        );
+                    }
+                });
+                if let Err(payload) = catch_unwind(body) {
+                    fail(format!("Sampler {s}"), payload);
                 }
-                sampling_done.fetch_add(1, Ordering::Release);
             });
         }
 
-        // --- Trainers: dequeue asynchronously until the queue is drained
-        // and all Samplers have finished. ----------------------------------
+        // --- Trainers ------------------------------------------------------
         for t in 0..cfg.num_trainers {
             let queue = Arc::clone(&queue);
             let obs = Arc::clone(obs);
             let server = Arc::clone(&server);
             let trained = Arc::clone(&trained);
-            let sampling_done = Arc::clone(&sampling_done);
+            let stats = Arc::clone(&stats);
             let feature_store = Arc::clone(&feature_store);
             let graph = &*graph;
             let cfg = cfg.clone();
+            let fail = &fail;
             scope.spawn(move || {
-                let device = (cfg.num_samplers + t) as u32;
-                let mut replica = GnnModel::new(ModelConfig {
-                    kind,
-                    in_dim: graph.feat_dim,
-                    hidden_dim: cfg.hidden_dim,
-                    num_classes: graph.num_classes,
-                    seed: cfg.seed ^ (t as u64),
-                });
-                // Instant the trainer last went idle, for dequeue-wait.
-                let mut wait_started: Option<u64> = None;
-                loop {
-                    match queue.dequeue() {
-                        Some(task) => {
-                            if let Some(w) = wait_started.take() {
-                                obs.metrics.observe(
-                                    "queue.wait_ns",
-                                    obs.now_ns().saturating_sub(w) as f64,
+                let body = AssertUnwindSafe(|| {
+                    let device = (cfg.num_samplers + t) as u32;
+                    let mut replica = GnnModel::new(ModelConfig {
+                        kind,
+                        in_dim: graph.feat_dim,
+                        hidden_dim: cfg.hidden_dim,
+                        num_classes: graph.num_classes,
+                        seed: stream_seed(cfg.seed, StreamRole::Trainer, t as u64),
+                    });
+                    let env = TrainerEnv {
+                        obs: &obs,
+                        server: &server,
+                        store: &feature_store,
+                        graph,
+                        trained: &trained,
+                        delay: cfg.trainer_delay,
+                    };
+                    let mut done = 0usize;
+                    loop {
+                        // Blocking dequeue: wakes on enqueue, close or
+                        // poison — idle Trainers cost no CPU.
+                        match queue.dequeue() {
+                            Ok(task) => {
+                                if let FaultInjection::TrainerPanic {
+                                    trainer,
+                                    after_batches,
+                                } = cfg.fault
+                                {
+                                    if trainer == t && done >= after_batches {
+                                        panic!(
+                                            "injected fault: Trainer {t} after {after_batches} batches"
+                                        );
+                                    }
+                                }
+                                let secs =
+                                    env.process(device, Executor::Trainer, &mut replica, &task);
+                                stats.update(
+                                    &stats.t_train,
+                                    names::SCHEDULER_EWMA_T_TRAIN,
+                                    secs,
+                                    &obs,
                                 );
+                                done += 1;
                             }
-                            pull_params(&mut replica, &server);
-                            // Real two-tier Extract: device cache + host,
-                            // guided by the Sampler's marks.
-                            debug_assert_eq!(
-                                task.sample.cache_mask.as_deref().map(<[bool]>::len),
-                                Some(task.sample.num_input_nodes()),
-                                "Sampler must mark every input vertex"
-                            );
-                            let feats = {
-                                let _g = obs.start_span(
-                                    device,
-                                    Executor::Trainer,
-                                    Stage::Extract,
-                                    task.id,
-                                );
-                                let raw = feature_store.extract(task.sample.input_nodes());
-                                Matrix::from_vec(task.sample.num_input_nodes(), graph.feat_dim, raw)
-                            };
-                            {
-                                let _g = obs.start_span(
-                                    device,
-                                    Executor::Trainer,
-                                    Stage::Train,
-                                    task.id,
-                                );
-                                let _ = replica.train_batch(&task.sample, &feats, &task.labels);
-                                push_grads(&mut replica, &server);
-                            }
-                            trained.fetch_add(1, Ordering::Relaxed);
-                        }
-                        None => {
-                            if sampling_done.load(Ordering::Acquire) == cfg.num_samplers
-                                && queue.is_empty()
-                            {
-                                break;
-                            }
-                            wait_started.get_or_insert_with(|| obs.now_ns());
-                            std::thread::yield_now();
+                            Err(DequeueError::Drained) => break,
+                            // Another executor crashed; its thread records
+                            // the error — just unwind quietly.
+                            Err(DequeueError::Poisoned(_)) => break,
                         }
                     }
+                });
+                if let Err(payload) = catch_unwind(body) {
+                    fail(format!("Trainer {t}"), payload);
                 }
             });
         }
     });
 
-    // Evaluate the master model on the held-out half.
-    let mut master = {
-        let mut guard = server.lock();
-        let snapshot = guard.master.clone();
-        let _ = guard.master.params_mut(); // keep borrowck simple
-        snapshot
-    };
+    if let Some(err) = first_error.lock().take() {
+        return Err(err);
+    }
+
+    // Evaluate the master model on the held-out half. The lock is held
+    // only for the clone; evaluation runs on the snapshot.
+    let mut master = server.lock().master.clone();
     let algo = sampler_for(kind);
-    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xE7A1);
+    let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(cfg.seed, StreamRole::Eval, 0));
     let mut correct = 0.0f64;
     let mut total = 0usize;
     for chunk in test_set.chunks(cfg.batch_size.max(1)) {
@@ -342,19 +661,158 @@ pub fn run_threaded_obs(
         total += chunk.len();
     }
 
-    let stats = feature_store.stats();
-    stats.publish(&obs.metrics);
-    ThreadedResult {
+    let cache_stats = feature_store.stats();
+    cache_stats.publish(&obs.metrics);
+    Ok(ThreadedResult {
         batches_trained: trained.load(Ordering::Relaxed),
-        samples_produced: produced.load(Ordering::Relaxed) as usize,
+        samples_produced: produced.load(Ordering::Relaxed),
         final_accuracy: if total == 0 {
             0.0
         } else {
             correct / total as f64
         },
         peak_queue_depth: queue.peak_depth(),
-        cache_hit_rate: stats.hit_rate(),
+        cache_hit_rate: cache_stats.hit_rate(),
+        switches: switches.load(Ordering::Relaxed),
+        queue_blocked_ns: queue.blocked_ns(),
+    })
+}
+
+/// One Sampler's main loop: claim the next batch index from the shared
+/// cursor, sample, mark, enqueue (blocking at the queue's capacity).
+#[allow(clippy::too_many_arguments)]
+fn sampler_loop(
+    s: usize,
+    cfg: &ThreadedConfig,
+    kind: ModelKind,
+    graph: &SbmGraph,
+    train_set: &[VertexId],
+    shuffle_seed: u64,
+    batches_per_epoch: usize,
+    total_batches: usize,
+    cursor: &AtomicUsize,
+    produced: &AtomicUsize,
+    queue: &GlobalQueue<TrainTask>,
+    obs: &Obs,
+    stats: &LiveStats,
+    feature_store: &CachedFeatureStore,
+) {
+    let algo = sampler_for(kind);
+    let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(cfg.seed, StreamRole::Sampler, s as u64));
+    let device = s as u32;
+    let mut cached_epoch = usize::MAX;
+    let mut batches: Vec<Vec<VertexId>> = Vec::new();
+    let mut sampled = 0usize;
+    loop {
+        let i = cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= total_batches {
+            break;
+        }
+        if let FaultInjection::SamplerPanic {
+            sampler,
+            after_batches,
+        } = cfg.fault
+        {
+            if sampler == s && sampled >= after_batches {
+                panic!("injected fault: Sampler {s} after {after_batches} batches");
+            }
+        }
+        let epoch = i / batches_per_epoch;
+        if epoch != cached_epoch {
+            // Every Sampler derives the same shuffle for a given epoch, so
+            // the global index space is consistent across threads.
+            batches =
+                MinibatchIter::new(train_set, cfg.batch_size, shuffle_seed, epoch as u64).collect();
+            cached_epoch = epoch;
+        }
+        let batch = &batches[i % batches_per_epoch];
+        let id = i as u64;
+        let work_started = Instant::now();
+        let mut sample = {
+            let _g = obs.start_span(device, Executor::Sampler, Stage::SampleG, id);
+            algo.sample(&graph.csr, batch, &mut rng)
+        };
+        // The M step (§5.2): the Sampler marks which input vertices the
+        // Trainers' cache holds, so Trainers need no second membership
+        // pass.
+        {
+            let _g = obs.start_span(device, Executor::Sampler, Stage::SampleM, id);
+            sample.cache_mask = Some(feature_store.table().mark(sample.input_nodes()));
+        }
+        // T_s counts sampling *work* (G + M); the C step below may block
+        // on backpressure, which is waiting, not work.
+        stats.update(
+            &stats.t_sample,
+            names::SCHEDULER_EWMA_T_SAMPLE,
+            work_started.elapsed().as_secs_f64(),
+            obs,
+        );
+        let labels = batch.iter().map(|&v| graph.labels[v as usize]).collect();
+        let enqueued = {
+            let _g = obs.start_span(device, Executor::Sampler, Stage::SampleC, id);
+            queue.enqueue(TrainTask { id, sample, labels })
+        };
+        match enqueued {
+            Ok(()) => {
+                produced.fetch_add(1, Ordering::Relaxed);
+                sampled += 1;
+                obs.metrics.counter_inc("threaded.samples_produced");
+            }
+            // Poisoned (a peer crashed) or closed: stop producing.
+            Err(_) => return,
+        }
     }
+}
+
+/// The §5.3 switching decision a Sampler takes once its sampling work is
+/// done: evaluate the live profit metric and, if positive, train as a
+/// standby Trainer until the queue drains.
+#[allow(clippy::too_many_arguments)]
+fn standby_switch(
+    s: usize,
+    cfg: &ThreadedConfig,
+    kind: ModelKind,
+    graph: &SbmGraph,
+    queue: &GlobalQueue<TrainTask>,
+    obs: &Obs,
+    stats: &LiveStats,
+    switches: &AtomicUsize,
+    env: &TrainerEnv<'_>,
+) {
+    let remaining = queue.remaining();
+    // Until estimates exist, fall back: T_t ≈ T_s (same order of work per
+    // batch here), T_t' ≈ STANDBY_PRIOR × T_t (colder cache).
+    let t_train = stats
+        .t_train
+        .get()
+        .or_else(|| stats.t_sample.get())
+        .unwrap_or(0.0);
+    let t_standby = stats.t_standby.get().unwrap_or(t_train * STANDBY_PRIOR);
+    let n_t = stats.active_trainers.load(Ordering::Relaxed);
+    let profit = switch_profit(remaining, t_train, n_t, t_standby);
+    obs.metrics
+        .sample(names::SCHEDULER_SWITCH_PROFIT, obs.now_ns(), profit);
+    obs.metrics.observe(names::SCHEDULER_SWITCH_PROFIT, profit);
+    if profit <= 0.0 {
+        obs.metrics.counter_inc(names::SCHEDULER_SWITCH_DENIED);
+        return;
+    }
+    obs.metrics.counter_inc(names::SCHEDULER_SWITCHES);
+    switches.fetch_add(1, Ordering::Relaxed);
+    stats.active_trainers.fetch_add(1, Ordering::Relaxed);
+    let device = s as u32;
+    let mut replica = GnnModel::new(ModelConfig {
+        kind,
+        in_dim: graph.feat_dim,
+        hidden_dim: cfg.hidden_dim,
+        num_classes: graph.num_classes,
+        seed: stream_seed(cfg.seed, StreamRole::Standby, s as u64),
+    });
+    while let Ok(task) = queue.dequeue() {
+        let secs = env.process(device, Executor::Standby, &mut replica, &task);
+        stats.update(&stats.t_standby, names::SCHEDULER_EWMA_T_STANDBY, secs, obs);
+    }
+    stats.active_trainers.fetch_sub(1, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -385,7 +843,7 @@ mod tests {
             batch_size: 25,
             ..Default::default()
         };
-        let res = run_threaded(&g, ModelKind::GraphSage, &cfg);
+        let res = run_threaded(&g, ModelKind::GraphSage, &cfg).unwrap();
         let batches_per_epoch = (300usize).div_ceil(25);
         assert_eq!(res.samples_produced, batches_per_epoch * 4);
         assert_eq!(res.batches_trained, res.samples_produced);
@@ -401,7 +859,8 @@ mod tests {
                 epochs: 12,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(
             res.final_accuracy > 0.7,
             "threaded accuracy {:.3}",
@@ -420,7 +879,8 @@ mod tests {
                 cache_alpha: 0.5,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(
             res.cache_hit_rate > 0.3,
             "hit rate {:.3} too low for a 50% cache",
@@ -434,7 +894,8 @@ mod tests {
                 cache_alpha: 0.0,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(uncached.cache_hit_rate, 0.0);
     }
 
@@ -447,12 +908,17 @@ mod tests {
             cache_alpha: 0.5,
             ..Default::default()
         };
-        let res = run_threaded_obs(&g, ModelKind::GraphSage, &cfg, &obs);
+        let res = run_threaded_obs(&g, ModelKind::GraphSage, &cfg, &obs).unwrap();
 
-        // Queue depth was sampled on every enqueue/dequeue.
+        // Queue depth was sampled on every enqueue/dequeue, and the
+        // capacity gauge reflects the bound.
         assert!(
             obs.metrics.series_len("queue.depth") > 0,
             "no depth samples"
+        );
+        assert_eq!(
+            obs.metrics.gauge("queue.capacity").unwrap().last,
+            cfg.queue_capacity as f64
         );
         assert_eq!(
             obs.metrics.counter("queue.enqueued") as usize,
@@ -462,6 +928,9 @@ mod tests {
             obs.metrics.counter("queue.dequeued") as usize,
             res.batches_trained
         );
+        // Live stage-time estimates were published.
+        assert!(obs.metrics.series_len("scheduler.ewma_t_sample") > 0);
+        assert!(obs.metrics.series_len("scheduler.ewma_t_train") > 0);
         // Cache hit/miss totals were published by the Trainers' store.
         assert!(obs.metrics.counter("cache.lookups") > 0.0);
         assert!(obs.metrics.counter("cache.hits") > 0.0);
@@ -483,7 +952,155 @@ mod tests {
                 epochs: 2,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(res.batches_trained > 0);
+    }
+
+    #[test]
+    fn stream_seeds_are_pairwise_distinct() {
+        // Regression: `seed ^ (0 << 17) == seed` made Sampler 0 share its
+        // stream with the model init and the shuffle. Every (role, index)
+        // stream must be unique, and none may equal the raw seed.
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let mut seen = std::collections::HashSet::new();
+            seen.insert(seed);
+            for role in [
+                StreamRole::Model,
+                StreamRole::Sampler,
+                StreamRole::Trainer,
+                StreamRole::Standby,
+                StreamRole::Eval,
+                StreamRole::Split,
+                StreamRole::Shuffle,
+            ] {
+                for index in 0..8u64 {
+                    assert!(
+                        seen.insert(stream_seed(seed, role, index)),
+                        "stream collision at seed={seed} role={role:?} index={index}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slow_trainers_block_samplers_at_queue_capacity() {
+        let g = graph();
+        let obs = Arc::new(Obs::wall());
+        let cfg = ThreadedConfig {
+            num_samplers: 2,
+            num_trainers: 1,
+            epochs: 2,
+            batch_size: 25,
+            queue_capacity: 4,
+            trainer_delay: Some(Duration::from_millis(3)),
+            ..Default::default()
+        };
+        let res = run_threaded_obs(&g, ModelKind::GraphSage, &cfg, &obs).unwrap();
+        assert_eq!(res.batches_trained, res.samples_produced);
+        // Backpressure: the queue filled to exactly its capacity and the
+        // Samplers spent real time blocked.
+        assert_eq!(res.peak_queue_depth, 4, "queue never hit its bound");
+        assert_eq!(obs.metrics.series_max("queue.depth"), Some(4.0));
+        assert!(res.queue_blocked_ns > 0, "no blocked time recorded");
+        assert!(obs.metrics.counter("queue.blocked_ns") > 0.0);
+    }
+
+    #[test]
+    fn backlog_at_sampler_finish_triggers_standby_switch() {
+        let g = graph();
+        let obs = Arc::new(Obs::wall());
+        let cfg = ThreadedConfig {
+            num_samplers: 2,
+            num_trainers: 1,
+            epochs: 3,
+            batch_size: 25,
+            queue_capacity: 128,
+            trainer_delay: Some(Duration::from_millis(3)),
+            dynamic_switching: true,
+            ..Default::default()
+        };
+        let res = run_threaded_obs(&g, ModelKind::GraphSage, &cfg, &obs).unwrap();
+        // Slow Trainers leave a backlog when sampling ends, so the profit
+        // metric wakes at least one standby Trainer — and every batch is
+        // still trained exactly once.
+        assert!(res.switches >= 1, "no standby switch despite backlog");
+        assert_eq!(
+            obs.metrics.counter("scheduler.switches") as usize,
+            res.switches
+        );
+        assert_eq!(res.batches_trained, res.samples_produced);
+        let batches_per_epoch = (300usize).div_ceil(25);
+        assert_eq!(res.samples_produced, batches_per_epoch * 3);
+        // The standby recorded spans under its own executor role.
+        assert!(obs.spans().iter().any(|s| s.executor == Executor::Standby));
+    }
+
+    #[test]
+    fn switching_disabled_never_switches() {
+        let g = graph();
+        let res = run_threaded(
+            &g,
+            ModelKind::GraphSage,
+            &ThreadedConfig {
+                num_samplers: 2,
+                num_trainers: 1,
+                epochs: 2,
+                trainer_delay: Some(Duration::from_millis(2)),
+                dynamic_switching: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(res.switches, 0);
+        assert_eq!(res.batches_trained, res.samples_produced);
+    }
+
+    #[test]
+    fn injected_trainer_panic_fails_the_run_in_bounded_time() {
+        let g = graph();
+        let cfg = ThreadedConfig {
+            num_samplers: 2,
+            num_trainers: 1,
+            epochs: 4,
+            batch_size: 25,
+            // A tiny queue so Samplers are deep in blocked enqueues when
+            // the only Trainer dies — the old unbounded/spinning runtime
+            // would hang here.
+            queue_capacity: 2,
+            fault: FaultInjection::TrainerPanic {
+                trainer: 0,
+                after_batches: 3,
+            },
+            ..Default::default()
+        };
+        let started = Instant::now();
+        let err = run_threaded(&g, ModelKind::GraphSage, &cfg).unwrap_err();
+        assert!(
+            started.elapsed() < Duration::from_secs(30),
+            "tear-down took {:?}",
+            started.elapsed()
+        );
+        assert_eq!(err.executor, "Trainer 0");
+        assert!(err.message.contains("injected fault"), "{err}");
+    }
+
+    #[test]
+    fn injected_sampler_panic_fails_the_run() {
+        let g = graph();
+        let cfg = ThreadedConfig {
+            num_samplers: 2,
+            num_trainers: 2,
+            epochs: 2,
+            fault: FaultInjection::SamplerPanic {
+                sampler: 1,
+                after_batches: 2,
+            },
+            ..Default::default()
+        };
+        let err = run_threaded(&g, ModelKind::GraphSage, &cfg).unwrap_err();
+        assert_eq!(err.executor, "Sampler 1");
+        assert!(err.message.contains("injected fault"), "{err}");
     }
 }

@@ -19,6 +19,7 @@
 mod chrome;
 mod clock;
 mod metrics;
+pub mod names;
 mod span;
 
 pub use clock::Clock;

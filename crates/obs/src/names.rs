@@ -1,0 +1,36 @@
+//! Canonical metric names shared by the runtimes.
+//!
+//! Every executor publishes under these dotted names so exporters,
+//! dashboards and tests never disagree on spelling. The constants cover
+//! the queue and scheduler surfaces introduced with the bounded global
+//! queue; older call sites still use string literals with the same
+//! values (`queue.depth`, `cache.hits`, …).
+
+/// Series + gauge: queue occupancy, sampled on every enqueue/dequeue.
+pub const QUEUE_DEPTH: &str = "queue.depth";
+/// Counter: tasks ever enqueued.
+pub const QUEUE_ENQUEUED: &str = "queue.enqueued";
+/// Counter: tasks ever dequeued.
+pub const QUEUE_DEQUEUED: &str = "queue.dequeued";
+/// Gauge: the configured capacity of the bounded queue.
+pub const QUEUE_CAPACITY: &str = "queue.capacity";
+/// Counter: total nanoseconds any producer or consumer spent blocked on
+/// the queue (full-side backpressure plus empty-side waits).
+pub const QUEUE_BLOCKED_NS: &str = "queue.blocked_ns";
+/// Histogram: one observation per consumer blocking episode (empty-side).
+pub const QUEUE_WAIT_NS: &str = "queue.wait_ns";
+/// Histogram: one observation per producer blocking episode (full-side).
+pub const QUEUE_ENQUEUE_BLOCK_NS: &str = "queue.enqueue_block_ns";
+
+/// Counter: standby Trainers woken by the profit metric (§5.3).
+pub const SCHEDULER_SWITCHES: &str = "scheduler.switches";
+/// Counter: switching decisions where the profit metric said no.
+pub const SCHEDULER_SWITCH_DENIED: &str = "scheduler.switch_denied";
+/// Series + histogram: the profit value `P` per switching decision.
+pub const SCHEDULER_SWITCH_PROFIT: &str = "scheduler.switch_profit";
+/// Series: live EWMA estimate of the Sampler per-batch time `T_s` (secs).
+pub const SCHEDULER_EWMA_T_SAMPLE: &str = "scheduler.ewma_t_sample";
+/// Series: live EWMA estimate of the Trainer per-batch time `T_t` (secs).
+pub const SCHEDULER_EWMA_T_TRAIN: &str = "scheduler.ewma_t_train";
+/// Series: live EWMA estimate of the standby time `T_t'` (secs).
+pub const SCHEDULER_EWMA_T_STANDBY: &str = "scheduler.ewma_t_standby";

@@ -1,6 +1,11 @@
 //! End-to-end integration tests across all crates: every system design
 //! runs on every feasible workload and the paper's headline orderings
 //! hold.
+//!
+//! Datasets and co-sim results are memoized across tests: the full
+//! Table-4 matrix touches 12 workloads x 4 systems, and generating a
+//! dataset per cell (instead of per workload) used to dominate the
+//! suite's runtime.
 
 use gnnlab::core::report::RunError;
 use gnnlab::core::runtime::{run_agl_epoch, run_system, SimContext};
@@ -8,16 +13,77 @@ use gnnlab::core::trace::EpochTrace;
 use gnnlab::core::{SystemKind, Workload};
 use gnnlab::graph::{DatasetKind, Scale};
 use gnnlab::tensor::ModelKind;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 const SCALE: Scale = Scale::TEST; // 1/2048
 
+/// Exactly-once memoization: a short-lived registry lock hands out one
+/// `OnceLock` cell per key, and the (slow) compute runs outside the lock
+/// so concurrent tests fill distinct cells in parallel without ever
+/// computing the same cell twice.
+type Registry<K, V> = OnceLock<Mutex<HashMap<K, &'static OnceLock<V>>>>;
+
+fn memo<K, V>(registry: &'static Registry<K, V>, key: K, compute: impl FnOnce() -> V) -> &'static V
+where
+    K: std::hash::Hash + Eq,
+{
+    let cell = *registry
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap()
+        .entry(key)
+        .or_insert_with(|| Box::leak(Box::new(OnceLock::new())));
+    cell.get_or_init(compute)
+}
+
+/// One generated dataset per (model, dataset) pair, shared by every
+/// system and every test in this binary.
+fn workload(model: ModelKind, ds: DatasetKind) -> &'static Workload {
+    static CACHE: Registry<(ModelKind, DatasetKind), Workload> = OnceLock::new();
+    memo(&CACHE, (model, ds), || Workload::new(model, ds, SCALE, 42))
+}
+
+/// Memoized epoch co-simulation of one Table-4 cell.
 fn run(model: ModelKind, ds: DatasetKind, system: SystemKind) -> Result<f64, RunError> {
-    let w = Workload::new(model, ds, SCALE, 42);
-    let ctx = SimContext::new(&w, system);
-    run_system(&ctx).map(|r| r.epoch_time)
+    type Key = (ModelKind, DatasetKind, SystemKind);
+    static CACHE: Registry<Key, Result<f64, RunError>> = OnceLock::new();
+    memo(&CACHE, (model, ds, system), || {
+        let ctx = SimContext::new(workload(model, ds), system);
+        run_system(&ctx).map(|r| r.epoch_time)
+    })
+    .clone()
+}
+
+/// Fast default-run slice of the Table-4 matrix: one model across every
+/// dataset x system cell, plus the one `Unsupported` cell (PyG has no
+/// PinSAGE). The exhaustive sweeps below are `#[ignore]`d and run by the
+/// scheduled CI job (`cargo test -- --ignored`).
+#[test]
+fn table4_smoke_covers_every_system_and_dataset() {
+    for ds in DatasetKind::ALL {
+        for system in SystemKind::ALL {
+            match run(ModelKind::Gcn, ds, system) {
+                Ok(t) => assert!(t > 0.0, "{system:?} GCN {ds:?} zero epoch"),
+                Err(RunError::Unsupported(_)) => panic!("GCN runs on every system"),
+                Err(RunError::Oom { .. }) => {
+                    assert_ne!(system, SystemKind::GnnLab, "GCN {ds:?}");
+                }
+            }
+        }
+    }
+    assert!(matches!(
+        run(
+            ModelKind::PinSage,
+            DatasetKind::Products,
+            SystemKind::PygLike
+        ),
+        Err(RunError::Unsupported(_))
+    ));
 }
 
 #[test]
+#[ignore = "full 3x4x4 sweep (~45 s); covered by the scheduled CI job"]
 fn every_feasible_cell_of_table4_runs() {
     for model in ModelKind::ALL {
         for ds in DatasetKind::ALL {
@@ -41,6 +107,7 @@ fn every_feasible_cell_of_table4_runs() {
 }
 
 #[test]
+#[ignore = "full 3x4 sweep (~45 s); covered by the scheduled CI job"]
 fn gnnlab_never_loses_to_dgl() {
     for model in ModelKind::ALL {
         for ds in DatasetKind::ALL {
@@ -81,23 +148,28 @@ fn uk_runs_only_on_the_factored_design_for_gcn() {
 
 #[test]
 fn agl_batch_mode_pays_reload_costs() {
-    let w = Workload::new(ModelKind::GraphSage, DatasetKind::Papers, SCALE, 42);
-    let ctx = SimContext::new(&w, SystemKind::GnnLab);
-    let trace = EpochTrace::record(&w, SystemKind::GnnLab.kernel(), ctx.epoch);
+    let w = workload(ModelKind::GraphSage, DatasetKind::Papers);
+    let ctx = SimContext::new(w, SystemKind::GnnLab);
+    let trace = EpochTrace::record(w, SystemKind::GnnLab.kernel(), ctx.epoch);
     let agl = run_agl_epoch(&ctx, &trace).expect("PA fits");
-    let gnnlab = run_system(&ctx).expect("PA fits");
+    let gnnlab = run(
+        ModelKind::GraphSage,
+        DatasetKind::Papers,
+        SystemKind::GnnLab,
+    )
+    .expect("PA fits");
     assert!(
-        agl.epoch_time > 5.0 * gnnlab.epoch_time,
+        agl.epoch_time > 5.0 * gnnlab,
         "AGL {} vs GNNLab {}",
         agl.epoch_time,
-        gnnlab.epoch_time
+        gnnlab
     );
 }
 
 #[test]
 fn single_gpu_mode_engages_below_two_gpus() {
-    let w = Workload::new(ModelKind::GraphSage, DatasetKind::Twitter, SCALE, 42);
-    let ctx = SimContext::new(&w, SystemKind::GnnLab).with_gpus(1);
+    let w = workload(ModelKind::GraphSage, DatasetKind::Twitter);
+    let ctx = SimContext::new(w, SystemKind::GnnLab).with_gpus(1);
     let rep = run_system(&ctx).expect("TW fits one GPU");
     // All batches flow through the standby Trainer.
     assert!(rep.switched_batches > 0);

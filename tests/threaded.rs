@@ -1,0 +1,143 @@
+//! Integration tests of the real threaded runtime: the bounded blocking
+//! global queue, live dynamic switching (§5.3), and crash safety.
+
+use gnnlab::core::threaded::{run_threaded, run_threaded_obs, FaultInjection, ThreadedConfig};
+use gnnlab::graph::gen::{sbm, SbmGraph, SbmParams};
+use gnnlab::obs::Obs;
+use gnnlab::tensor::ModelKind;
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One small shared graph for every case (generation dominates otherwise).
+fn graph() -> &'static SbmGraph {
+    static GRAPH: OnceLock<SbmGraph> = OnceLock::new();
+    GRAPH.get_or_init(|| {
+        sbm(&SbmParams {
+            num_vertices: 240,
+            num_classes: 3,
+            avg_degree: 8.0,
+            intra_prob: 0.9,
+            feat_dim: 6,
+            noise: 0.6,
+            seed: 11,
+        })
+        .expect("valid SBM parameters")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline safety property of the bounded queue + dynamic
+    /// switching: whatever the executor counts, capacity, delays and
+    /// switching mode, every produced batch is trained exactly once and
+    /// the queue never exceeds its capacity.
+    #[test]
+    fn bounded_switching_runs_train_every_batch_exactly_once(
+        num_samplers in 1usize..4,
+        num_trainers in 1usize..4,
+        epochs in 1usize..4,
+        batch_size in 10usize..40,
+        queue_capacity in 1usize..12,
+        delay_ms in 0u64..3,
+        dynamic_switching in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let g = graph();
+        let cfg = ThreadedConfig {
+            num_samplers,
+            num_trainers,
+            epochs,
+            batch_size,
+            queue_capacity,
+            dynamic_switching,
+            trainer_delay: (delay_ms > 0).then(|| Duration::from_millis(delay_ms)),
+            seed,
+            ..Default::default()
+        };
+        let res = run_threaded(g, ModelKind::GraphSage, &cfg).expect("no faults injected");
+        let batches_per_epoch = (120usize).div_ceil(batch_size);
+        prop_assert_eq!(res.samples_produced, batches_per_epoch * epochs);
+        prop_assert_eq!(res.batches_trained, res.samples_produced);
+        prop_assert!(
+            res.peak_queue_depth <= queue_capacity,
+            "depth {} above capacity {}", res.peak_queue_depth, queue_capacity
+        );
+        if !dynamic_switching {
+            prop_assert_eq!(res.switches, 0);
+        }
+    }
+}
+
+/// The ISSUE's acceptance scenario end to end, on the shared obs surface:
+/// slowed Trainers make Samplers block at the configured capacity, the
+/// backlog triggers a standby switch, and the metrics tell the story.
+#[test]
+fn acceptance_backpressure_switching_and_metrics() {
+    let obs = Arc::new(Obs::wall());
+    let cfg = ThreadedConfig {
+        num_samplers: 2,
+        num_trainers: 1,
+        epochs: 3,
+        batch_size: 20,
+        queue_capacity: 3,
+        trainer_delay: Some(Duration::from_millis(3)),
+        dynamic_switching: true,
+        ..Default::default()
+    };
+    let res = run_threaded_obs(graph(), ModelKind::GraphSage, &cfg, &obs).expect("healthy run");
+
+    // Samplers hit the bound: depth max == capacity, real blocked time.
+    assert_eq!(res.peak_queue_depth, cfg.queue_capacity);
+    assert_eq!(
+        obs.metrics.series_max("queue.depth"),
+        Some(cfg.queue_capacity as f64)
+    );
+    assert_eq!(
+        obs.metrics.gauge("queue.capacity").unwrap().last,
+        cfg.queue_capacity as f64
+    );
+    assert!(obs.metrics.counter("queue.blocked_ns") > 0.0);
+
+    // The backlog at sampling-finish woke at least one standby Trainer.
+    assert!(res.switches >= 1, "no switch despite slowed Trainer");
+    assert_eq!(
+        obs.metrics.counter("scheduler.switches") as usize,
+        res.switches
+    );
+    assert!(obs.metrics.series_len("scheduler.ewma_t_sample") > 0);
+    assert!(obs.metrics.series_len("scheduler.ewma_t_train") > 0);
+    assert!(obs.metrics.series_len("scheduler.ewma_t_standby") > 0);
+
+    // Exactly-once despite backpressure + switching.
+    assert_eq!(res.batches_trained, res.samples_produced);
+    assert_eq!(res.samples_produced, (120usize).div_ceil(20) * 3);
+}
+
+/// A Trainer crash poisons the queue: the run fails fast instead of
+/// hanging Samplers in blocked enqueues forever.
+#[test]
+fn trainer_panic_surfaces_as_an_error() {
+    let cfg = ThreadedConfig {
+        num_samplers: 2,
+        num_trainers: 1,
+        epochs: 3,
+        batch_size: 20,
+        queue_capacity: 2,
+        fault: FaultInjection::TrainerPanic {
+            trainer: 0,
+            after_batches: 2,
+        },
+        ..Default::default()
+    };
+    let started = std::time::Instant::now();
+    let err = run_threaded(graph(), ModelKind::GraphSage, &cfg).unwrap_err();
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "tear-down took {:?}",
+        started.elapsed()
+    );
+    assert_eq!(err.executor, "Trainer 0");
+    assert!(err.message.contains("injected fault"), "{err}");
+}
