@@ -67,7 +67,7 @@ fn bench_global_queue(c: &mut Criterion) {
             }
             let mut sum = 0u64;
             while let Ok(Some(v)) = q.dequeue_timeout(std::time::Duration::ZERO) {
-                sum += v;
+                sum += *v;
             }
             sum
         });
@@ -89,7 +89,7 @@ fn bench_global_queue(c: &mut Criterion) {
             };
             let mut sum = 0u64;
             while let Ok(v) = q.dequeue() {
-                sum += v;
+                sum += *v;
             }
             producer.join().expect("producer");
             sum

@@ -55,6 +55,7 @@ fn run_one(name: &str, cfg: &ExpConfig) -> bool {
         "fig17" => print_tables(exp::fig17::run(cfg)),
         "partition" => print_tables(vec![exp::partition::run(cfg)]),
         "ablations" => print_tables(exp::ablations::run(cfg)),
+        "fault_recovery" => print_tables(vec![exp::fault_recovery::run(cfg)]),
         _ => return false,
     }
     eprintln!("[{name} took {:.1}s]\n", start.elapsed().as_secs_f64());
@@ -80,6 +81,7 @@ const ALL: &[&str] = &[
     "fig17",
     "partition",
     "ablations",
+    "fault_recovery",
 ];
 
 /// Removes `--flag VALUE` (or `--flag=VALUE`) from `args`, returning VALUE.

@@ -18,8 +18,10 @@
 //! | [`fig17`] | Fig. 17 — dynamic switching and single-GPU performance |
 //! | [`partition`] | §8 — self-reliant partition redundancy ablation |
 //! | [`ablations`] | design-choice ablations: pipelining, multi-tenant stragglers, batch/training-set size, partitioned sampling, subgraph sampling vs PreSC |
+//! | [`fault_recovery`] | degraded-mode recovery: device killed mid-epoch, replay + re-balance cost |
 
 pub mod ablations;
+pub mod fault_recovery;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

@@ -22,6 +22,7 @@ pub fn cell(w: &Workload, system: SystemKind, gpus: usize) -> String {
         }
         Err(RunError::Oom { .. }) => "OOM".to_string(),
         Err(RunError::Unsupported(_)) => "x".to_string(),
+        Err(RunError::ExecutorsLost { .. }) => "LOST".to_string(),
     }
 }
 

@@ -12,7 +12,11 @@
 //!   holds cache, what cache ratio remains; OOM surfaces here.
 //! - [`queue`]: the host-memory global queue bridging Samplers and
 //!   Trainers (a real MPMC queue for threaded runs; the co-simulation
-//!   models its cost).
+//!   models its cost), with batch leases so a crashed consumer's
+//!   in-flight work can be replayed.
+//! - [`faults`]: deterministic, seeded fault plans (crashes, stragglers,
+//!   transient errors, device failures) consumed by both the threaded
+//!   runtime and the co-simulations.
 //! - [`schedule`]: the GPU allocation rule `N_s = ceil(N_g/(K+1))` and the
 //!   dynamic-switching profit metric `P = M_r·T_t/N_t − T_t'` (§5.3).
 //! - [`runtime`]: epoch co-simulations — the factored GNNLab runtime,
@@ -25,6 +29,7 @@
 //!   table columns.
 
 pub mod driver;
+pub mod faults;
 pub mod memory;
 pub mod queue;
 pub mod report;
@@ -36,6 +41,7 @@ pub mod trace;
 pub mod train_real;
 pub mod workload;
 
+pub use faults::{ExecutorRole, FaultPlan, RetryPolicy};
 pub use report::{EpochReport, RunError, StageBreakdown};
 pub use systems::SystemKind;
 pub use workload::Workload;

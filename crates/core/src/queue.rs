@@ -23,7 +23,16 @@
 //! * **poisonable** — a crashed executor calls [`GlobalQueue::poison`];
 //!   every blocked producer and consumer wakes immediately with
 //!   [`EnqueueError::Poisoned`] / [`DequeueError::Poisoned`] so a panic
-//!   terminates the run in bounded time instead of deadlocking it.
+//!   terminates the run in bounded time instead of deadlocking it;
+//! * **leasable** — [`GlobalQueue::dequeue_leased`] hands a consumer a
+//!   [`Lease`] instead of moving the task out: the queue keeps a
+//!   reference until [`GlobalQueue::complete`] confirms the batch
+//!   trained. If the owning executor dies first, the supervisor calls
+//!   [`GlobalQueue::reclaim`] and the batch is re-enqueued (at the
+//!   front, so replays do not starve) rather than lost — the replay
+//!   half of the fault-tolerance story. A closed queue only reports
+//!   [`DequeueError::Drained`] once *no leases remain outstanding*, so
+//!   a batch reclaimed at the last moment is still trained.
 //!
 //! Occupancy counters live in an observability registry: a queue built
 //! with [`GlobalQueue::bounded_with_obs`] records a `queue.depth` sample
@@ -34,7 +43,7 @@
 
 use gnnlab_obs::{names, Obs};
 use parking_lot::{Condvar, Mutex};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -58,21 +67,37 @@ pub enum EnqueueError {
 /// Why a [`GlobalQueue::dequeue`] call returned no task.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DequeueError {
-    /// The queue was closed and every task has been consumed.
+    /// The queue was closed and every task has been consumed *and*
+    /// confirmed (no outstanding leases).
     Drained,
     /// An executor panicked; the run is being torn down.
     Poisoned(String),
 }
 
+/// A task handed out under lease: the queue retains a reference until the
+/// consumer calls [`GlobalQueue::complete`] with [`Lease::id`], or the
+/// supervisor [`GlobalQueue::reclaim`]s the owner's leases after a crash.
+#[derive(Debug)]
+pub struct Lease<T> {
+    /// Identifier to pass to [`GlobalQueue::complete`].
+    pub id: u64,
+    /// The leased task.
+    pub task: Arc<T>,
+}
+
 #[derive(Debug)]
 struct State<T> {
-    items: VecDeque<T>,
+    items: VecDeque<(u64, Arc<T>)>,
+    /// Outstanding leases: lease id → (owner, task).
+    leased: HashMap<u64, (u32, Arc<T>)>,
+    next_id: u64,
     closed: bool,
     poison: Option<String>,
 }
 
 /// A bounded, blocking MPMC queue in host memory with occupancy
-/// accounting (see the module docs for the full contract).
+/// accounting and crash-replay leases (see the module docs for the full
+/// contract).
 #[derive(Debug)]
 pub struct GlobalQueue<T> {
     state: Mutex<State<T>>,
@@ -118,6 +143,8 @@ impl<T> GlobalQueue<T> {
         GlobalQueue {
             state: Mutex::new(State {
                 items: VecDeque::with_capacity(capacity),
+                leased: HashMap::new(),
+                next_id: 0,
                 closed: false,
                 poison: None,
             }),
@@ -162,6 +189,7 @@ impl<T> GlobalQueue<T> {
     /// capacity. Returns an error — with the task long dropped — once the
     /// queue is closed or poisoned.
     pub fn enqueue(&self, item: T) -> Result<(), EnqueueError> {
+        let item = Arc::new(item);
         let mut state = self.state.lock();
         let mut blocked_since: Option<u64> = None;
         loop {
@@ -180,7 +208,9 @@ impl<T> GlobalQueue<T> {
                 return Err(EnqueueError::Closed);
             }
             if state.items.len() < self.capacity {
-                state.items.push_back(item);
+                let id = state.next_id;
+                state.next_id += 1;
+                state.items.push_back((id, item));
                 let depth = state.items.len();
                 drop(state);
                 self.obs.metrics.counter_inc(names::QUEUE_ENQUEUED);
@@ -201,21 +231,35 @@ impl<T> GlobalQueue<T> {
 
     /// Dequeues a task (Trainer side), blocking while the queue is empty
     /// but still open. Returns [`DequeueError::Drained`] once the queue is
-    /// closed and empty, or [`DequeueError::Poisoned`] as soon as an
-    /// executor crash is flagged.
-    pub fn dequeue(&self) -> Result<T, DequeueError> {
-        self.dequeue_deadline(None)
-            .map(|opt| opt.expect("deadline-free dequeue never times out"))
+    /// closed, empty and lease-free, or [`DequeueError::Poisoned`] as soon
+    /// as an executor crash is flagged. The task is *not* leased: the
+    /// queue forgets it immediately (no crash replay).
+    pub fn dequeue(&self) -> Result<Arc<T>, DequeueError> {
+        self.dequeue_deadline(None, None)
+            .map(|opt| opt.expect("deadline-free dequeue never times out").task)
     }
 
     /// [`GlobalQueue::dequeue`] with a timeout: returns `Ok(None)` if no
     /// task arrived (and the queue neither drained nor poisoned) within
     /// `timeout`.
-    pub fn dequeue_timeout(&self, timeout: Duration) -> Result<Option<T>, DequeueError> {
-        self.dequeue_deadline(Some(timeout))
+    pub fn dequeue_timeout(&self, timeout: Duration) -> Result<Option<Arc<T>>, DequeueError> {
+        Ok(self.dequeue_deadline(Some(timeout), None)?.map(|l| l.task))
     }
 
-    fn dequeue_deadline(&self, timeout: Option<Duration>) -> Result<Option<T>, DequeueError> {
+    /// Dequeues a task under lease for executor `owner`: the queue keeps a
+    /// reference until [`GlobalQueue::complete`] confirms it, so the
+    /// supervisor can [`GlobalQueue::reclaim`] and replay the batch if the
+    /// owner dies mid-flight.
+    pub fn dequeue_leased(&self, owner: u32) -> Result<Lease<T>, DequeueError> {
+        self.dequeue_deadline(None, Some(owner))
+            .map(|opt| opt.expect("deadline-free dequeue never times out"))
+    }
+
+    fn dequeue_deadline(
+        &self,
+        timeout: Option<Duration>,
+        lease_to: Option<u32>,
+    ) -> Result<Option<Lease<T>>, DequeueError> {
         let start = std::time::Instant::now();
         let mut state = self.state.lock();
         let mut blocked_since: Option<u64> = None;
@@ -231,16 +275,21 @@ impl<T> GlobalQueue<T> {
                 finish_blocked(blocked_since);
                 return Err(DequeueError::Poisoned(reason));
             }
-            if let Some(item) = state.items.pop_front() {
+            if let Some((id, task)) = state.items.pop_front() {
+                if let Some(owner) = lease_to {
+                    state.leased.insert(id, (owner, Arc::clone(&task)));
+                }
                 let depth = state.items.len();
                 drop(state);
                 self.obs.metrics.counter_inc(names::QUEUE_DEQUEUED);
                 self.note_depth(depth);
                 finish_blocked(blocked_since);
                 self.not_full.notify_one();
-                return Ok(Some(item));
+                return Ok(Some(Lease { id, task }));
             }
-            if state.closed {
+            // Drained only once closed *and* every lease has resolved:
+            // an outstanding lease may yet be reclaimed and replayed.
+            if state.closed && state.leased.is_empty() {
                 drop(state);
                 finish_blocked(blocked_since);
                 return Err(DequeueError::Drained);
@@ -260,6 +309,54 @@ impl<T> GlobalQueue<T> {
             blocked_since.get_or_insert_with(|| self.obs.now_ns());
             self.not_empty.wait_for(&mut state, slice);
         }
+    }
+
+    /// Confirms a leased task trained: the queue drops its reference. A
+    /// consumer blocked on the final outstanding lease of a closed queue
+    /// is woken to observe [`DequeueError::Drained`].
+    pub fn complete(&self, lease_id: u64) {
+        let mut state = self.state.lock();
+        state.leased.remove(&lease_id);
+        let drained = state.closed && state.items.is_empty() && state.leased.is_empty();
+        drop(state);
+        if drained {
+            self.not_empty.notify_all();
+        }
+    }
+
+    /// Re-enqueues every task leased to `owner` (a dead executor), at the
+    /// *front* of the queue so replays run before fresh batches. Returns
+    /// how many batches were reclaimed. Replays bypass the capacity bound
+    /// (they were admitted once already; the overshoot is at most the
+    /// number of consumers) and are accepted even on a closed queue.
+    pub fn reclaim(&self, owner: u32) -> usize {
+        let mut state = self.state.lock();
+        let ids: Vec<u64> = state
+            .leased
+            .iter()
+            .filter(|(_, (o, _))| *o == owner)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &ids {
+            if let Some((_, task)) = state.leased.remove(id) {
+                state.items.push_front((*id, task));
+            }
+        }
+        let (n, depth) = (ids.len(), state.items.len());
+        drop(state);
+        if n > 0 {
+            self.note_depth(depth);
+            self.obs
+                .metrics
+                .counter_add(names::RECOVERY_REPLAYED_BATCHES, n as f64);
+            self.not_empty.notify_all();
+        }
+        n
+    }
+
+    /// Outstanding leases (dequeued but neither completed nor reclaimed).
+    pub fn leased_count(&self) -> usize {
+        self.state.lock().leased.len()
     }
 
     /// Closes the queue: no further enqueues; consumers drain what is left
@@ -293,7 +390,8 @@ impl<T> GlobalQueue<T> {
         self.state.lock().poison.clone()
     }
 
-    /// Tasks currently waiting (`M_r` for the profit metric).
+    /// Tasks currently waiting (`M_r` for the profit metric); leased
+    /// tasks are in flight, not waiting.
     pub fn remaining(&self) -> usize {
         self.state.lock().items.len()
     }
@@ -332,6 +430,11 @@ mod tests {
     use super::*;
     use std::time::Instant;
 
+    /// `dequeue` unwrapped to the task value, for value assertions.
+    fn deq<T: Copy>(q: &GlobalQueue<T>) -> Result<T, DequeueError> {
+        q.dequeue().map(|t| *t)
+    }
+
     #[test]
     fn fifo_single_thread() {
         let q = GlobalQueue::bounded(16);
@@ -340,9 +443,12 @@ mod tests {
         }
         assert_eq!(q.remaining(), 10);
         for i in 0..10 {
-            assert_eq!(q.dequeue(), Ok(i));
+            assert_eq!(deq(&q), Ok(i));
         }
-        assert_eq!(q.dequeue_timeout(Duration::from_millis(1)), Ok(None));
+        assert!(q
+            .dequeue_timeout(Duration::from_millis(1))
+            .unwrap()
+            .is_none());
         assert_eq!(q.total_enqueued(), 10);
         assert_eq!(q.total_dequeued(), 10);
         assert_eq!(q.peak_depth(), 10);
@@ -370,7 +476,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let mut got = Vec::new();
                     while let Ok(v) = q.dequeue() {
-                        got.push(v);
+                        got.push(*v);
                     }
                     got
                 })
@@ -428,7 +534,7 @@ mod tests {
         let q = Arc::new(GlobalQueue::bounded(4));
         let waiter = {
             let q = Arc::clone(&q);
-            std::thread::spawn(move || q.dequeue())
+            std::thread::spawn(move || q.dequeue().map(|t| *t))
         };
         std::thread::sleep(Duration::from_millis(20));
         q.enqueue(7).unwrap();
@@ -442,7 +548,7 @@ mod tests {
         let q: Arc<GlobalQueue<u32>> = Arc::new(GlobalQueue::bounded(4));
         let waiter = {
             let q = Arc::clone(&q);
-            std::thread::spawn(move || q.dequeue())
+            std::thread::spawn(move || q.dequeue().map(|t| *t))
         };
         std::thread::sleep(Duration::from_millis(20));
         q.close();
@@ -464,7 +570,7 @@ mod tests {
         };
         std::thread::sleep(Duration::from_millis(30));
         assert_eq!(q.remaining(), 2, "producer must not exceed capacity");
-        assert_eq!(q.dequeue(), Ok(0));
+        assert_eq!(deq(&q), Ok(0));
         let blocked_for = producer.join().unwrap();
         assert!(
             blocked_for >= Duration::from_millis(20),
@@ -482,8 +588,8 @@ mod tests {
         q.close();
         assert!(q.is_closed());
         assert_eq!(q.enqueue(2), Err(EnqueueError::Closed));
-        assert_eq!(q.dequeue(), Ok(1));
-        assert_eq!(q.dequeue(), Err(DequeueError::Drained));
+        assert_eq!(deq(&q), Ok(1));
+        assert_eq!(deq(&q), Err(DequeueError::Drained));
     }
 
     #[test]
@@ -513,7 +619,7 @@ mod tests {
         let q: Arc<GlobalQueue<i32>> = Arc::new(GlobalQueue::bounded(1));
         let consumer = {
             let q = Arc::clone(&q);
-            std::thread::spawn(move || q.dequeue())
+            std::thread::spawn(move || q.dequeue().map(|t| *t))
         };
         std::thread::sleep(Duration::from_millis(20));
         q.poison("sampler 0 panicked");
@@ -527,7 +633,10 @@ mod tests {
     fn dequeue_timeout_returns_none_without_producers() {
         let q: GlobalQueue<u8> = GlobalQueue::bounded(1);
         let started = Instant::now();
-        assert_eq!(q.dequeue_timeout(Duration::from_millis(30)), Ok(None));
+        assert!(q
+            .dequeue_timeout(Duration::from_millis(30))
+            .unwrap()
+            .is_none());
         assert!(started.elapsed() >= Duration::from_millis(25));
     }
 
@@ -535,5 +644,93 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_is_rejected() {
         let _ = GlobalQueue::<u8>::bounded(0);
+    }
+
+    // --- Leases -----------------------------------------------------------
+
+    #[test]
+    fn completed_leases_resolve_and_drain() {
+        let q = GlobalQueue::bounded(4);
+        q.enqueue(1).unwrap();
+        q.enqueue(2).unwrap();
+        let a = q.dequeue_leased(7).unwrap();
+        let b = q.dequeue_leased(7).unwrap();
+        assert_eq!((*a.task, *b.task), (1, 2));
+        assert_eq!(q.leased_count(), 2);
+        q.complete(a.id);
+        q.complete(b.id);
+        assert_eq!(q.leased_count(), 0);
+        q.close();
+        assert_eq!(deq(&q), Err(DequeueError::Drained));
+    }
+
+    #[test]
+    fn reclaim_replays_only_the_dead_owners_leases() {
+        let q = GlobalQueue::bounded(8);
+        for i in 0..4 {
+            q.enqueue(i).unwrap();
+        }
+        let kept = q.dequeue_leased(0).unwrap(); // owner 0, task 0
+        let _lost1 = q.dequeue_leased(1).unwrap(); // owner 1, task 1
+        let _lost2 = q.dequeue_leased(1).unwrap(); // owner 1, task 2
+        assert_eq!(q.remaining(), 1);
+        assert_eq!(q.reclaim(1), 2);
+        assert_eq!(q.leased_count(), 1, "owner 0's lease must survive");
+        // Replays come back before the fresh task 3 (front re-enqueue).
+        let replayed: Vec<i32> = (0..2).map(|_| *q.dequeue().unwrap()).collect();
+        let mut sorted = replayed.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2]);
+        assert_eq!(deq(&q), Ok(3));
+        q.complete(kept.id);
+        // Reclaiming an owner with no leases is a no-op.
+        assert_eq!(q.reclaim(1), 0);
+    }
+
+    #[test]
+    fn closed_queue_waits_for_outstanding_leases() {
+        // A consumer blocked on a closed-but-leased queue must not see
+        // Drained until the lease resolves — and must wake when a reclaim
+        // replays the batch.
+        let q: Arc<GlobalQueue<i32>> = Arc::new(GlobalQueue::bounded(2));
+        q.enqueue(42).unwrap();
+        let lease = q.dequeue_leased(9).unwrap();
+        q.close();
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.dequeue().map(|t| *t))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        // Still blocked: closed but one lease outstanding.
+        assert!(!waiter.is_finished(), "saw Drained with a lease open");
+        assert_eq!(q.reclaim(9), 1);
+        assert_eq!(waiter.join().unwrap(), Ok(42));
+        drop(lease);
+        assert_eq!(deq(&q), Err(DequeueError::Drained));
+    }
+
+    #[test]
+    fn completing_last_lease_wakes_drained_consumers() {
+        let q: Arc<GlobalQueue<i32>> = Arc::new(GlobalQueue::bounded(2));
+        q.enqueue(1).unwrap();
+        let lease = q.dequeue_leased(3).unwrap();
+        q.close();
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.dequeue().map(|t| *t))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.complete(lease.id);
+        assert_eq!(waiter.join().unwrap(), Err(DequeueError::Drained));
+    }
+
+    #[test]
+    fn reclaim_publishes_the_replay_metric() {
+        let obs = Arc::new(Obs::wall());
+        let q = GlobalQueue::bounded_with_obs(4, Arc::clone(&obs));
+        q.enqueue(5).unwrap();
+        let _l = q.dequeue_leased(2).unwrap();
+        q.reclaim(2);
+        assert_eq!(obs.metrics.counter("recovery.replayed_batches"), 1.0);
     }
 }

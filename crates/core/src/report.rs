@@ -15,6 +15,13 @@ pub enum RunError {
     /// The system does not support this workload — Table 4's `×` cells
     /// (PyG has no PinSAGE).
     Unsupported(String),
+    /// Device failures left no executor able to make progress — the fault
+    /// plan killed the last capable Sampler or Trainer mid-epoch and no
+    /// standby was eligible to take over.
+    ExecutorsLost {
+        /// Human-readable description of what was lost.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RunError {
@@ -24,6 +31,9 @@ impl std::fmt::Display for RunError {
                 write!(f, "{}: OOM ({detail})", system.label())
             }
             RunError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            RunError::ExecutorsLost { detail } => {
+                write!(f, "all executors lost: {detail}")
+            }
         }
     }
 }
@@ -80,6 +90,11 @@ pub struct EpochReport {
     pub num_trainers: usize,
     /// Mini-batches consumed by dynamically switched standby Trainers.
     pub switched_batches: usize,
+    /// Mini-batches re-dispatched after a simulated device failure killed
+    /// the executor working on them.
+    pub replayed_batches: usize,
+    /// Devices the fault plan killed during the epoch.
+    pub failed_devices: usize,
 }
 
 impl EpochReport {
@@ -95,6 +110,8 @@ impl EpochReport {
             num_samplers: 0,
             num_trainers: 0,
             switched_batches: 0,
+            replayed_batches: 0,
+            failed_devices: 0,
         }
     }
 

@@ -7,13 +7,14 @@
 //! the epoch's batches (dynamic switching, §5.3).
 
 use super::context::{build_cache_table, SimContext};
+use crate::faults::{ExecutorRole, FaultPlan};
 use crate::memory::{plan_sampler_gpu, plan_timeshare_gpu, plan_trainer_gpu};
 use crate::report::{EpochReport, RunError};
 use crate::schedule::switch_profit;
 use crate::systems::SystemKind;
 use crate::trace::EpochTrace;
 use gnnlab_cache::{CacheStats, CacheTable};
-use gnnlab_obs::{Executor, Stage};
+use gnnlab_obs::{names, Executor, Stage};
 use gnnlab_sim::{ns_to_secs, GatherPath, SampleDevice, SimTime};
 
 /// Profiled per-mini-batch stage times (seconds) for the allocation rule.
@@ -106,6 +107,13 @@ pub struct FactoredOptions {
     /// Whether Trainers overlap Extract with Train (§5.2 pipelining);
     /// `false` serializes the two stages — the ablation knob.
     pub pipelining: bool,
+    /// The fault plan: simulated device failures
+    /// ([`crate::faults::DeviceFail`], devices `0..ns` are Samplers,
+    /// `ns..ns+nt` Trainers) kill an executor at a virtual time; its
+    /// in-flight batch is re-dispatched to a survivor and the epoch
+    /// re-balances mid-flight. Plan stragglers compound with the
+    /// `*_slowdown` vectors.
+    pub faults: FaultPlan,
 }
 
 impl FactoredOptions {
@@ -118,6 +126,7 @@ impl FactoredOptions {
             sampler_slowdown: Vec::new(),
             trainer_slowdown: Vec::new(),
             pipelining: true,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -208,45 +217,86 @@ pub fn run_factored_epoch_opts(
 
     // --- Phase 1: Samplers drain the epoch's mini-batches. -----------------
     // The global scheduler hands the next batch to the earliest-free
-    // Sampler (dynamic assignment, §5.2).
+    // *live* Sampler (dynamic assignment, §5.2). A device failure kills a
+    // Sampler at its planned virtual time; the batch it was working on is
+    // re-dispatched to a survivor (the replay), and losing the last
+    // Sampler mid-epoch is an [`RunError::ExecutorsLost`].
     let mut sampler_free = vec![0u64; ns];
+    let mut sampler_alive = vec![true; ns];
+    let sampler_fail: Vec<Option<SimTime>> =
+        (0..ns).map(|s| opts.faults.device_fail_ns(s)).collect();
     let mut ready: Vec<(SimTime, usize)> = Vec::with_capacity(trace.num_batches());
     for (i, b) in trace.batches.iter().enumerate() {
-        let s = (0..ns).min_by_key(|&s| sampler_free[s]).expect("ns >= 1");
-        let f = slowdown(&opts.sampler_slowdown, s);
-        let g = scaled(
-            ctx.cost
-                .sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu),
-            f,
-        );
-        let m = scaled(ctx.cost.mark_time(b.input_nodes.len() as f64 * factor), f);
-        let c = scaled(ctx.cost.queue_time(b.queue_bytes as f64 * factor), f);
-        let t0 = sampler_free[s];
-        sampler_free[s] += g + m + c;
-        ready.push((sampler_free[s], i));
-        report.stages.sample_g += ns_to_secs(g);
-        report.stages.sample_m += ns_to_secs(m);
-        report.stages.sample_c += ns_to_secs(c);
-        if let Some(obs) = ctx.obs {
-            let (d, b_id) = (s as u32, i as u64);
-            obs.record_span(d, Executor::Sampler, Stage::SampleG, b_id, t0, t0 + g);
-            obs.record_span(
-                d,
-                Executor::Sampler,
-                Stage::SampleM,
-                b_id,
-                t0 + g,
-                t0 + g + m,
+        loop {
+            let Some(s) = (0..ns)
+                .filter(|&s| sampler_alive[s])
+                .min_by_key(|&s| sampler_free[s])
+            else {
+                return Err(RunError::ExecutorsLost {
+                    detail: format!(
+                        "device failures killed every Sampler before batch {i} of {}",
+                        trace.num_batches()
+                    ),
+                });
+            };
+            let f = slowdown(&opts.sampler_slowdown, s)
+                * opts.faults.slowdown(ExecutorRole::Sampler, s);
+            let g = scaled(
+                ctx.cost
+                    .sample_time(&ctx.sample_cost(b, trace), SampleDevice::Gpu),
+                f,
             );
-            obs.record_span(
-                d,
-                Executor::Sampler,
-                Stage::SampleC,
-                b_id,
-                t0 + g + m,
-                t0 + g + m + c,
-            );
-            obs.metrics.counter_inc("queue.enqueued");
+            let m = scaled(ctx.cost.mark_time(b.input_nodes.len() as f64 * factor), f);
+            let c = scaled(ctx.cost.queue_time(b.queue_bytes as f64 * factor), f);
+            let t0 = sampler_free[s];
+            let finish = t0 + g + m + c;
+            if let Some(fail_at) = sampler_fail[s] {
+                if finish > fail_at {
+                    // The device dies mid-batch: the partial work is lost
+                    // and the batch goes back to the scheduler.
+                    sampler_alive[s] = false;
+                    sampler_free[s] = sampler_free[s].max(fail_at);
+                    report.failed_devices += 1;
+                    report.replayed_batches += 1;
+                    if let Some(obs) = ctx.obs {
+                        obs.metrics.counter_inc(names::FAULTS_INJECTED);
+                        obs.metrics.counter_inc(names::RECOVERY_REPLAYED_BATCHES);
+                        obs.metrics.counter_inc(names::RECOVERY_REASSIGNMENTS);
+                        obs.metrics.counter_add(
+                            names::RECOVERY_DOWNTIME_NS,
+                            fail_at.saturating_sub(t0) as f64,
+                        );
+                    }
+                    continue;
+                }
+            }
+            sampler_free[s] = finish;
+            ready.push((finish, i));
+            report.stages.sample_g += ns_to_secs(g);
+            report.stages.sample_m += ns_to_secs(m);
+            report.stages.sample_c += ns_to_secs(c);
+            if let Some(obs) = ctx.obs {
+                let (d, b_id) = (s as u32, i as u64);
+                obs.record_span(d, Executor::Sampler, Stage::SampleG, b_id, t0, t0 + g);
+                obs.record_span(
+                    d,
+                    Executor::Sampler,
+                    Stage::SampleM,
+                    b_id,
+                    t0 + g,
+                    t0 + g + m,
+                );
+                obs.record_span(
+                    d,
+                    Executor::Sampler,
+                    Stage::SampleC,
+                    b_id,
+                    t0 + g + m,
+                    t0 + g + m + c,
+                );
+                obs.metrics.counter_inc("queue.enqueued");
+            }
+            break;
         }
     }
     ready.sort_by_key(|&(t, i)| (t, i));
@@ -260,16 +310,33 @@ pub fn run_factored_epoch_opts(
             is_standby: false,
         })
         .collect();
+    // Per-clock fail times and global devices from the fault plan:
+    // Trainer clocks map to devices `ns..ns+nt`; standby clocks run on
+    // their Sampler's GPU (and never materialize on a Sampler that
+    // already died).
+    let mut clock_fail: Vec<Option<SimTime>> = (0..nt)
+        .map(|t| opts.faults.device_fail_ns(ns + t))
+        .collect();
+    let mut clock_device: Vec<u32> = (0..nt).map(|t| (ns + t) as u32).collect();
     if standby_cache.is_some() {
-        for &done in &sampler_free {
+        for (s, &done) in sampler_free.iter().enumerate() {
+            if !sampler_alive[s] {
+                continue;
+            }
             clocks.push(TrainerClock {
                 extract_free: done,
                 train_free: done,
                 available_from: done,
                 is_standby: true,
             });
+            clock_fail.push(opts.faults.device_fail_ns(s));
+            clock_device.push(s as u32);
         }
     }
+    let mut clock_alive = vec![true; clocks.len()];
+    // Live normal-Trainer count: feeds extraction contention and the
+    // profit metric after mid-epoch device losses.
+    let mut nt_live = nt;
 
     // Mean times for the profit metric, from the trainer's perspective.
     let mean_t_train: f64 = {
@@ -292,85 +359,129 @@ pub fn run_factored_epoch_opts(
     for (idx, &(ready_at, batch_idx)) in ready.iter().enumerate() {
         let b = &trace.batches[batch_idx];
         let deq = ctx.cost.queue_time(b.queue_bytes as f64 * factor);
-        let arrival = ready_at + deq;
-
-        // Candidate executors: normal Trainers always; standby Trainers
-        // only when the profit metric says waking them pays off *now*.
-        // Pick the executor with the earliest predicted *completion* —
-        // extract availability alone would funnel everything to one
-        // Trainer whenever extraction is cheap (high hit rates).
+        let mut arrival = ready_at + deq;
         let remaining = total - idx;
-        let mut best: Option<(SimTime, SimTime, usize)> = None;
-        for (ci, c) in clocks.iter().enumerate() {
-            let cache = if c.is_standby {
-                match &standby_cache {
-                    Some(sc) => sc,
-                    None => continue,
+
+        // Dispatch loop: re-runs when the chosen executor's device fails
+        // mid-batch (the batch returns to the queue at the fail time and
+        // a survivor replays it).
+        let (start, ci, is_standby, e, t, miss, hit, extract_done, train_start, train_done) = loop {
+            // Candidate executors: live normal Trainers always; live
+            // standby Trainers only when the profit metric says waking
+            // them pays off *now*. Pick the executor with the earliest
+            // predicted *completion* — extract availability alone would
+            // funnel everything to one Trainer whenever extraction is
+            // cheap (high hit rates).
+            let mut best: Option<(SimTime, SimTime, usize, SimTime, SimTime, f64, f64)> = None;
+            for (ci, c) in clocks.iter().enumerate() {
+                if !clock_alive[ci] {
+                    continue;
                 }
-            } else {
-                &trainer_cache
-            };
-            let f = if c.is_standby {
-                1.0
-            } else {
-                slowdown(&opts.trainer_slowdown, ci)
-            };
-            let (miss, hit) = ctx.extract_bytes(b, Some(cache), factor);
-            let e = scaled(
-                ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, nt),
-                f,
-            );
-            let t = scaled(ctx.cost.train_time(b.flops * factor), f);
-            if c.is_standby {
-                let t_standby = ns_to_secs(e.max(t));
-                // The profit metric P = M_r * T_t / N_t - T_t' (§5.3);
-                // the standby Trainer is a candidate iff P > 0.
-                let profit = switch_profit(remaining, mean_t_train, nt, t_standby);
-                if let Some(obs) = ctx.obs {
-                    obs.metrics
-                        .sample("scheduler.switch_profit", arrival, profit);
-                    obs.metrics.observe("scheduler.switch_profit", profit);
-                }
-                if profit <= 0.0 {
-                    if let Some(obs) = ctx.obs {
-                        obs.metrics.counter_inc("scheduler.switch_denied");
+                let cache = if c.is_standby {
+                    match &standby_cache {
+                        Some(sc) => sc,
+                        None => continue,
                     }
+                } else {
+                    &trainer_cache
+                };
+                let f = if c.is_standby {
+                    1.0
+                } else {
+                    slowdown(&opts.trainer_slowdown, ci)
+                        * opts.faults.slowdown(ExecutorRole::Trainer, ci)
+                };
+                let (miss, hit) = ctx.extract_bytes(b, Some(cache), factor);
+                let e = scaled(
+                    ctx.cost
+                        .extract_time(miss, hit, GatherPath::GpuDirect, nt_live.max(1)),
+                    f,
+                );
+                let t = scaled(ctx.cost.train_time(b.flops * factor), f);
+                if c.is_standby {
+                    let t_standby = ns_to_secs(e.max(t));
+                    // The profit metric P = M_r * T_t / N_t - T_t' (§5.3);
+                    // the standby Trainer is a candidate iff P > 0.
+                    let profit = switch_profit(remaining, mean_t_train, nt_live.max(1), t_standby);
+                    if let Some(obs) = ctx.obs {
+                        obs.metrics
+                            .sample("scheduler.switch_profit", arrival, profit);
+                        obs.metrics.observe("scheduler.switch_profit", profit);
+                    }
+                    if profit <= 0.0 {
+                        if let Some(obs) = ctx.obs {
+                            obs.metrics.counter_inc("scheduler.switch_denied");
+                        }
+                        continue;
+                    }
+                }
+                let start = c.extract_free.max(arrival).max(c.available_from);
+                let completion = c.train_free.max(start + e) + t;
+                let better = match best {
+                    None => true,
+                    Some((bc, _, bi, ..)) => {
+                        completion < bc
+                            || (completion == bc && clocks[bi].is_standby && !c.is_standby)
+                    }
+                };
+                if better {
+                    best = Some((completion, start, ci, e, t, miss, hit));
+                }
+            }
+            // Satellite of the fault-tolerance story: running out of
+            // Trainers is a typed error, not a panic — reachable when
+            // device failures consume the whole Trainer pool and no
+            // standby is eligible.
+            let Some((_, start, ci, e, t, miss, hit)) = best else {
+                return Err(RunError::ExecutorsLost {
+                    detail: format!(
+                        "device failures left no Trainer for batch {batch_idx} \
+                         ({} of {} dispatched)",
+                        idx, total
+                    ),
+                });
+            };
+            let extract_done = start + e;
+            let train_start = clocks[ci].train_free.max(extract_done);
+            let train_done = train_start + t;
+            if let Some(fail_at) = clock_fail[ci] {
+                if train_done > fail_at {
+                    // The device dies mid-batch: partial Extract/Train
+                    // work is lost, the batch re-enters the queue at the
+                    // fail instant, and the scheduler re-balances on the
+                    // survivors.
+                    clock_alive[ci] = false;
+                    if !clocks[ci].is_standby {
+                        nt_live = nt_live.saturating_sub(1);
+                    }
+                    report.failed_devices += 1;
+                    report.replayed_batches += 1;
+                    if let Some(obs) = ctx.obs {
+                        obs.metrics.counter_inc(names::FAULTS_INJECTED);
+                        obs.metrics.counter_inc(names::RECOVERY_REPLAYED_BATCHES);
+                        obs.metrics.counter_inc(names::RECOVERY_REASSIGNMENTS);
+                        obs.metrics.counter_add(
+                            names::RECOVERY_DOWNTIME_NS,
+                            fail_at.saturating_sub(start) as f64,
+                        );
+                    }
+                    arrival = arrival.max(fail_at);
                     continue;
                 }
             }
-            let start = c.extract_free.max(arrival).max(c.available_from);
-            let completion = c.train_free.max(start + e) + t;
-            let better = match best {
-                None => true,
-                Some((bc, _, bi)) => {
-                    completion < bc || (completion == bc && clocks[bi].is_standby && !c.is_standby)
-                }
-            };
-            if better {
-                best = Some((completion, start, ci));
-            }
-        }
-        let (_, start, ci) = best.expect("at least one trainer");
-        let is_standby = clocks[ci].is_standby;
-        let cache = if is_standby {
-            standby_cache.as_ref().expect("standby implies cache")
-        } else {
-            &trainer_cache
+            break (
+                start,
+                ci,
+                clocks[ci].is_standby,
+                e,
+                t,
+                miss,
+                hit,
+                extract_done,
+                train_start,
+                train_done,
+            );
         };
-        let f = if is_standby {
-            1.0
-        } else {
-            slowdown(&opts.trainer_slowdown, ci)
-        };
-        let (miss, hit) = ctx.extract_bytes(b, Some(cache), factor);
-        let e = scaled(
-            ctx.cost.extract_time(miss, hit, GatherPath::GpuDirect, nt),
-            f,
-        );
-        let t = scaled(ctx.cost.train_time(b.flops * factor), f);
-        let extract_done = start + e;
-        let train_start = clocks[ci].train_free.max(extract_done);
-        let train_done = train_start + t;
         // With pipelining, the next Extract may start while this batch
         // trains; without it, the executor is busy until Train completes.
         clocks[ci].extract_free = if opts.pipelining {
@@ -392,10 +503,11 @@ pub fn run_factored_epoch_opts(
         if let Some(obs) = ctx.obs {
             // Standby Trainers run on their Sampler's GPU; normal Trainers
             // occupy the GPUs after the Sampler block.
-            let (device, executor) = if is_standby {
-                ((ci - nt) as u32, Executor::Standby)
+            let device = clock_device[ci];
+            let executor = if is_standby {
+                Executor::Standby
             } else {
-                ((ns + ci) as u32, Executor::Trainer)
+                Executor::Trainer
             };
             let b_id = batch_idx as u64;
             obs.record_span(device, executor, Stage::Extract, b_id, start, extract_done);
@@ -516,6 +628,63 @@ mod tests {
         assert!(
             ratio < 1.05,
             "switching slowed a balanced workload: {ratio}"
+        );
+    }
+
+    #[test]
+    fn trainer_device_failure_replays_and_finishes() {
+        let w = workload(ModelKind::Gcn, DatasetKind::Papers);
+        let c = ctx(&w);
+        let t = trace(&w, &c);
+        let baseline = run_factored_epoch(&c, &t, 1, 3, false).unwrap();
+        assert_eq!(baseline.failed_devices, 0);
+        assert_eq!(baseline.replayed_batches, 0);
+        let mut opts = FactoredOptions::new(1, 3);
+        opts.enable_switching = false;
+        // Kill Trainer 1 (global device ns + 1 = 2) halfway through the
+        // baseline epoch.
+        let mid = (baseline.epoch_time * 0.5 * 1e9) as u64;
+        opts.faults = FaultPlan::none().with_device_failure(mid, 2);
+        let rep = run_factored_epoch_opts(&c, &t, &opts).unwrap();
+        assert_eq!(rep.failed_devices, 1);
+        assert!(rep.replayed_batches >= 1, "{:?}", rep.replayed_batches);
+        // Survivors absorb the dead device's share, so the epoch finishes
+        // but no faster than the healthy run.
+        assert!(
+            rep.epoch_time >= baseline.epoch_time,
+            "failed {} vs healthy {}",
+            rep.epoch_time,
+            baseline.epoch_time
+        );
+    }
+
+    #[test]
+    fn losing_every_trainer_is_a_typed_error() {
+        let w = workload(ModelKind::Gcn, DatasetKind::Papers);
+        let c = ctx(&w);
+        let t = trace(&w, &c);
+        let mut opts = FactoredOptions::new(1, 1);
+        opts.enable_switching = false;
+        // The only Trainer (device 1) dies almost immediately.
+        opts.faults = FaultPlan::none().with_device_failure(1, 1);
+        let err = run_factored_epoch_opts(&c, &t, &opts).unwrap_err();
+        assert!(
+            matches!(err, RunError::ExecutorsLost { .. }),
+            "expected ExecutorsLost, got {err}"
+        );
+    }
+
+    #[test]
+    fn losing_every_sampler_is_a_typed_error() {
+        let w = workload(ModelKind::Gcn, DatasetKind::Papers);
+        let c = ctx(&w);
+        let t = trace(&w, &c);
+        let mut opts = FactoredOptions::new(1, 2);
+        opts.faults = FaultPlan::none().with_device_failure(1, 0);
+        let err = run_factored_epoch_opts(&c, &t, &opts).unwrap_err();
+        assert!(
+            matches!(err, RunError::ExecutorsLost { .. }),
+            "expected ExecutorsLost, got {err}"
         );
     }
 

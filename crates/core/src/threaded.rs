@@ -3,13 +3,13 @@
 //! The co-simulations in [`crate::runtime`] model the paper's *timing* on
 //! simulated GPUs; this module is the paper's *architecture* as an actual
 //! concurrent program: Sampler threads pull mini-batches from a dynamic
-//! global scheduler (a shared atomic cursor, §5.2), sample for real, and
-//! enqueue whole samples into the bounded host-memory [`GlobalQueue`];
-//! Trainer threads block on the queue (no busy-spinning) and train real
-//! model replicas, publishing gradients to a shared parameter server with
-//! bounded staleness ("GNNLab updates model gradients with bounded
-//! staleness … which effectively mitigates the convergence problem",
-//! §5.2).
+//! global scheduler (a shared claim book over the epoch's batch indices,
+//! §5.2), sample for real, and enqueue whole samples into the bounded
+//! host-memory [`GlobalQueue`]; Trainer threads block on the queue (no
+//! busy-spinning) and train real model replicas, publishing gradients to a
+//! shared parameter server with bounded staleness ("GNNLab updates model
+//! gradients with bounded staleness … which effectively mitigates the
+//! convergence problem", §5.2).
 //!
 //! Dynamic executor switching (§5.3) runs live: every executor feeds EWMA
 //! estimates of `T_s`, `T_t` and `T_t'` from its recorded batch times, and
@@ -17,15 +17,42 @@
 //! Trainer whenever the profit metric `P = M_r·T_t/N_t − T_t'` is
 //! positive, training until the queue drains.
 //!
-//! A panicking executor poisons the queue, so every other thread unblocks
-//! and [`run_threaded`] returns an error in bounded time instead of
-//! deadlocking — the crash-safety half of the paper's robustness story.
+//! # Fault tolerance
 //!
-//! Used by tests and examples to demonstrate that the factored
-//! architecture trains correctly end to end on real data.
+//! Failure behavior is driven by the run's [`FaultPlan`]
+//! ([`ThreadedConfig::faults`]):
+//!
+//! * **Leases** — consumers dequeue under a lease and confirm each batch
+//!   after training; when a consumer dies the supervisor reclaims its
+//!   leases and the batches are replayed by survivors, so a crash loses
+//!   no work and every batch still trains exactly once (injected crashes
+//!   fire while the lease is held, *before* the batch trains).
+//! * **Supervision** — a crashed executor's panic handler runs the
+//!   recovery protocol: replay in-flight work, then either *respawn* a
+//!   replacement on the same slot or *reassign* the role to survivors,
+//!   decided by re-running the §5.2 allocation rule on the live EWMA
+//!   stage times. Each absorbed crash consumes one unit of
+//!   [`FaultPlan::max_respawns`]; past the budget the queue is poisoned
+//!   and [`run_threaded`] fails fast — with the default empty plan
+//!   (budget 0) any organic panic still unblocks every thread and
+//!   surfaces as a [`ThreadedError`] in bounded time instead of
+//!   deadlocking.
+//! * **Retries** — seeded transient Extract/Train errors retry in place
+//!   with capped exponential backoff plus deterministic jitter; a batch
+//!   that exceeds [`crate::faults::RetryPolicy::max_attempts`] is
+//!   unrecoverable and fails the run through the poison path (it does
+//!   not consume respawn budget).
+//! * **Stragglers** — per-slot slowdown factors stretch an executor's
+//!   batch times; the EWMAs observe the stretched times, so the
+//!   allocation rule and the switching metric see the straggler.
+//!
+//! Everything recovery does is counted in the run's
+//! [`RecoveryReport`] and published under the `faults.*`, `recovery.*`
+//! and `retry.*` metric names.
 
+use crate::faults::{splitmix64, ExecutorRole, FaultPlan};
 use crate::queue::{DequeueError, GlobalQueue, DEFAULT_CAPACITY};
-use crate::schedule::switch_profit;
+use crate::schedule::{num_samplers, switch_profit};
 use crate::train_real::{gather_features, sampler_for};
 use gnnlab_cache::{load_cache, CachePolicy, CachedFeatureStore, PolicyKind};
 use gnnlab_graph::gen::SbmGraph;
@@ -37,34 +64,12 @@ use gnnlab_tensor::{Adam, GnnModel, Matrix, ModelConfig, ModelKind, Optimizer};
 use parking_lot::Mutex;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::Scope;
 use std::time::{Duration, Instant};
-
-/// An injected executor crash, for testing the run's failure behavior:
-/// the poisoned queue must unblock every thread and surface the panic as
-/// a [`ThreadedError`] instead of hanging the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum FaultInjection {
-    /// No injected fault.
-    #[default]
-    None,
-    /// Panic Trainer `trainer` once it has trained `after_batches`.
-    TrainerPanic {
-        /// Index of the Trainer to crash (0-based).
-        trainer: usize,
-        /// Batches it trains successfully before panicking.
-        after_batches: usize,
-    },
-    /// Panic Sampler `sampler` once it has produced `after_batches`.
-    SamplerPanic {
-        /// Index of the Sampler to crash (0-based).
-        sampler: usize,
-        /// Batches it produces successfully before panicking.
-        after_batches: usize,
-    },
-}
 
 /// Configuration of a threaded training run.
 #[derive(Debug, Clone)]
@@ -97,8 +102,10 @@ pub struct ThreadedConfig {
     /// Artificial per-batch Trainer delay, for tests and experiments that
     /// need slow Trainers (backpressure, switching).
     pub trainer_delay: Option<Duration>,
-    /// Injected executor crash (crash-safety tests).
-    pub fault: FaultInjection,
+    /// The fault plan: injected crashes, stragglers, transient errors, and
+    /// the supervisor's recovery budget. [`FaultPlan::none`] (the default)
+    /// injects nothing and fails fast on any organic panic.
+    pub faults: FaultPlan,
 }
 
 impl Default for ThreadedConfig {
@@ -115,7 +122,7 @@ impl Default for ThreadedConfig {
             queue_capacity: DEFAULT_CAPACITY,
             dynamic_switching: true,
             trainer_delay: None,
-            fault: FaultInjection::None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -137,6 +144,33 @@ impl std::fmt::Display for ThreadedError {
 
 impl std::error::Error for ThreadedError {}
 
+/// What the supervisor did about faults during a run. All zeros when the
+/// fault plan is empty and nothing crashed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Faults actually injected (crash firings, transient errors).
+    pub faults_injected: usize,
+    /// Batches replayed after their executor died: reclaimed consumer
+    /// leases plus re-sampled producer claims.
+    pub replayed_batches: usize,
+    /// Replacement executors spawned on a dead executor's slot.
+    pub respawns: usize,
+    /// Crashes absorbed by survivors without a replacement.
+    pub reassignments: usize,
+    /// Transient-error retries performed.
+    pub retries: usize,
+    /// Nanoseconds between crash detection and recovery completion,
+    /// summed over all absorbed crashes.
+    pub downtime_ns: u64,
+}
+
+impl RecoveryReport {
+    /// Crashes the supervisor absorbed (respawns plus reassignments).
+    pub fn recovered(&self) -> usize {
+        self.respawns + self.reassignments
+    }
+}
+
 /// Outcome of a threaded run.
 #[derive(Debug, Clone)]
 pub struct ThreadedResult {
@@ -155,6 +189,8 @@ pub struct ThreadedResult {
     /// Total nanoseconds executors spent blocked on the global queue
     /// (producer backpressure + consumer waits).
     pub queue_blocked_ns: u64,
+    /// What the supervisor did about faults.
+    pub recovery: RecoveryReport,
 }
 
 /// One task flowing through the global queue.
@@ -174,15 +210,6 @@ struct ParamServer {
 // ---------------------------------------------------------------------------
 // Per-executor RNG streams.
 // ---------------------------------------------------------------------------
-
-/// SplitMix64 finalizer: a bijective avalanche mix (Steele et al.), so
-/// nearby inputs map to uncorrelated outputs.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
 
 /// The independent RNG consumers of a threaded run. Each `(role, index)`
 /// pair gets its own stream; the seed's raw value is never used directly
@@ -206,7 +233,9 @@ enum StreamRole {
     Shuffle = 7,
 }
 
-/// Derives the RNG stream for `(seed, role, index)`.
+/// Derives the RNG stream for `(seed, role, index)`. Respawned executors
+/// pass their unique executor id as `index`, so a replacement never
+/// replays its predecessor's stream.
 fn stream_seed(seed: u64, role: StreamRole, index: u64) -> u64 {
     splitmix64(splitmix64(splitmix64(seed) ^ role as u64) ^ index)
 }
@@ -406,6 +435,177 @@ impl TrainerEnv<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// The sampler claim book (the dynamic global scheduler, §5.2).
+// ---------------------------------------------------------------------------
+
+/// Who is sampling what. One shared book replaces the old atomic cursor so
+/// the close decision, in-flight claims and orphaned work of dead Samplers
+/// stay consistent under crashes.
+#[derive(Debug)]
+struct SamplerBook {
+    /// Next unclaimed fresh batch index.
+    cursor: usize,
+    /// Total batch indices in the run.
+    total: usize,
+    /// Indices claimed by Samplers that died before enqueueing them;
+    /// survivors (or a respawn) re-sample these first.
+    orphans: Vec<usize>,
+    /// In-flight claims: executor id → batch index.
+    claims: HashMap<usize, usize>,
+    /// Executor ids currently in their sampling phase.
+    sampling: HashSet<usize>,
+}
+
+impl SamplerBook {
+    fn new(total: usize) -> Self {
+        SamplerBook {
+            cursor: 0,
+            total,
+            orphans: Vec::new(),
+            claims: HashMap::new(),
+            sampling: HashSet::new(),
+        }
+    }
+
+    /// Claims the next batch for `exec`: orphaned work first, then the
+    /// fresh cursor. `None` when no work is left to claim.
+    fn next_claim(&mut self, exec: usize) -> Option<usize> {
+        let idx = if let Some(i) = self.orphans.pop() {
+            i
+        } else if self.cursor < self.total {
+            let i = self.cursor;
+            self.cursor += 1;
+            i
+        } else {
+            return None;
+        };
+        self.claims.insert(exec, idx);
+        Some(idx)
+    }
+
+    /// Marks `exec`'s current claim delivered to the queue.
+    fn complete_claim(&mut self, exec: usize) {
+        self.claims.remove(&exec);
+    }
+
+    /// Whether any batch index is still unclaimed or in flight.
+    fn work_remains(&self) -> bool {
+        self.cursor < self.total || !self.orphans.is_empty() || !self.claims.is_empty()
+    }
+
+    /// Whether the producing side is finished: no sampler active and no
+    /// work outstanding — time to close the queue.
+    fn should_close(&self) -> bool {
+        self.sampling.is_empty() && !self.work_remains()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared run state.
+// ---------------------------------------------------------------------------
+
+/// Everything the executors and the supervisor share for one run. Lives on
+/// the caller's stack outside the thread scope so respawned threads can
+/// borrow it (`&'env Shared`).
+struct Shared<'a> {
+    cfg: &'a ThreadedConfig,
+    kind: ModelKind,
+    graph: &'a SbmGraph,
+    train_set: &'a [VertexId],
+    shuffle_seed: u64,
+    batches_per_epoch: usize,
+    queue: GlobalQueue<TrainTask>,
+    obs: Arc<Obs>,
+    feature_store: CachedFeatureStore,
+    server: Mutex<ParamServer>,
+    stats: LiveStats,
+    book: Mutex<SamplerBook>,
+    /// Executor ids currently consuming (Trainers + switched standbys);
+    /// the supervisor respawns a Trainer when a crash empties this set
+    /// with work still queued.
+    consuming: Mutex<HashSet<usize>>,
+    /// Unique executor ids (also the lease owner ids and respawn RNG
+    /// stream indices).
+    next_exec: AtomicUsize,
+    /// One fired flag per [`FaultPlan::crashes`] entry, so each injected
+    /// crash fires exactly once across respawns.
+    crash_fired: Vec<AtomicBool>,
+    first_error: Mutex<Option<ThreadedError>>,
+    produced: AtomicUsize,
+    trained: AtomicUsize,
+    switches: AtomicUsize,
+    // Recovery accounting.
+    respawns_used: AtomicUsize,
+    faults_injected: AtomicUsize,
+    replayed: AtomicUsize,
+    respawns: AtomicUsize,
+    reassignments: AtomicUsize,
+    retries: AtomicUsize,
+    downtime_ns: AtomicU64,
+}
+
+impl Shared<'_> {
+    /// Records `err` (first crash wins) and poisons the queue so every
+    /// blocked executor unwinds promptly.
+    fn fail_fatal(&self, err: ThreadedError) {
+        let mut slot = self.first_error.lock();
+        if slot.is_none() {
+            *slot = Some(err.clone());
+        }
+        drop(slot);
+        self.queue.poison(&err.to_string());
+    }
+
+    /// [`Shared::fail_fatal`] from a caught panic payload.
+    fn fail(&self, who: String, payload: Box<dyn std::any::Any + Send>) {
+        self.fail_fatal(ThreadedError {
+            executor: who,
+            message: panic_text(payload),
+        });
+    }
+
+    /// Counts one injected fault.
+    fn note_fault(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        self.obs.metrics.counter_inc(names::FAULTS_INJECTED);
+    }
+
+    /// Tries to consume one unit of the respawn budget; `false` means the
+    /// budget is exhausted and the crash must fail the run.
+    fn try_consume_budget(&self) -> bool {
+        self.respawns_used
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
+                (used < self.cfg.faults.max_respawns).then_some(used + 1)
+            })
+            .is_ok()
+    }
+
+    /// Whether the queue has nothing left for consumers, now or ever.
+    fn queue_drained(&self) -> bool {
+        self.queue.is_closed() && self.queue.remaining() == 0 && self.queue.leased_count() == 0
+    }
+
+    /// Books `elapsed` as supervisor downtime for one absorbed crash.
+    fn note_downtime(&self, elapsed: Duration) {
+        // Recovery is fast enough that a coarse clock can read 0; floor at
+        // 1ns so "downtime was accounted" stays observable.
+        let ns = (elapsed.as_nanos() as u64).max(1);
+        self.downtime_ns.fetch_add(ns, Ordering::Relaxed);
+        self.obs
+            .metrics
+            .counter_add(names::RECOVERY_DOWNTIME_NS, ns as f64);
+    }
+
+    /// The §5.2 allocation rule on live estimates: with `n_g` devices,
+    /// how many should currently train.
+    fn ideal_trainers(&self, n_g: usize) -> usize {
+        let t_s = self.stats.t_sample.get().unwrap_or(1e-3).max(1e-9);
+        let t_t = self.stats.t_train.get().unwrap_or(t_s).max(1e-9);
+        n_g - num_samplers(n_g, t_s, t_t)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The run.
 // ---------------------------------------------------------------------------
 
@@ -418,9 +618,12 @@ impl TrainerEnv<'_> {
 ///
 /// # Errors
 ///
-/// Returns a [`ThreadedError`] if any executor panics mid-run: the
+/// Returns a [`ThreadedError`] if an executor panic exceeds the fault
+/// plan's respawn budget, or a transient fault exhausts its retries: the
 /// poisoned queue unblocks every thread, so the error surfaces in bounded
-/// time instead of hanging the run.
+/// time instead of hanging the run. Crashes within the budget are
+/// recovered (replay + respawn/reassignment) and reported in
+/// [`ThreadedResult::recovery`] instead.
 pub fn run_threaded(
     graph: &SbmGraph,
     kind: ModelKind,
@@ -432,8 +635,9 @@ pub fn run_threaded(
 /// [`run_threaded`] with a caller-supplied observability hub: every
 /// Sampler/Trainer records wall-clock spans, the global queue records a
 /// depth sample per enqueue/dequeue plus blocked time, the live EWMA
-/// stage-time estimates publish under `scheduler.ewma_*`, and the
-/// Trainers' cache statistics are published under `cache.*`.
+/// stage-time estimates publish under `scheduler.ewma_*`, the Trainers'
+/// cache statistics are published under `cache.*`, and fault handling
+/// under `faults.*` / `recovery.*` / `retry.*`.
 ///
 /// # Errors
 ///
@@ -459,195 +663,68 @@ pub fn run_threaded_obs(
         .filter(|v| !in_train.contains(v))
         .collect();
 
-    let feature_store = Arc::new(build_feature_store(graph, &train_set, kind, cfg));
-    let server = Arc::new(Mutex::new(ParamServer {
-        master: GnnModel::new(ModelConfig {
-            kind,
-            in_dim: graph.feat_dim,
-            hidden_dim: cfg.hidden_dim,
-            num_classes: graph.num_classes,
-            seed: stream_seed(cfg.seed, StreamRole::Model, 0),
-        }),
-        opt: Adam::new(cfg.lr),
-    }));
-    let queue: Arc<GlobalQueue<TrainTask>> = Arc::new(GlobalQueue::bounded_with_obs(
-        cfg.queue_capacity,
-        Arc::clone(obs),
-    ));
     let batches_per_epoch = train_set.len().div_ceil(cfg.batch_size);
     let total_batches = batches_per_epoch * cfg.epochs;
-    // The dynamic global scheduler (§5.2): one shared cursor over the
-    // whole run's `(epoch, batch)` sequence. Whichever Sampler is free
-    // claims the next index — no static striping, no idle Samplers while
-    // a slow peer still holds unclaimed batches.
-    let cursor = Arc::new(AtomicUsize::new(0));
-    let produced = Arc::new(AtomicUsize::new(0));
-    let trained = Arc::new(AtomicUsize::new(0));
-    let sampling_done = Arc::new(AtomicUsize::new(0));
-    let switches = Arc::new(AtomicUsize::new(0));
-    let stats = Arc::new(LiveStats::new(cfg.num_trainers));
-    let first_error: Arc<Mutex<Option<ThreadedError>>> = Arc::new(Mutex::new(None));
-    let shuffle_seed = stream_seed(cfg.seed, StreamRole::Shuffle, 0);
-
-    // Records `err` (first crash wins) and poisons the queue so every
-    // blocked executor unwinds promptly.
-    let fail = |who: String, payload: Box<dyn std::any::Any + Send>| {
-        let err = ThreadedError {
-            executor: who,
-            message: panic_text(payload),
-        };
-        let mut slot = first_error.lock();
-        if slot.is_none() {
-            *slot = Some(err.clone());
-        }
-        drop(slot);
-        queue.poison(&err.to_string());
+    let shared = Shared {
+        cfg,
+        kind,
+        graph,
+        train_set: &train_set,
+        shuffle_seed: stream_seed(cfg.seed, StreamRole::Shuffle, 0),
+        batches_per_epoch,
+        queue: GlobalQueue::bounded_with_obs(cfg.queue_capacity, Arc::clone(obs)),
+        obs: Arc::clone(obs),
+        feature_store: build_feature_store(graph, &train_set, kind, cfg),
+        server: Mutex::new(ParamServer {
+            master: GnnModel::new(ModelConfig {
+                kind,
+                in_dim: graph.feat_dim,
+                hidden_dim: cfg.hidden_dim,
+                num_classes: graph.num_classes,
+                seed: stream_seed(cfg.seed, StreamRole::Model, 0),
+            }),
+            opt: Adam::new(cfg.lr),
+        }),
+        stats: LiveStats::new(cfg.num_trainers),
+        book: Mutex::new(SamplerBook::new(total_batches)),
+        consuming: Mutex::new(HashSet::new()),
+        next_exec: AtomicUsize::new(0),
+        crash_fired: cfg
+            .faults
+            .crashes
+            .iter()
+            .map(|_| AtomicBool::new(false))
+            .collect(),
+        first_error: Mutex::new(None),
+        produced: AtomicUsize::new(0),
+        trained: AtomicUsize::new(0),
+        switches: AtomicUsize::new(0),
+        respawns_used: AtomicUsize::new(0),
+        faults_injected: AtomicUsize::new(0),
+        replayed: AtomicUsize::new(0),
+        respawns: AtomicUsize::new(0),
+        reassignments: AtomicUsize::new(0),
+        retries: AtomicUsize::new(0),
+        downtime_ns: AtomicU64::new(0),
     };
 
     std::thread::scope(|scope| {
-        // --- Samplers ------------------------------------------------------
+        let sh = &shared;
         for s in 0..cfg.num_samplers {
-            let queue = Arc::clone(&queue);
-            let obs = Arc::clone(obs);
-            let cursor = Arc::clone(&cursor);
-            let produced = Arc::clone(&produced);
-            let trained = Arc::clone(&trained);
-            let sampling_done = Arc::clone(&sampling_done);
-            let switches = Arc::clone(&switches);
-            let stats = Arc::clone(&stats);
-            let feature_store = Arc::clone(&feature_store);
-            let server = Arc::clone(&server);
-            let train_set = train_set.clone();
-            let graph = &*graph;
-            let cfg = cfg.clone();
-            let fail = &fail;
-            scope.spawn(move || {
-                let body = AssertUnwindSafe(|| {
-                    sampler_loop(
-                        s,
-                        &cfg,
-                        kind,
-                        graph,
-                        &train_set,
-                        shuffle_seed,
-                        batches_per_epoch,
-                        total_batches,
-                        &cursor,
-                        &produced,
-                        &queue,
-                        &obs,
-                        &stats,
-                        &feature_store,
-                    );
-                    // Last Sampler out closes the queue: blocked Trainers
-                    // drain what remains and exit instead of spinning.
-                    if sampling_done.fetch_add(1, Ordering::AcqRel) + 1 == cfg.num_samplers {
-                        queue.close();
-                    }
-                    if cfg.dynamic_switching {
-                        standby_switch(
-                            s,
-                            &cfg,
-                            kind,
-                            graph,
-                            &queue,
-                            &obs,
-                            &stats,
-                            &switches,
-                            &TrainerEnv {
-                                obs: &obs,
-                                server: &server,
-                                store: &feature_store,
-                                graph,
-                                trained: &trained,
-                                delay: cfg.trainer_delay,
-                            },
-                        );
-                    }
-                });
-                if let Err(payload) = catch_unwind(body) {
-                    fail(format!("Sampler {s}"), payload);
-                }
-            });
+            spawn_sampler(scope, sh, s);
         }
-
-        // --- Trainers ------------------------------------------------------
         for t in 0..cfg.num_trainers {
-            let queue = Arc::clone(&queue);
-            let obs = Arc::clone(obs);
-            let server = Arc::clone(&server);
-            let trained = Arc::clone(&trained);
-            let stats = Arc::clone(&stats);
-            let feature_store = Arc::clone(&feature_store);
-            let graph = &*graph;
-            let cfg = cfg.clone();
-            let fail = &fail;
-            scope.spawn(move || {
-                let body = AssertUnwindSafe(|| {
-                    let device = (cfg.num_samplers + t) as u32;
-                    let mut replica = GnnModel::new(ModelConfig {
-                        kind,
-                        in_dim: graph.feat_dim,
-                        hidden_dim: cfg.hidden_dim,
-                        num_classes: graph.num_classes,
-                        seed: stream_seed(cfg.seed, StreamRole::Trainer, t as u64),
-                    });
-                    let env = TrainerEnv {
-                        obs: &obs,
-                        server: &server,
-                        store: &feature_store,
-                        graph,
-                        trained: &trained,
-                        delay: cfg.trainer_delay,
-                    };
-                    let mut done = 0usize;
-                    loop {
-                        // Blocking dequeue: wakes on enqueue, close or
-                        // poison — idle Trainers cost no CPU.
-                        match queue.dequeue() {
-                            Ok(task) => {
-                                if let FaultInjection::TrainerPanic {
-                                    trainer,
-                                    after_batches,
-                                } = cfg.fault
-                                {
-                                    if trainer == t && done >= after_batches {
-                                        panic!(
-                                            "injected fault: Trainer {t} after {after_batches} batches"
-                                        );
-                                    }
-                                }
-                                let secs =
-                                    env.process(device, Executor::Trainer, &mut replica, &task);
-                                stats.update(
-                                    &stats.t_train,
-                                    names::SCHEDULER_EWMA_T_TRAIN,
-                                    secs,
-                                    &obs,
-                                );
-                                done += 1;
-                            }
-                            Err(DequeueError::Drained) => break,
-                            // Another executor crashed; its thread records
-                            // the error — just unwind quietly.
-                            Err(DequeueError::Poisoned(_)) => break,
-                        }
-                    }
-                });
-                if let Err(payload) = catch_unwind(body) {
-                    fail(format!("Trainer {t}"), payload);
-                }
-            });
+            spawn_trainer(scope, sh, t);
         }
     });
 
-    if let Some(err) = first_error.lock().take() {
+    if let Some(err) = shared.first_error.lock().take() {
         return Err(err);
     }
 
     // Evaluate the master model on the held-out half. The lock is held
     // only for the clone; evaluation runs on the snapshot.
-    let mut master = server.lock().master.clone();
+    let mut master = shared.server.lock().master.clone();
     let algo = sampler_for(kind);
     let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(cfg.seed, StreamRole::Eval, 0));
     let mut correct = 0.0f64;
@@ -661,158 +738,450 @@ pub fn run_threaded_obs(
         total += chunk.len();
     }
 
-    let cache_stats = feature_store.stats();
+    let cache_stats = shared.feature_store.stats();
     cache_stats.publish(&obs.metrics);
     Ok(ThreadedResult {
-        batches_trained: trained.load(Ordering::Relaxed),
-        samples_produced: produced.load(Ordering::Relaxed),
+        batches_trained: shared.trained.load(Ordering::Relaxed),
+        samples_produced: shared.produced.load(Ordering::Relaxed),
         final_accuracy: if total == 0 {
             0.0
         } else {
             correct / total as f64
         },
-        peak_queue_depth: queue.peak_depth(),
+        peak_queue_depth: shared.queue.peak_depth(),
         cache_hit_rate: cache_stats.hit_rate(),
-        switches: switches.load(Ordering::Relaxed),
-        queue_blocked_ns: queue.blocked_ns(),
+        switches: shared.switches.load(Ordering::Relaxed),
+        queue_blocked_ns: shared.queue.blocked_ns(),
+        recovery: RecoveryReport {
+            faults_injected: shared.faults_injected.load(Ordering::Relaxed),
+            replayed_batches: shared.replayed.load(Ordering::Relaxed),
+            respawns: shared.respawns.load(Ordering::Relaxed),
+            reassignments: shared.reassignments.load(Ordering::Relaxed),
+            retries: shared.retries.load(Ordering::Relaxed),
+            downtime_ns: shared.downtime_ns.load(Ordering::Relaxed),
+        },
     })
 }
 
-/// One Sampler's main loop: claim the next batch index from the shared
-/// cursor, sample, mark, enqueue (blocking at the queue's capacity).
-#[allow(clippy::too_many_arguments)]
-fn sampler_loop(
-    s: usize,
-    cfg: &ThreadedConfig,
-    kind: ModelKind,
-    graph: &SbmGraph,
-    train_set: &[VertexId],
-    shuffle_seed: u64,
-    batches_per_epoch: usize,
-    total_batches: usize,
-    cursor: &AtomicUsize,
-    produced: &AtomicUsize,
-    queue: &GlobalQueue<TrainTask>,
-    obs: &Obs,
-    stats: &LiveStats,
-    feature_store: &CachedFeatureStore,
+// ---------------------------------------------------------------------------
+// Spawning and supervision.
+// ---------------------------------------------------------------------------
+
+/// Spawns a Sampler on `slot`, registering it in the claim book before the
+/// thread starts (no window where the book looks idle). Also the respawn
+/// path after a Sampler crash.
+fn spawn_sampler<'scope, 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    sh: &'env Shared<'env>,
+    slot: usize,
 ) {
-    let algo = sampler_for(kind);
-    let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(cfg.seed, StreamRole::Sampler, s as u64));
-    let device = s as u32;
+    let exec = sh.next_exec.fetch_add(1, Ordering::Relaxed);
+    sh.book.lock().sampling.insert(exec);
+    scope.spawn(move || {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| sampler_phase(sh, slot, exec))) {
+            on_sampler_crash(scope, sh, slot, exec, payload);
+            return;
+        }
+        if sh.cfg.dynamic_switching {
+            match catch_unwind(AssertUnwindSafe(|| standby_phase(sh, slot, exec))) {
+                Ok(Ok(())) => {
+                    sh.consuming.lock().remove(&exec);
+                }
+                Ok(Err(fatal)) => {
+                    sh.consuming.lock().remove(&exec);
+                    sh.fail_fatal(fatal);
+                }
+                Err(payload) => on_consumer_crash(scope, sh, slot, exec, payload, true),
+            }
+        }
+    });
+}
+
+/// Spawns a Trainer on `slot`, registering it as a consumer before the
+/// thread starts. Also the respawn path after a consumer crash.
+fn spawn_trainer<'scope, 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    sh: &'env Shared<'env>,
+    slot: usize,
+) {
+    let exec = sh.next_exec.fetch_add(1, Ordering::Relaxed);
+    sh.consuming.lock().insert(exec);
+    scope.spawn(
+        move || match catch_unwind(AssertUnwindSafe(|| trainer_phase(sh, slot, exec))) {
+            Ok(Ok(())) => {
+                sh.consuming.lock().remove(&exec);
+            }
+            Ok(Err(fatal)) => {
+                sh.consuming.lock().remove(&exec);
+                sh.fail_fatal(fatal);
+            }
+            Err(payload) => on_consumer_crash(scope, sh, slot, exec, payload, false),
+        },
+    );
+}
+
+/// The supervisor's handler for a dead Sampler: orphan its in-flight
+/// claim so a survivor re-samples it, then — budget permitting — respawn
+/// the slot if no other Sampler is left to absorb the work.
+fn on_sampler_crash<'scope, 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    sh: &'env Shared<'env>,
+    slot: usize,
+    exec: usize,
+    payload: Box<dyn std::any::Any + Send>,
+) {
+    let started = Instant::now();
+    let mut book = sh.book.lock();
+    book.sampling.remove(&exec);
+    let orphaned = if let Some(i) = book.claims.remove(&exec) {
+        book.orphans.push(i);
+        true
+    } else {
+        false
+    };
+    let work_remains = book.work_remains();
+    let peers_sampling = book.sampling.len();
+    let close = book.should_close();
+    drop(book);
+    if orphaned {
+        sh.replayed.fetch_add(1, Ordering::Relaxed);
+        sh.obs.metrics.counter_inc(names::RECOVERY_REPLAYED_BATCHES);
+    }
+    if !sh.try_consume_budget() {
+        sh.fail(format!("Sampler {slot}"), payload);
+        return;
+    }
+    if work_remains && peers_sampling == 0 {
+        // Nobody left to re-sample the orphans or advance the cursor.
+        sh.respawns.fetch_add(1, Ordering::Relaxed);
+        sh.obs.metrics.counter_inc(names::RECOVERY_RESPAWNS);
+        spawn_sampler(scope, sh, slot);
+    } else {
+        // Survivors absorb the role through the shared claim book.
+        sh.reassignments.fetch_add(1, Ordering::Relaxed);
+        sh.obs.metrics.counter_inc(names::RECOVERY_REASSIGNMENTS);
+        if close {
+            sh.queue.close();
+        }
+    }
+    sh.note_downtime(started.elapsed());
+}
+
+/// The supervisor's handler for a dead consumer (Trainer or switched
+/// standby): reclaim its leases so survivors replay the batches, then —
+/// budget permitting — respawn the slot or reassign per the allocation
+/// rule on live stage-time estimates.
+fn on_consumer_crash<'scope, 'env>(
+    scope: &'scope Scope<'scope, 'env>,
+    sh: &'env Shared<'env>,
+    slot: usize,
+    exec: usize,
+    payload: Box<dyn std::any::Any + Send>,
+    standby: bool,
+) {
+    let started = Instant::now();
+    sh.consuming.lock().remove(&exec);
+    // The queue re-enqueues the dead consumer's leases at the front and
+    // publishes `recovery.replayed_batches` itself.
+    let replayed = sh.queue.reclaim(exec as u32);
+    sh.replayed.fetch_add(replayed, Ordering::Relaxed);
+    let who = if standby {
+        format!("Standby {slot}")
+    } else {
+        format!("Trainer {slot}")
+    };
+    if !sh.try_consume_budget() {
+        sh.fail(who, payload);
+        return;
+    }
+    let survivors = sh.consuming.lock().len();
+    let drained = sh.queue_drained();
+    // A replacement is mandatory when the last consumer died with work
+    // still queued; otherwise ask the §5.2 allocation rule whether the
+    // surviving Trainer pool is already big enough.
+    let respawn = !drained
+        && (survivors == 0 || {
+            let n_g = sh.book.lock().sampling.len() + survivors + 1;
+            survivors < sh.ideal_trainers(n_g)
+        });
+    if respawn {
+        sh.respawns.fetch_add(1, Ordering::Relaxed);
+        sh.obs.metrics.counter_inc(names::RECOVERY_RESPAWNS);
+        spawn_trainer(scope, sh, slot);
+    } else {
+        sh.reassignments.fetch_add(1, Ordering::Relaxed);
+        sh.obs.metrics.counter_inc(names::RECOVERY_REASSIGNMENTS);
+    }
+    sh.note_downtime(started.elapsed());
+}
+
+// ---------------------------------------------------------------------------
+// Executor bodies.
+// ---------------------------------------------------------------------------
+
+/// One Sampler's main loop: claim the next batch index from the shared
+/// book, sample, mark, enqueue (blocking at the queue's capacity). Exits
+/// after closing the queue if it was the last producer out.
+fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
+    let cfg = sh.cfg;
+    let algo = sampler_for(sh.kind);
+    // Respawns get a fresh stream (exec is unique), so a replacement
+    // never replays its predecessor's random choices.
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(stream_seed(cfg.seed, StreamRole::Sampler, exec as u64));
+    let device = slot as u32;
+    let crash = cfg.faults.crash_for(ExecutorRole::Sampler, slot);
+    let slowdown = cfg.faults.slowdown(ExecutorRole::Sampler, slot);
+    let obs = &*sh.obs;
     let mut cached_epoch = usize::MAX;
     let mut batches: Vec<Vec<VertexId>> = Vec::new();
     let mut sampled = 0usize;
     loop {
-        let i = cursor.fetch_add(1, Ordering::Relaxed);
-        if i >= total_batches {
-            break;
-        }
-        if let FaultInjection::SamplerPanic {
-            sampler,
-            after_batches,
-        } = cfg.fault
-        {
-            if sampler == s && sampled >= after_batches {
-                panic!("injected fault: Sampler {s} after {after_batches} batches");
+        let claim = sh.book.lock().next_claim(exec);
+        let Some(i) = claim else { break };
+        if let Some((ci, after)) = crash {
+            if sampled >= after && !sh.crash_fired[ci].swap(true, Ordering::AcqRel) {
+                sh.note_fault();
+                // The claim stays registered: the supervisor orphans it
+                // and a survivor re-samples the batch.
+                panic!("injected fault: Sampler {slot} after {after} batches");
             }
         }
-        let epoch = i / batches_per_epoch;
+        let epoch = i / sh.batches_per_epoch;
         if epoch != cached_epoch {
             // Every Sampler derives the same shuffle for a given epoch, so
             // the global index space is consistent across threads.
             batches =
-                MinibatchIter::new(train_set, cfg.batch_size, shuffle_seed, epoch as u64).collect();
+                MinibatchIter::new(sh.train_set, cfg.batch_size, sh.shuffle_seed, epoch as u64)
+                    .collect();
             cached_epoch = epoch;
         }
-        let batch = &batches[i % batches_per_epoch];
+        let batch = &batches[i % sh.batches_per_epoch];
         let id = i as u64;
         let work_started = Instant::now();
         let mut sample = {
             let _g = obs.start_span(device, Executor::Sampler, Stage::SampleG, id);
-            algo.sample(&graph.csr, batch, &mut rng)
+            algo.sample(&sh.graph.csr, batch, &mut rng)
         };
         // The M step (§5.2): the Sampler marks which input vertices the
         // Trainers' cache holds, so Trainers need no second membership
         // pass.
         {
             let _g = obs.start_span(device, Executor::Sampler, Stage::SampleM, id);
-            sample.cache_mask = Some(feature_store.table().mark(sample.input_nodes()));
+            sample.cache_mask = Some(sh.feature_store.table().mark(sample.input_nodes()));
         }
-        // T_s counts sampling *work* (G + M); the C step below may block
-        // on backpressure, which is waiting, not work.
-        stats.update(
-            &stats.t_sample,
+        let mut secs = work_started.elapsed().as_secs_f64();
+        if slowdown > 1.0 {
+            // A straggling device: stretch the batch to `slowdown` times
+            // its natural duration.
+            std::thread::sleep(Duration::from_secs_f64(secs * (slowdown - 1.0)));
+            secs *= slowdown;
+        }
+        // T_s counts sampling *work* (G + M, stretched by any straggler
+        // factor); the C step below may block on backpressure, which is
+        // waiting, not work.
+        sh.stats.update(
+            &sh.stats.t_sample,
             names::SCHEDULER_EWMA_T_SAMPLE,
-            work_started.elapsed().as_secs_f64(),
+            secs,
             obs,
         );
-        let labels = batch.iter().map(|&v| graph.labels[v as usize]).collect();
+        let labels = batch.iter().map(|&v| sh.graph.labels[v as usize]).collect();
         let enqueued = {
             let _g = obs.start_span(device, Executor::Sampler, Stage::SampleC, id);
-            queue.enqueue(TrainTask { id, sample, labels })
+            sh.queue.enqueue(TrainTask { id, sample, labels })
         };
         match enqueued {
             Ok(()) => {
-                produced.fetch_add(1, Ordering::Relaxed);
+                sh.book.lock().complete_claim(exec);
+                sh.produced.fetch_add(1, Ordering::Relaxed);
                 sampled += 1;
                 obs.metrics.counter_inc("threaded.samples_produced");
             }
-            // Poisoned (a peer crashed) or closed: stop producing.
-            Err(_) => return,
+            // Poisoned (a peer crashed beyond recovery): stop producing.
+            Err(_) => {
+                sh.book.lock().complete_claim(exec);
+                return;
+            }
         }
     }
+    // Finished sampling; the last producer out closes the queue so
+    // blocked consumers drain what remains and exit instead of spinning.
+    let mut book = sh.book.lock();
+    book.sampling.remove(&exec);
+    let close = book.should_close();
+    drop(book);
+    if close {
+        sh.queue.close();
+    }
+}
+
+/// A Trainer's main loop: lease tasks off the queue, retry transient
+/// faults in place, train, confirm the lease.
+fn trainer_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), ThreadedError> {
+    let cfg = sh.cfg;
+    let device = (cfg.num_samplers + slot) as u32;
+    let mut replica = GnnModel::new(ModelConfig {
+        kind: sh.kind,
+        in_dim: sh.graph.feat_dim,
+        hidden_dim: cfg.hidden_dim,
+        num_classes: sh.graph.num_classes,
+        seed: stream_seed(cfg.seed, StreamRole::Trainer, exec as u64),
+    });
+    let crash = cfg.faults.crash_for(ExecutorRole::Trainer, slot);
+    let slowdown = cfg.faults.slowdown(ExecutorRole::Trainer, slot);
+    consume_loop(
+        sh,
+        exec,
+        device,
+        Executor::Trainer,
+        &format!("Trainer {slot}"),
+        &mut replica,
+        crash,
+        slowdown,
+        false,
+    )
 }
 
 /// The §5.3 switching decision a Sampler takes once its sampling work is
 /// done: evaluate the live profit metric and, if positive, train as a
 /// standby Trainer until the queue drains.
-#[allow(clippy::too_many_arguments)]
-fn standby_switch(
-    s: usize,
-    cfg: &ThreadedConfig,
-    kind: ModelKind,
-    graph: &SbmGraph,
-    queue: &GlobalQueue<TrainTask>,
-    obs: &Obs,
-    stats: &LiveStats,
-    switches: &AtomicUsize,
-    env: &TrainerEnv<'_>,
-) {
-    let remaining = queue.remaining();
+fn standby_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), ThreadedError> {
+    let cfg = sh.cfg;
+    let obs = &*sh.obs;
+    let remaining = sh.queue.remaining();
     // Until estimates exist, fall back: T_t ≈ T_s (same order of work per
     // batch here), T_t' ≈ STANDBY_PRIOR × T_t (colder cache).
-    let t_train = stats
+    let t_train = sh
+        .stats
         .t_train
         .get()
-        .or_else(|| stats.t_sample.get())
+        .or_else(|| sh.stats.t_sample.get())
         .unwrap_or(0.0);
-    let t_standby = stats.t_standby.get().unwrap_or(t_train * STANDBY_PRIOR);
-    let n_t = stats.active_trainers.load(Ordering::Relaxed);
+    let t_standby = sh.stats.t_standby.get().unwrap_or(t_train * STANDBY_PRIOR);
+    let n_t = sh.stats.active_trainers.load(Ordering::Relaxed);
     let profit = switch_profit(remaining, t_train, n_t, t_standby);
     obs.metrics
         .sample(names::SCHEDULER_SWITCH_PROFIT, obs.now_ns(), profit);
     obs.metrics.observe(names::SCHEDULER_SWITCH_PROFIT, profit);
     if profit <= 0.0 {
         obs.metrics.counter_inc(names::SCHEDULER_SWITCH_DENIED);
-        return;
+        return Ok(());
     }
     obs.metrics.counter_inc(names::SCHEDULER_SWITCHES);
-    switches.fetch_add(1, Ordering::Relaxed);
-    stats.active_trainers.fetch_add(1, Ordering::Relaxed);
-    let device = s as u32;
+    sh.switches.fetch_add(1, Ordering::Relaxed);
+    sh.stats.active_trainers.fetch_add(1, Ordering::Relaxed);
+    sh.consuming.lock().insert(exec);
     let mut replica = GnnModel::new(ModelConfig {
-        kind,
-        in_dim: graph.feat_dim,
+        kind: sh.kind,
+        in_dim: sh.graph.feat_dim,
         hidden_dim: cfg.hidden_dim,
-        num_classes: graph.num_classes,
-        seed: stream_seed(cfg.seed, StreamRole::Standby, s as u64),
+        num_classes: sh.graph.num_classes,
+        seed: stream_seed(cfg.seed, StreamRole::Standby, exec as u64),
     });
-    while let Ok(task) = queue.dequeue() {
-        let secs = env.process(device, Executor::Standby, &mut replica, &task);
-        stats.update(&stats.t_standby, names::SCHEDULER_EWMA_T_STANDBY, secs, obs);
+    let slowdown = cfg.faults.slowdown(ExecutorRole::Sampler, slot);
+    let res = consume_loop(
+        sh,
+        exec,
+        slot as u32,
+        Executor::Standby,
+        &format!("Standby {slot}"),
+        &mut replica,
+        None,
+        slowdown,
+        true,
+    );
+    sh.stats.active_trainers.fetch_sub(1, Ordering::Relaxed);
+    res
+}
+
+/// The shared consumer loop of Trainers and standbys: lease, maybe crash
+/// (injected, at most once, while the lease is held so the replay trains
+/// the batch exactly once), retry transient faults with seeded backoff,
+/// process, confirm.
+#[allow(clippy::too_many_arguments)]
+fn consume_loop(
+    sh: &Shared<'_>,
+    exec: usize,
+    device: u32,
+    role: Executor,
+    who: &str,
+    replica: &mut GnnModel,
+    crash: Option<(usize, usize)>,
+    slowdown: f64,
+    standby: bool,
+) -> Result<(), ThreadedError> {
+    let cfg = sh.cfg;
+    let obs = &*sh.obs;
+    let env = TrainerEnv {
+        obs,
+        server: &sh.server,
+        store: &sh.feature_store,
+        graph: sh.graph,
+        trained: &sh.trained,
+        delay: cfg.trainer_delay,
+    };
+    let (cell, series) = if standby {
+        (&sh.stats.t_standby, names::SCHEDULER_EWMA_T_STANDBY)
+    } else {
+        (&sh.stats.t_train, names::SCHEDULER_EWMA_T_TRAIN)
+    };
+    let mut done = 0usize;
+    loop {
+        // Blocking leased dequeue: wakes on enqueue, reclaim, close or
+        // poison — idle consumers cost no CPU.
+        match sh.queue.dequeue_leased(exec as u32) {
+            Ok(lease) => {
+                if let Some((ci, after)) = crash {
+                    if done >= after && !sh.crash_fired[ci].swap(true, Ordering::AcqRel) {
+                        sh.note_fault();
+                        // Crashing while the lease is held and the batch
+                        // untrained: the supervisor reclaims it and a
+                        // survivor trains it exactly once.
+                        panic!("injected fault: {who} after {after} batches");
+                    }
+                }
+                // Seeded transient Extract/Train errors: this batch fails
+                // `failures` consecutive times before succeeding; each
+                // retry backs off (capped exponential + jitter).
+                let failures = cfg.faults.transient_failures(lease.task.id);
+                for attempt in 0..failures {
+                    if attempt >= cfg.faults.retry.max_attempts {
+                        // Unrecoverable: fail the run through the poison
+                        // path (no respawn would help a deterministic
+                        // fault).
+                        return Err(ThreadedError {
+                            executor: who.to_string(),
+                            message: format!(
+                                "unrecoverable transient fault on batch {} after {attempt} retries",
+                                lease.task.id
+                            ),
+                        });
+                    }
+                    sh.note_fault();
+                    sh.retries.fetch_add(1, Ordering::Relaxed);
+                    obs.metrics.counter_inc(names::RETRY_ATTEMPTS);
+                    let backoff = cfg.faults.backoff(attempt, lease.task.id);
+                    obs.metrics
+                        .counter_add(names::RETRY_BACKOFF_NS, backoff.as_nanos() as f64);
+                    std::thread::sleep(backoff);
+                }
+                let mut secs = env.process(device, role, replica, &lease.task);
+                if slowdown > 1.0 {
+                    std::thread::sleep(Duration::from_secs_f64(secs * (slowdown - 1.0)));
+                    secs *= slowdown;
+                }
+                sh.stats.update(cell, series, secs, obs);
+                sh.queue.complete(lease.id);
+                done += 1;
+            }
+            Err(DequeueError::Drained) => break,
+            // Another executor crashed beyond recovery; its thread records
+            // the error — just unwind quietly.
+            Err(DequeueError::Poisoned(_)) => break,
+        }
     }
-    stats.active_trainers.fetch_sub(1, Ordering::Relaxed);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -847,6 +1216,7 @@ mod tests {
         let batches_per_epoch = (300usize).div_ceil(25);
         assert_eq!(res.samples_produced, batches_per_epoch * 4);
         assert_eq!(res.batches_trained, res.samples_produced);
+        assert_eq!(res.recovery, RecoveryReport::default());
     }
 
     #[test]
@@ -1057,8 +1427,10 @@ mod tests {
         assert_eq!(res.batches_trained, res.samples_produced);
     }
 
+    // --- Fault injection and recovery -------------------------------------
+
     #[test]
-    fn injected_trainer_panic_fails_the_run_in_bounded_time() {
+    fn trainer_crash_without_budget_fails_the_run_in_bounded_time() {
         let g = graph();
         let cfg = ThreadedConfig {
             num_samplers: 2,
@@ -1069,10 +1441,7 @@ mod tests {
             // the only Trainer dies — the old unbounded/spinning runtime
             // would hang here.
             queue_capacity: 2,
-            fault: FaultInjection::TrainerPanic {
-                trainer: 0,
-                after_batches: 3,
-            },
+            faults: FaultPlan::crash_trainer(0, 3).with_max_respawns(0),
             ..Default::default()
         };
         let started = Instant::now();
@@ -1087,20 +1456,164 @@ mod tests {
     }
 
     #[test]
-    fn injected_sampler_panic_fails_the_run() {
+    fn sampler_crash_without_budget_fails_the_run() {
         let g = graph();
         let cfg = ThreadedConfig {
             num_samplers: 2,
             num_trainers: 2,
             epochs: 2,
-            fault: FaultInjection::SamplerPanic {
-                sampler: 1,
-                after_batches: 2,
-            },
+            faults: FaultPlan::crash_sampler(1, 2).with_max_respawns(0),
             ..Default::default()
         };
         let err = run_threaded(&g, ModelKind::GraphSage, &cfg).unwrap_err();
         assert_eq!(err.executor, "Sampler 1");
         assert!(err.message.contains("injected fault"), "{err}");
+    }
+
+    #[test]
+    fn trainer_crash_within_budget_recovers_and_trains_every_batch() {
+        let g = graph();
+        let cfg = ThreadedConfig {
+            num_samplers: 2,
+            num_trainers: 2,
+            epochs: 3,
+            batch_size: 25,
+            faults: FaultPlan::crash_trainer(0, 2),
+            ..Default::default()
+        };
+        let res = run_threaded(&g, ModelKind::GraphSage, &cfg).unwrap();
+        let batches_per_epoch = (300usize).div_ceil(25);
+        assert_eq!(res.samples_produced, batches_per_epoch * 3);
+        assert_eq!(
+            res.batches_trained, res.samples_produced,
+            "exactly-once violated"
+        );
+        assert_eq!(res.recovery.faults_injected, 1);
+        assert!(
+            res.recovery.replayed_batches >= 1,
+            "the crash fired while a lease was held: {:?}",
+            res.recovery
+        );
+        assert!(res.recovery.recovered() >= 1, "{:?}", res.recovery);
+        assert!(res.recovery.downtime_ns > 0);
+    }
+
+    #[test]
+    fn sole_trainer_crash_forces_a_respawn() {
+        let g = graph();
+        let cfg = ThreadedConfig {
+            num_samplers: 1,
+            num_trainers: 1,
+            epochs: 2,
+            batch_size: 25,
+            dynamic_switching: false,
+            faults: FaultPlan::crash_trainer(0, 1),
+            ..Default::default()
+        };
+        let res = run_threaded(&g, ModelKind::GraphSage, &cfg).unwrap();
+        assert_eq!(res.batches_trained, res.samples_produced);
+        // With zero surviving consumers the supervisor must respawn, or
+        // the producers would block forever.
+        assert_eq!(res.recovery.respawns, 1, "{:?}", res.recovery);
+        assert!(res.recovery.replayed_batches >= 1);
+    }
+
+    #[test]
+    fn sampler_crash_within_budget_recovers_every_batch() {
+        let g = graph();
+        for samplers in [1usize, 2] {
+            let cfg = ThreadedConfig {
+                num_samplers: samplers,
+                num_trainers: 2,
+                epochs: 2,
+                batch_size: 25,
+                faults: FaultPlan::crash_sampler(0, 2),
+                ..Default::default()
+            };
+            let res = run_threaded(&g, ModelKind::GraphSage, &cfg).unwrap();
+            let batches_per_epoch = (300usize).div_ceil(25);
+            assert_eq!(
+                res.samples_produced,
+                batches_per_epoch * 2,
+                "lost batches with {samplers} samplers: {:?}",
+                res.recovery
+            );
+            assert_eq!(res.batches_trained, res.samples_produced);
+            assert!(res.recovery.recovered() >= 1);
+            // The sole-sampler case must respawn; the two-sampler case may
+            // reassign to the survivor.
+            if samplers == 1 {
+                assert_eq!(res.recovery.respawns, 1, "{:?}", res.recovery);
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_retry_in_place_and_still_train_everything() {
+        let g = graph();
+        let cfg = ThreadedConfig {
+            num_samplers: 2,
+            num_trainers: 2,
+            epochs: 2,
+            batch_size: 25,
+            // max_consecutive (2) ≤ max_attempts (4): always recoverable.
+            faults: FaultPlan::none().with_transients(0.5, 2).with_seed(11),
+            ..Default::default()
+        };
+        let res = run_threaded(&g, ModelKind::GraphSage, &cfg).unwrap();
+        assert_eq!(res.batches_trained, res.samples_produced);
+        assert!(res.recovery.retries > 0, "p=0.5 must trigger retries");
+        assert_eq!(res.recovery.faults_injected, res.recovery.retries);
+        assert_eq!(res.recovery.recovered(), 0, "retries are not crashes");
+    }
+
+    #[test]
+    fn unrecoverable_transient_fault_fails_fast() {
+        let g = graph();
+        let mut faults = FaultPlan::none().with_transients(1.0, 10).with_seed(5);
+        faults.retry.max_attempts = 2;
+        let cfg = ThreadedConfig {
+            num_samplers: 1,
+            num_trainers: 1,
+            epochs: 1,
+            batch_size: 50,
+            faults,
+            ..Default::default()
+        };
+        let err = run_threaded(&g, ModelKind::GraphSage, &cfg).unwrap_err();
+        assert!(
+            err.message.contains("unrecoverable transient fault"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn stragglers_stretch_the_observed_stage_times() {
+        let g = graph();
+        let obs = Arc::new(Obs::wall());
+        let cfg = ThreadedConfig {
+            num_samplers: 1,
+            num_trainers: 1,
+            epochs: 1,
+            batch_size: 25,
+            dynamic_switching: false,
+            faults: FaultPlan::none().with_straggler(ExecutorRole::Trainer, 0, 20.0),
+            ..Default::default()
+        };
+        let res = run_threaded_obs(&g, ModelKind::GraphSage, &cfg, &obs).unwrap();
+        assert_eq!(res.batches_trained, res.samples_produced);
+        // The straggling Trainer's EWMA saw the stretched times.
+        let t_t = obs
+            .metrics
+            .series_max(names::SCHEDULER_EWMA_T_TRAIN)
+            .unwrap();
+        let t_s = obs
+            .metrics
+            .series_max(names::SCHEDULER_EWMA_T_SAMPLE)
+            .unwrap();
+        assert!(
+            t_t > t_s * 2.0,
+            "straggler not visible: T_t={t_t:.6} vs T_s={t_s:.6}"
+        );
     }
 }

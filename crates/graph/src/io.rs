@@ -151,12 +151,30 @@ pub fn write_binary(csr: &Csr, path: &Path) -> std::result::Result<(), IoError> 
     }
     if csr.is_weighted() {
         for v in 0..csr.num_vertices() as VertexId {
-            for wt in csr.edge_weights(v).expect("weighted") {
+            let ws = csr.edge_weights(v).ok_or_else(|| {
+                IoError::Format(format!(
+                    "graph reports weighted but vertex {v} has no weight array"
+                ))
+            })?;
+            for wt in ws {
                 w.write_all(&wt.to_le_bytes())?;
             }
         }
     }
     Ok(())
+}
+
+/// Bytes a well-formed binary CSR file must occupy: magic + header +
+/// indptr (u64 × n+1) + indices (u32 × m) + optional weights (f32 × m).
+fn binary_file_size(n: u64, m: u64, weighted: bool) -> Option<u64> {
+    let header = 8u64 + 8 + 8 + 1;
+    let indptr = n.checked_add(1)?.checked_mul(8)?;
+    let indices = m.checked_mul(4)?;
+    let weights = if weighted { indices } else { 0 };
+    header
+        .checked_add(indptr)?
+        .checked_add(indices)?
+        .checked_add(weights)
 }
 
 fn read_exact_u64(r: &mut impl Read) -> std::result::Result<u64, IoError> {
@@ -166,8 +184,14 @@ fn read_exact_u64(r: &mut impl Read) -> std::result::Result<u64, IoError> {
 }
 
 /// Reads the compact binary CSR format written by [`write_binary`].
+///
+/// The header is validated against the actual file size before any
+/// allocation, so a truncated or corrupted file yields a typed
+/// [`IoError::Format`] instead of a partial read or an absurd
+/// `Vec::with_capacity` from a garbage edge count.
 pub fn read_binary(path: &Path) -> std::result::Result<Csr, IoError> {
     let file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
     let mut r = BufReader::new(file);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -176,11 +200,30 @@ pub fn read_binary(path: &Path) -> std::result::Result<Csr, IoError> {
             "bad magic; not a gnnlab binary CSR".to_string(),
         ));
     }
-    let n = read_exact_u64(&mut r)? as usize;
-    let m = read_exact_u64(&mut r)? as usize;
+    let n64 = read_exact_u64(&mut r)?;
+    let m64 = read_exact_u64(&mut r)?;
     let mut flag = [0u8; 1];
     r.read_exact(&mut flag)?;
+    if flag[0] > 1 {
+        return Err(IoError::Format(format!(
+            "bad weighted flag {} (want 0 or 1)",
+            flag[0]
+        )));
+    }
     let weighted = flag[0] != 0;
+    let expected = binary_file_size(n64, m64, weighted).ok_or_else(|| {
+        IoError::Format(format!(
+            "header claims {n64} vertices / {m64} edges, which overflows any real file"
+        ))
+    })?;
+    if file_len != expected {
+        return Err(IoError::Format(format!(
+            "file is {file_len} bytes but header ({n64} vertices, {m64} edges, \
+             weighted={weighted}) requires exactly {expected}; truncated or corrupt"
+        )));
+    }
+    let n = n64 as usize;
+    let m = m64 as usize;
     let mut indptr = Vec::with_capacity(n + 1);
     for _ in 0..=n {
         indptr.push(read_exact_u64(&mut r)?);
@@ -294,6 +337,108 @@ mod tests {
             read_edge_list(&path, None),
             Err(IoError::Format(_))
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edge_list_rejects_partial_lines() {
+        // A write interrupted mid-line leaves a trailing src with no dst.
+        let path = tmp("partial.txt");
+        std::fs::write(&path, "0 1\n1 2\n2\n").unwrap();
+        let err = read_edge_list(&path, None).unwrap_err();
+        match err {
+            IoError::Format(m) => assert!(m.contains("line 3"), "{m}"),
+            other => panic!("expected Format, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edge_list_rejects_partial_weighted_lines() {
+        let path = tmp("partial_w.txt");
+        std::fs::write(&path, "0 1 0.5\n1 2 oops\n").unwrap();
+        let err = read_edge_list(&path, None).unwrap_err();
+        match err {
+            IoError::Format(m) => assert!(m.contains("bad weight"), "{m}"),
+            other => panic!("expected Format, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_binary_is_a_format_error() {
+        let g = chung_lu(120, 900, 2.0, 9).unwrap();
+        let path = tmp("trunc.bin");
+        write_binary(&g, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        // Cut at several depths: inside indptr, inside indices, one byte
+        // short of complete. Every cut must surface as a typed error, not
+        // a panic or a silently partial graph.
+        for cut in [30, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let err = read_binary(&path).unwrap_err();
+            match err {
+                IoError::Format(m) => {
+                    assert!(m.contains("truncated"), "cut={cut}: {m}")
+                }
+                other => panic!("cut={cut}: expected Format, got {other:?}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_header_is_an_io_error() {
+        // Not even a full header: read_exact fails before validation.
+        let path = tmp("trunc_hdr.bin");
+        std::fs::write(&path, &MAGIC[..6]).unwrap();
+        assert!(matches!(read_binary(&path), Err(IoError::Io(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_binary_is_a_format_error() {
+        let g = chung_lu(50, 200, 2.0, 3).unwrap();
+        let path = tmp("padded.bin");
+        write_binary(&g, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_binary(&path), Err(IoError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn absurd_edge_count_is_rejected_without_allocating() {
+        // Header claims ~u64::MAX edges; the size check must reject it
+        // before any Vec::with_capacity sees the number.
+        let path = tmp("absurd.bin");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&4u64.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.push(0);
+        bytes.extend_from_slice(&[0u8; 40]); // fake indptr
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_binary(&path), Err(IoError::Format(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_weighted_flag_is_rejected() {
+        let path = tmp("badflag.bin");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&1u64.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.push(7);
+        bytes.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_binary(&path).unwrap_err();
+        match err {
+            IoError::Format(m) => assert!(m.contains("flag"), "{m}"),
+            other => panic!("expected Format, got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 }

@@ -34,3 +34,21 @@ pub const SCHEDULER_EWMA_T_SAMPLE: &str = "scheduler.ewma_t_sample";
 pub const SCHEDULER_EWMA_T_TRAIN: &str = "scheduler.ewma_t_train";
 /// Series: live EWMA estimate of the standby time `T_t'` (secs).
 pub const SCHEDULER_EWMA_T_STANDBY: &str = "scheduler.ewma_t_standby";
+
+/// Counter: faults actually injected by a fault plan (crash firings,
+/// transient errors, simulated device failures).
+pub const FAULTS_INJECTED: &str = "faults.injected";
+/// Counter: leased batches re-enqueued after their executor died.
+pub const RECOVERY_REPLAYED_BATCHES: &str = "recovery.replayed_batches";
+/// Counter: replacement executors spawned by the supervisor.
+pub const RECOVERY_RESPAWNS: &str = "recovery.respawns";
+/// Counter: crashes absorbed by re-planning roles on survivors instead of
+/// spawning a replacement.
+pub const RECOVERY_REASSIGNMENTS: &str = "recovery.reassignments";
+/// Counter: total nanoseconds between fault detection and the supervisor
+/// completing recovery (respawn or reassignment).
+pub const RECOVERY_DOWNTIME_NS: &str = "recovery.downtime_ns";
+/// Counter: transient-error retries attempted.
+pub const RETRY_ATTEMPTS: &str = "retry.attempts";
+/// Counter: total nanoseconds spent in retry backoff sleeps.
+pub const RETRY_BACKOFF_NS: &str = "retry.backoff_ns";

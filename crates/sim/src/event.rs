@@ -4,11 +4,18 @@ use crate::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Handle to a scheduled event, for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
 /// A time-ordered event queue with deterministic FIFO tie-breaking.
 ///
 /// Events scheduled for the same timestamp pop in insertion order, so a
 /// co-simulation using this queue is bit-reproducible regardless of heap
-/// internals.
+/// internals. Scheduling returns an [`EventId`] that can later be passed
+/// to [`EventQueue::cancel`] — a fault simulation revokes the pending
+/// work of a failed device instead of delivering it; cancelled entries
+/// are skipped on pop without advancing the clock.
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(SimTime, u64)>>,
@@ -39,40 +46,54 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Schedules `event` at absolute time `at`.
+    /// Schedules `event` at absolute time `at`, returning its handle.
     ///
     /// # Panics
     ///
     /// Panics if `at` is earlier than the current time (causality).
-    pub fn schedule(&mut self, at: SimTime, event: E) {
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventId {
         assert!(at >= self.now, "cannot schedule event in the past");
         let id = self.seq;
         self.seq += 1;
         self.heap.push(Reverse((at, id)));
         self.events.insert(id, event);
+        EventId(id)
     }
 
-    /// Schedules `event` `delay` nanoseconds from now.
-    pub fn schedule_after(&mut self, delay: SimTime, event: E) {
-        self.schedule(self.now.saturating_add(delay), event);
+    /// Schedules `event` `delay` nanoseconds from now, returning its
+    /// handle.
+    pub fn schedule_after(&mut self, delay: SimTime, event: E) -> EventId {
+        self.schedule(self.now.saturating_add(delay), event)
     }
 
-    /// Pops the earliest event, advancing the clock to its timestamp.
+    /// Cancels a pending event, returning its body; `None` if it already
+    /// popped or was cancelled before. The heap entry stays behind and is
+    /// skipped by [`EventQueue::pop`] without advancing the clock.
+    pub fn cancel(&mut self, id: EventId) -> Option<E> {
+        self.events.remove(&id.0)
+    }
+
+    /// Pops the earliest live event, advancing the clock to its
+    /// timestamp. Heap entries whose body was [`EventQueue::cancel`]ed
+    /// are discarded silently (cancellation must not move time).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse((at, id)) = self.heap.pop()?;
-        self.now = at;
-        let ev = self.events.remove(&id).expect("event body present");
-        Some((at, ev))
+        loop {
+            let Reverse((at, id)) = self.heap.pop()?;
+            if let Some(ev) = self.events.remove(&id) {
+                self.now = at;
+                return Some((at, ev));
+            }
+        }
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.events.len()
     }
 
-    /// Whether no events are pending.
+    /// Whether no live events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.events.is_empty()
     }
 }
 
@@ -131,5 +152,42 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancelled_events_are_skipped_without_advancing_time() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(10, "a");
+        q.schedule(20, "b");
+        // Cancel returns the body exactly once.
+        assert_eq!(q.cancel(a), Some("a"));
+        assert_eq!(q.cancel(a), None);
+        assert_eq!(q.len(), 1);
+        // The tombstone at t=10 must not move the clock.
+        assert_eq!(q.pop(), Some((20, "b")));
+        assert_eq!(q.now(), 20);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancelling_a_popped_event_is_a_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(5, 1u8);
+        assert_eq!(q.pop(), Some((5, 1)));
+        assert_eq!(q.cancel(a), None);
+    }
+
+    #[test]
+    fn cancel_all_leaves_an_empty_queue() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..5).map(|i| q.schedule(i + 1, i)).collect();
+        for id in ids {
+            assert!(q.cancel(id).is_some());
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+        // The clock never moved.
+        assert_eq!(q.now(), 0);
     }
 }

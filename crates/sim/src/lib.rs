@@ -24,7 +24,7 @@ pub mod event;
 
 pub use cost::{CostModel, GatherPath, SampleCost, SampleDevice};
 pub use device::{DeviceError, GpuMemory, Testbed};
-pub use event::EventQueue;
+pub use event::{EventId, EventQueue};
 
 /// Simulated time in nanoseconds.
 pub type SimTime = u64;

@@ -47,6 +47,7 @@ fn main() {
                 }
                 Err(RunError::Oom { .. }) => cells.push("OOM".to_string()),
                 Err(RunError::Unsupported(_)) => cells.push("x".to_string()),
+                Err(RunError::ExecutorsLost { .. }) => cells.push("LOST".to_string()),
             }
         }
         println!(

@@ -6,14 +6,28 @@
 //! gnnlab policies <PR|TW|PA|UK> [scale]               cache-policy hit-rate table
 //! gnnlab simulate <PR|TW|PA|UK> <GCN|GSG|PSG> [gpus]  one epoch on every system
 //! gnnlab job      <PR|TW|PA|UK> <GCN|GSG|PSG> [epochs] full-job summary incl. preprocessing
+//! gnnlab threaded [options]                           real threaded run w/ fault injection
+//! ```
+//!
+//! `gnnlab threaded` options:
+//!
+//! ```text
+//! --samplers N --trainers N --epochs N --batch-size N --capacity N --seed S
+//! --crash-trainer IDX@BATCH   kill Trainer IDX after BATCH batches
+//! --crash-sampler IDX@BATCH   kill Sampler IDX after BATCH batches
+//! --straggler ROLE:IDX:FACTOR slow one executor (role `sampler`/`trainer`)
+//! --transient P               per-batch transient-fault probability
+//! --max-respawns N            supervisor respawn budget (0 = fail fast)
 //! ```
 
 use gnnlab::cache::PolicyKind;
 use gnnlab::core::driver::run_job;
 use gnnlab::core::report::RunError;
 use gnnlab::core::runtime::{build_cache_table, run_system, SimContext};
+use gnnlab::core::threaded::{run_threaded, ThreadedConfig};
 use gnnlab::core::trace::EpochTrace;
-use gnnlab::core::{SystemKind, Workload};
+use gnnlab::core::{ExecutorRole, FaultPlan, SystemKind, Workload};
+use gnnlab::graph::gen::{sbm, SbmParams};
 use gnnlab::graph::{io, Dataset, DatasetKind, Scale};
 use gnnlab::sampling::Kernel;
 use gnnlab::tensor::ModelKind;
@@ -45,7 +59,10 @@ fn usage() -> ExitCode {
          gnnlab inspect <graph.bin|edges.txt>\n  \
          gnnlab policies <PR|TW|PA|UK> [scale]\n  \
          gnnlab simulate <PR|TW|PA|UK> <GCN|GSG|PSG> [gpus]\n  \
-         gnnlab job <PR|TW|PA|UK> <GCN|GSG|PSG> [epochs]"
+         gnnlab job <PR|TW|PA|UK> <GCN|GSG|PSG> [epochs]\n  \
+         gnnlab threaded [--samplers N] [--trainers N] [--epochs N] [--batch-size N]\n           \
+         [--capacity N] [--seed S] [--crash-trainer IDX@BATCH] [--crash-sampler IDX@BATCH]\n           \
+         [--straggler ROLE:IDX:FACTOR] [--transient P] [--max-respawns N]"
     );
     ExitCode::from(2)
 }
@@ -175,6 +192,9 @@ fn cmd_simulate(args: &[String]) -> ExitCode {
                 println!("{:<8}      OOM ({detail})", system.label())
             }
             Err(RunError::Unsupported(m)) => println!("{:<8}        x ({m})", system.label()),
+            Err(RunError::ExecutorsLost { detail }) => {
+                println!("{:<8}     LOST ({detail})", system.label())
+            }
         }
     }
     ExitCode::SUCCESS
@@ -214,6 +234,134 @@ fn cmd_job(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parses `IDX@BATCH` (e.g. `0@3`).
+fn parse_crash(s: &str) -> Option<(usize, usize)> {
+    let (idx, after) = s.split_once('@')?;
+    Some((idx.parse().ok()?, after.parse().ok()?))
+}
+
+/// Parses `ROLE:IDX:FACTOR` (e.g. `trainer:1:8`).
+fn parse_straggler(s: &str) -> Option<(ExecutorRole, usize, f64)> {
+    let mut parts = s.split(':');
+    let role = match parts.next()?.to_ascii_lowercase().as_str() {
+        "sampler" | "s" => ExecutorRole::Sampler,
+        "trainer" | "t" => ExecutorRole::Trainer,
+        _ => return None,
+    };
+    let idx = parts.next()?.parse().ok()?;
+    let factor = parts.next()?.parse().ok()?;
+    (parts.next().is_none() && factor >= 1.0).then_some((role, idx, factor))
+}
+
+fn cmd_threaded(args: &[String]) -> ExitCode {
+    let mut cfg = ThreadedConfig {
+        num_samplers: 2,
+        num_trainers: 2,
+        epochs: 3,
+        batch_size: 20,
+        queue_capacity: 4,
+        ..Default::default()
+    };
+    let mut plan = FaultPlan::none();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let Some(value) = args.get(i + 1) else {
+            eprintln!("{flag} requires a value");
+            return usage();
+        };
+        let mut ok = true;
+        match flag {
+            "--samplers" => ok = value.parse().map(|v| cfg.num_samplers = v).is_ok(),
+            "--trainers" => ok = value.parse().map(|v| cfg.num_trainers = v).is_ok(),
+            "--epochs" => ok = value.parse().map(|v| cfg.epochs = v).is_ok(),
+            "--batch-size" => ok = value.parse().map(|v| cfg.batch_size = v).is_ok(),
+            "--capacity" => ok = value.parse().map(|v| cfg.queue_capacity = v).is_ok(),
+            "--seed" => ok = value.parse().map(|v| cfg.seed = v).is_ok(),
+            "--max-respawns" => {
+                ok = value
+                    .parse()
+                    .map(|v| plan = plan.clone().with_max_respawns(v))
+                    .is_ok()
+            }
+            "--crash-trainer" => match parse_crash(value) {
+                Some((idx, after)) => {
+                    plan = plan.clone().with_crash(ExecutorRole::Trainer, idx, after)
+                }
+                None => ok = false,
+            },
+            "--crash-sampler" => match parse_crash(value) {
+                Some((idx, after)) => {
+                    plan = plan.clone().with_crash(ExecutorRole::Sampler, idx, after)
+                }
+                None => ok = false,
+            },
+            "--straggler" => match parse_straggler(value) {
+                Some((role, idx, f)) => plan = plan.clone().with_straggler(role, idx, f),
+                None => ok = false,
+            },
+            "--transient" => match value.parse::<f64>() {
+                Ok(p) if (0.0..=1.0).contains(&p) => {
+                    plan = plan.clone().with_transients(p, 2);
+                }
+                _ => ok = false,
+            },
+            _ => {
+                eprintln!("unknown flag {flag}");
+                return usage();
+            }
+        }
+        if !ok {
+            eprintln!("bad value for {flag}: {value}");
+            return usage();
+        }
+        i += 2;
+    }
+    cfg.faults = plan.with_seed(cfg.seed);
+
+    let g = match sbm(&SbmParams {
+        num_vertices: 600,
+        num_classes: 4,
+        avg_degree: 10.0,
+        intra_prob: 0.9,
+        feat_dim: 8,
+        noise: 0.5,
+        seed: cfg.seed,
+    }) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("graph generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "threaded run: {}S + {}T, {} epochs, batch {}, queue capacity {}",
+        cfg.num_samplers, cfg.num_trainers, cfg.epochs, cfg.batch_size, cfg.queue_capacity
+    );
+    match run_threaded(&g, ModelKind::GraphSage, &cfg) {
+        Ok(res) => {
+            println!("  produced:      {:>8} batches", res.samples_produced);
+            println!("  trained:       {:>8} batches", res.batches_trained);
+            println!("  accuracy:      {:>8.3}", res.final_accuracy);
+            println!("  peak depth:    {:>8}", res.peak_queue_depth);
+            println!("  switches:      {:>8}", res.switches);
+            let r = &res.recovery;
+            println!("recovery report:");
+            println!("  faults:        {:>8}", r.faults_injected);
+            println!("  replayed:      {:>8} batches", r.replayed_batches);
+            println!("  respawns:      {:>8}", r.respawns);
+            println!("  reassignments: {:>8}", r.reassignments);
+            println!("  retries:       {:>8}", r.retries);
+            println!("  downtime:      {:>8.3} ms", r.downtime_ns as f64 / 1e6);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -222,6 +370,7 @@ fn main() -> ExitCode {
         Some("policies") => cmd_policies(&args[1..]),
         Some("simulate") => cmd_simulate(&args[1..]),
         Some("job") => cmd_job(&args[1..]),
+        Some("threaded") => cmd_threaded(&args[1..]),
         _ => usage(),
     }
 }

@@ -69,6 +69,9 @@ fn table4_smoke_covers_every_system_and_dataset() {
                 Err(RunError::Oom { .. }) => {
                     assert_ne!(system, SystemKind::GnnLab, "GCN {ds:?}");
                 }
+                Err(e @ RunError::ExecutorsLost { .. }) => {
+                    panic!("no fault plan, yet {system:?} GCN {ds:?} lost executors: {e}")
+                }
             }
         }
     }
@@ -99,6 +102,9 @@ fn every_feasible_cell_of_table4_runs() {
                         // OOM only ever hits time-sharing designs; GNNLab
                         // runs everything in Table 4.
                         assert_ne!(system, SystemKind::GnnLab, "{model:?} {ds:?}");
+                    }
+                    Err(e @ RunError::ExecutorsLost { .. }) => {
+                        panic!("no fault plan, yet {system:?} {model:?} {ds:?}: {e}")
                     }
                 }
             }

@@ -1,7 +1,8 @@
 //! Integration tests of the real threaded runtime: the bounded blocking
 //! global queue, live dynamic switching (§5.3), and crash safety.
 
-use gnnlab::core::threaded::{run_threaded, run_threaded_obs, FaultInjection, ThreadedConfig};
+use gnnlab::core::threaded::{run_threaded, run_threaded_obs, ThreadedConfig};
+use gnnlab::core::FaultPlan;
 use gnnlab::graph::gen::{sbm, SbmGraph, SbmParams};
 use gnnlab::obs::Obs;
 use gnnlab::tensor::ModelKind;
@@ -68,6 +69,65 @@ proptest! {
             prop_assert_eq!(res.switches, 0);
         }
     }
+
+    /// Exactly-once survives *any* seeded fault plan the runtime can
+    /// recover from: crashes within the respawn budget are replayed, and
+    /// transient faults retry in place. The RecoveryReport accounts for
+    /// every injected fault.
+    #[test]
+    fn fault_plans_within_budget_still_train_every_batch_exactly_once(
+        num_samplers in 1usize..3,
+        num_trainers in 1usize..3,
+        epochs in 1usize..3,
+        batch_size in 15usize..40,
+        queue_capacity in 2usize..8,
+        crash_trainer in any::<bool>(),
+        crash_sampler in any::<bool>(),
+        after in 0usize..3,
+        transient_prob in 0.0f64..0.25,
+        seed in 0u64..1000,
+    ) {
+        let g = graph();
+        let mut plan = FaultPlan::none().with_seed(seed).with_max_respawns(4);
+        if crash_trainer {
+            plan = plan.with_crash(gnnlab::core::ExecutorRole::Trainer, 0, after);
+        }
+        if crash_sampler {
+            plan = plan.with_crash(gnnlab::core::ExecutorRole::Sampler, num_samplers - 1, after);
+        }
+        if transient_prob > 0.01 {
+            // max_consecutive 2 < RetryPolicy::max_attempts, so every
+            // transient burst is recoverable by retrying in place.
+            plan = plan.with_transients(transient_prob, 2);
+        }
+        let cfg = ThreadedConfig {
+            num_samplers,
+            num_trainers,
+            epochs,
+            batch_size,
+            queue_capacity,
+            dynamic_switching: true,
+            faults: plan,
+            seed,
+            ..Default::default()
+        };
+        let res = run_threaded(g, ModelKind::GraphSage, &cfg)
+            .expect("recoverable fault plan must not fail the run");
+        let batches_per_epoch = (120usize).div_ceil(batch_size);
+        prop_assert_eq!(res.samples_produced, batches_per_epoch * epochs);
+        prop_assert_eq!(res.batches_trained, res.samples_produced);
+        prop_assert!(res.peak_queue_depth <= queue_capacity);
+        // Every injected fault is either a crash (recovered by respawn or
+        // reassignment, replaying the in-flight batch) or a transient
+        // (recovered by an in-place retry).
+        let rec = &res.recovery;
+        prop_assert_eq!(rec.faults_injected >= rec.retries, true);
+        let crashes_fired = rec.faults_injected - rec.retries;
+        prop_assert!(rec.recovered() >= crashes_fired.min(1));
+        if crashes_fired > 0 {
+            prop_assert!(rec.replayed_batches >= 1);
+        }
+    }
 }
 
 /// The ISSUE's acceptance scenario end to end, on the shared obs surface:
@@ -125,10 +185,7 @@ fn trainer_panic_surfaces_as_an_error() {
         epochs: 3,
         batch_size: 20,
         queue_capacity: 2,
-        fault: FaultInjection::TrainerPanic {
-            trainer: 0,
-            after_batches: 2,
-        },
+        faults: FaultPlan::crash_trainer(0, 2).with_max_respawns(0),
         ..Default::default()
     };
     let started = std::time::Instant::now();
