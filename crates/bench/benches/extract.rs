@@ -1,0 +1,113 @@
+//! Extract-path benchmarks: the parallel chunked gather against the
+//! seed's sequential per-row path (per-call `Mutex` on the stats, output
+//! grown row by row), replicated here so one run yields an honest
+//! before/after comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gnnlab_cache::{load_cache, CacheStats, CacheTable, CachedFeatureStore};
+use gnnlab_graph::{FeatureStore, VertexId};
+use gnnlab_par::ThreadPool;
+use std::sync::{Arc, Mutex};
+
+const N: usize = 20_000;
+const DIM: usize = 128;
+const ALPHA: f64 = 0.2;
+
+fn host() -> FeatureStore {
+    let data: Vec<f32> = (0..N * DIM).map(|i| (i % 977) as f32 * 0.5).collect();
+    FeatureStore::materialized(N, DIM, data)
+}
+
+fn table() -> CacheTable {
+    // Skewed hotness so the cache holds a fifth of the vertices.
+    let hotness: Vec<f64> = (0..N).map(|v| ((v * 2_654_435_761) % N) as f64).collect();
+    load_cache(&hotness, ALPHA, N)
+}
+
+fn ids() -> Vec<VertexId> {
+    (0..30_000u32).map(|i| (i * 37) % N as u32).collect()
+}
+
+/// The seed's extract path, verbatim: lock-merged stats, growing output.
+struct SeqStore {
+    host: FeatureStore,
+    table: CacheTable,
+    device_rows: Vec<f32>,
+    dim: usize,
+    stats: Mutex<CacheStats>,
+}
+
+impl SeqStore {
+    fn new(host: FeatureStore, table: CacheTable) -> Self {
+        let dim = host.dim();
+        let mut device_rows = Vec::with_capacity(table.len() * dim);
+        for &v in table.cached_vertices() {
+            device_rows.extend_from_slice(host.row(v).expect("materialized"));
+        }
+        SeqStore {
+            host,
+            table,
+            device_rows,
+            dim,
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    fn extract(&self, ids: &[VertexId]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(ids.len() * self.dim);
+        let row_bytes = (self.dim * std::mem::size_of::<f32>()) as u64;
+        let mut stats = CacheStats::default();
+        for &v in ids {
+            match self.table.slot(v) {
+                Some(slot) => {
+                    let s = slot as usize * self.dim;
+                    out.extend_from_slice(&self.device_rows[s..s + self.dim]);
+                    stats.lookups += 1;
+                    stats.hits += 1;
+                    stats.hit_bytes += row_bytes;
+                }
+                None => {
+                    out.extend_from_slice(self.host.row(v).expect("materialized"));
+                    stats.lookups += 1;
+                    stats.miss_bytes += row_bytes;
+                }
+            }
+        }
+        self.stats.lock().unwrap().add(&stats);
+        out
+    }
+}
+
+fn bench_extract(c: &mut Criterion) {
+    let batch = ids();
+    let mut group = c.benchmark_group("extract");
+    group.throughput(Throughput::Bytes((batch.len() * DIM * 4) as u64));
+    group.sample_size(20);
+
+    let seed_store = SeqStore::new(host(), table());
+    group.bench_function("seed_seq", |b| {
+        b.iter(|| seed_store.extract(&batch));
+    });
+
+    for threads in [1usize, 2, 4, 8] {
+        let store =
+            CachedFeatureStore::with_pool(host(), table(), Arc::new(ThreadPool::new(threads)));
+        group.bench_with_input(BenchmarkId::new("pooled", threads), &store, |b, store| {
+            b.iter(|| store.extract(&batch));
+        });
+    }
+    group.finish();
+}
+
+fn bench_extract_into(c: &mut Criterion) {
+    // Buffer reuse on top of the pool: the steady-state Trainer loop.
+    let batch = ids();
+    let store = CachedFeatureStore::with_pool(host(), table(), Arc::new(ThreadPool::new(1)));
+    let mut out = vec![0.0f32; batch.len() * DIM];
+    c.bench_function("extract/into_reused_buffer", |b| {
+        b.iter(|| store.extract_into(&batch, &mut out));
+    });
+}
+
+criterion_group!(benches, bench_extract, bench_extract_into);
+criterion_main!(benches);

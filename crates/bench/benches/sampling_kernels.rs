@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gnnlab_graph::gen::{chung_lu, recency_weights};
 use gnnlab_graph::{Csr, VertexId};
-use gnnlab_sampling::{KHop, Kernel, RandomWalk, SamplingAlgorithm, Selection};
+use gnnlab_sampling::{
+    KHop, Kernel, RandomWalk, Sample, SampleBuffers, SamplingAlgorithm, Selection,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
@@ -62,5 +64,32 @@ fn bench_random_walks(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kernels, bench_weighted, bench_random_walks);
+/// Allocating path vs. buffer-reusing path — same draws, same output; the
+/// difference is purely allocator traffic.
+fn bench_buffer_reuse(c: &mut Criterion) {
+    let g = graph();
+    let batch = seeds(64);
+    let algo = KHop::new(vec![15, 10, 5], Kernel::FisherYates, Selection::Uniform);
+    let mut group = c.benchmark_group("khop_alloc");
+    group.throughput(Throughput::Elements(batch.len() as u64));
+    group.bench_function("fresh", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        b.iter(|| algo.sample(&g, &batch, &mut rng));
+    });
+    group.bench_function("buffered", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut bufs = SampleBuffers::new();
+        let mut out = Sample::default();
+        b.iter(|| algo.sample_into(&g, &batch, &mut rng, &mut bufs, &mut out));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_weighted,
+    bench_random_walks,
+    bench_buffer_reuse
+);
 criterion_main!(benches);

@@ -3,6 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gnnlab_graph::gen::chung_lu;
+use gnnlab_par::ThreadPool;
 use gnnlab_sampling::{KHop, Kernel, Sample, SamplingAlgorithm, Selection};
 use gnnlab_tensor::layers::{GnnLayer, LayerKind};
 use gnnlab_tensor::Matrix;
@@ -19,6 +20,28 @@ fn bench_matmul(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| a.matmul(&b));
         });
+    }
+    group.finish();
+}
+
+/// The pooled matmul at fixed thread counts, against the same inputs as
+/// the sequential `matmul/256` case above.
+fn bench_matmul_pooled(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let n = 256usize;
+    let a = Matrix::xavier(n, n, &mut rng);
+    let b = Matrix::xavier(n, n, &mut rng);
+    let mut group = c.benchmark_group("matmul_pooled");
+    group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &pool,
+            |bench, pool| {
+                bench.iter(|| a.matmul_with(&b, pool));
+            },
+        );
     }
     group.finish();
 }
@@ -56,5 +79,5 @@ fn bench_layers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_layers);
+criterion_group!(benches, bench_matmul, bench_matmul_pooled, bench_layers);
 criterion_main!(benches);

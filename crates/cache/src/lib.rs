@@ -21,7 +21,7 @@ pub mod policy;
 pub mod store;
 pub mod table;
 
-pub use metrics::{CacheStats, ExtractVolume};
+pub use metrics::{AtomicCacheStats, CacheStats, ExtractVolume};
 pub use policy::{CachePolicy, PolicyKind};
 pub use store::CachedFeatureStore;
 pub use table::{load_cache, CacheTable};

@@ -80,6 +80,57 @@ impl CacheStats {
     }
 }
 
+/// A lock-free [`CacheStats`] accumulator for concurrent extract paths.
+///
+/// Each counter is an independent `AtomicU64` bumped with relaxed ordering:
+/// the counters are statistics, not synchronization — readers only need
+/// eventually-consistent totals, and a [`AtomicCacheStats::snapshot`] taken
+/// while extracts are in flight may observe a partially applied batch (it
+/// still never loses or invents counts).
+#[derive(Debug, Default)]
+pub struct AtomicCacheStats {
+    lookups: std::sync::atomic::AtomicU64,
+    hits: std::sync::atomic::AtomicU64,
+    miss_bytes: std::sync::atomic::AtomicU64,
+    hit_bytes: std::sync::atomic::AtomicU64,
+}
+
+impl AtomicCacheStats {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        AtomicCacheStats::default()
+    }
+
+    /// Adds a batch of locally accumulated stats.
+    pub fn add(&self, batch: &CacheStats) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.lookups.fetch_add(batch.lookups, Relaxed);
+        self.hits.fetch_add(batch.hits, Relaxed);
+        self.miss_bytes.fetch_add(batch.miss_bytes, Relaxed);
+        self.hit_bytes.fetch_add(batch.hit_bytes, Relaxed);
+    }
+
+    /// Current totals as a plain [`CacheStats`].
+    pub fn snapshot(&self) -> CacheStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        CacheStats {
+            lookups: self.lookups.load(Relaxed),
+            hits: self.hits.load(Relaxed),
+            miss_bytes: self.miss_bytes.load(Relaxed),
+            hit_bytes: self.hit_bytes.load(Relaxed),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.lookups.store(0, Relaxed);
+        self.hits.store(0, Relaxed);
+        self.miss_bytes.store(0, Relaxed);
+        self.hit_bytes.store(0, Relaxed);
+    }
+}
+
 /// Byte volumes of one Extract invocation, consumed by the cost model.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExtractVolume {
@@ -180,6 +231,23 @@ mod tests {
         assert_eq!(reg.counter("cache.misses"), 2.0);
         assert_eq!(reg.counter("cache.miss_bytes"), 200.0);
         assert_eq!(reg.gauge("cache.hit_rate").unwrap().last, 0.5);
+    }
+
+    #[test]
+    fn atomic_stats_accumulate_and_reset() {
+        let t = table();
+        let acc = AtomicCacheStats::new();
+        let mut a = CacheStats::default();
+        a.record(&t, &[0, 2], 16);
+        let mut b = CacheStats::default();
+        b.record(&t, &[1, 3], 16);
+        acc.add(&a);
+        acc.add(&b);
+        let mut expect = a;
+        expect.add(&b);
+        assert_eq!(acc.snapshot(), expect);
+        acc.reset();
+        assert_eq!(acc.snapshot(), CacheStats::default());
     }
 
     #[test]

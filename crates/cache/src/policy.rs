@@ -1,7 +1,8 @@
 //! The caching policies evaluated in the paper.
 
 use gnnlab_graph::{Csr, VertexId};
-use gnnlab_sampling::{FootprintRecorder, MinibatchIter, SampleWork, SamplingAlgorithm};
+use gnnlab_par::ThreadPool;
+use gnnlab_sampling::{presample_epochs, SampleWork, SamplingAlgorithm};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -58,7 +59,8 @@ pub struct PolicyOutput {
 pub struct CachePolicy;
 
 impl CachePolicy {
-    /// Computes the hotness map for `kind`.
+    /// Computes the hotness map for `kind` using the process-wide
+    /// [`gnnlab_par::global_pool`] for pre-sampling fan-out.
     pub fn hotness(
         kind: PolicyKind,
         csr: &Csr,
@@ -66,6 +68,30 @@ impl CachePolicy {
         algo: &dyn SamplingAlgorithm,
         batch_size: usize,
         seed: u64,
+    ) -> PolicyOutput {
+        Self::hotness_with_pool(
+            kind,
+            csr,
+            train_set,
+            algo,
+            batch_size,
+            seed,
+            &gnnlab_par::global_pool(),
+        )
+    }
+
+    /// [`CachePolicy::hotness`] with an explicit pre-sampling pool. The
+    /// hotness map is bit-identical at every pool size: each pre-sampling
+    /// batch draws from its own `(seed, epoch, batch)` ChaCha stream and
+    /// per-vertex visit counts merge as integer sums.
+    pub fn hotness_with_pool(
+        kind: PolicyKind,
+        csr: &Csr,
+        train_set: &[VertexId],
+        algo: &dyn SamplingAlgorithm,
+        batch_size: usize,
+        seed: u64,
+        pool: &ThreadPool,
     ) -> PolicyOutput {
         match kind {
             PolicyKind::Random => {
@@ -83,20 +109,21 @@ impl CachePolicy {
                 presample_epochs: 0,
             },
             PolicyKind::PreSC { k } => {
-                Self::sampled_hotness(csr, train_set, algo, batch_size, seed, 0, k)
+                Self::sampled_hotness(csr, train_set, algo, batch_size, seed, 0, k, pool)
             }
             PolicyKind::Optimal { epochs } => {
                 // The oracle sees the *actual* epochs of the measured run.
-                // Training epochs start at index 0 with the same seed, so
-                // recording epochs 0..epochs reproduces the run's footprint
-                // exactly.
-                Self::sampled_hotness(csr, train_set, algo, batch_size, seed, 0, epochs)
+                // Training epochs start at index 0 with the same seed and
+                // the same per-batch RNG streams, so recording epochs
+                // 0..epochs reproduces the run's footprint exactly.
+                Self::sampled_hotness(csr, train_set, algo, batch_size, seed, 0, epochs, pool)
             }
         }
     }
 
-    /// Runs `count` sampling-only epochs starting at `first_epoch` and
-    /// returns average visit counts.
+    /// Runs `count` sampling-only epochs starting at `first_epoch` (fanned
+    /// across `pool`) and returns average visit counts.
+    #[expect(clippy::too_many_arguments)]
     fn sampled_hotness(
         csr: &Csr,
         train_set: &[VertexId],
@@ -105,22 +132,21 @@ impl CachePolicy {
         seed: u64,
         first_epoch: u64,
         count: u32,
+        pool: &ThreadPool,
     ) -> PolicyOutput {
-        let mut recorder = FootprintRecorder::new(csr.num_vertices());
-        let mut work = SampleWork::default();
-        for e in 0..u64::from(count) {
-            let epoch = first_epoch + e;
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (epoch << 32));
-            for batch in MinibatchIter::new(train_set, batch_size.max(1), seed, epoch) {
-                let s = algo.sample(csr, &batch, &mut rng);
-                work.add(&s.work);
-                recorder.record_sample(&s);
-            }
-            recorder.end_epoch();
-        }
+        let out = presample_epochs(
+            csr,
+            train_set,
+            algo,
+            batch_size,
+            seed,
+            first_epoch,
+            count,
+            pool,
+        );
         PolicyOutput {
-            hotness: recorder.hotness(),
-            presample_work: work,
+            hotness: out.recorder.hotness(),
+            presample_work: out.work,
             presample_epochs: count,
         }
     }
@@ -131,7 +157,7 @@ mod tests {
     use super::*;
     use crate::table::load_cache;
     use gnnlab_graph::gen::{chung_lu, citation};
-    use gnnlab_sampling::{KHop, Kernel, Selection};
+    use gnnlab_sampling::{presample_rng, KHop, Kernel, MinibatchIter, Selection};
 
     fn khop() -> KHop {
         KHop::new(vec![5, 5], Kernel::FisherYates, Selection::Uniform)
@@ -188,8 +214,10 @@ mod tests {
         let mut hits_presc = 0usize;
         let mut hits_degree = 0usize;
         let mut total = 0usize;
-        let mut rng = ChaCha8Rng::seed_from_u64(1 ^ (3u64 << 32));
-        for batch in MinibatchIter::new(&ts, 10, 1, 3) {
+        for (bi, batch) in MinibatchIter::new(&ts, 10, 1, 3).enumerate() {
+            // Same per-batch stream the training run itself would use for
+            // epoch 3, so the measured hits match a real later epoch.
+            let mut rng = presample_rng(1, 3, bi as u64);
             let s = algo.sample(&g, &batch, &mut rng);
             for &v in s.input_nodes() {
                 total += 1;

@@ -5,11 +5,19 @@
 //! dense device-resident buffer (slot-indexed), misses fall back to the
 //! host store, and every call records [`CacheStats`]. Used by the threaded
 //! runtime and available to downstream users who want real extraction.
+//!
+//! Extraction is data-parallel: the output buffer is split into disjoint
+//! row chunks fanned across a [`ThreadPool`], each worker gathering its
+//! rows and accumulating private [`CacheStats`] that merge into a
+//! lock-free [`AtomicCacheStats`] at the end. Because each output row is
+//! written by exactly one worker via a pure copy, the extracted buffer is
+//! byte-identical at every thread count.
 
-use crate::metrics::CacheStats;
+use crate::metrics::{AtomicCacheStats, CacheStats};
 use crate::table::CacheTable;
 use gnnlab_graph::{FeatureStore, VertexId};
-use parking_lot::Mutex;
+use gnnlab_par::{gather_rows_into, global_pool, ThreadPool};
+use std::sync::Arc;
 
 /// A feature store split between a static device cache and host memory.
 pub struct CachedFeatureStore {
@@ -19,18 +27,26 @@ pub struct CachedFeatureStore {
     /// "GPU memory" tier.
     device_rows: Vec<f32>,
     dim: usize,
-    stats: Mutex<CacheStats>,
+    stats: AtomicCacheStats,
+    pool: Arc<ThreadPool>,
 }
 
 impl CachedFeatureStore {
     /// Builds the store by copying the cached vertices' rows out of
     /// `host` (the cache-fill step of preprocessing, Table 6 P2).
+    /// Extraction uses the process-wide [`global_pool`]; see
+    /// [`CachedFeatureStore::with_pool`] to pin a specific pool.
     ///
     /// # Panics
     ///
     /// Panics if `host` is virtual (no real rows to serve) or the table
     /// covers a different vertex count.
     pub fn new(host: FeatureStore, table: CacheTable) -> Self {
+        Self::with_pool(host, table, global_pool())
+    }
+
+    /// [`CachedFeatureStore::new`] with an explicit extraction pool.
+    pub fn with_pool(host: FeatureStore, table: CacheTable, pool: Arc<ThreadPool>) -> Self {
         let dim = host.dim();
         let mut device_rows = Vec::with_capacity(table.len() * dim);
         for &v in table.cached_vertices() {
@@ -44,7 +60,8 @@ impl CachedFeatureStore {
             table,
             device_rows,
             dim,
-            stats: Mutex::new(CacheStats::default()),
+            stats: AtomicCacheStats::new(),
+            pool,
         }
     }
 
@@ -58,41 +75,56 @@ impl CachedFeatureStore {
         &self.table
     }
 
+    /// The pool extraction fans out over.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
     /// Extracts rows for `ids` into a dense row-major buffer, serving hits
     /// from the device tier and misses from the host tier, recording
     /// stats.
     pub fn extract(&self, ids: &[VertexId]) -> Vec<f32> {
-        let mut out = Vec::with_capacity(ids.len() * self.dim);
-        let row_bytes = (self.dim * std::mem::size_of::<f32>()) as u64;
-        let mut stats = CacheStats::default();
-        for &v in ids {
-            match self.table.slot(v) {
-                Some(slot) => {
-                    let s = slot as usize * self.dim;
-                    out.extend_from_slice(&self.device_rows[s..s + self.dim]);
-                    stats.lookups += 1;
-                    stats.hits += 1;
-                    stats.hit_bytes += row_bytes;
-                }
-                None => {
-                    out.extend_from_slice(self.host.row(v).expect("materialized"));
-                    stats.lookups += 1;
-                    stats.miss_bytes += row_bytes;
-                }
-            }
-        }
-        self.stats.lock().add(&stats);
+        // SAFETY: every element of `out` is written exactly once below —
+        // par_chunks_mut covers the full buffer with disjoint row chunks
+        // and gather_rows_into copies `dim` floats into every row.
+        let mut out = unsafe { gnnlab_par::uninit_f32_vec(ids.len() * self.dim) };
+        self.extract_into(ids, &mut out);
         out
+    }
+
+    /// [`CachedFeatureStore::extract`] into a caller-owned buffer of
+    /// exactly `ids.len() * dim` floats.
+    pub fn extract_into(&self, ids: &[VertexId], out: &mut [f32]) {
+        let row_bytes = (self.dim * std::mem::size_of::<f32>()) as u64;
+        self.pool.par_chunks_mut(out, self.dim, |_, rows, chunk| {
+            let mut local = CacheStats::default();
+            gather_rows_into(&ids[rows], self.dim, chunk, |_, v| {
+                local.lookups += 1;
+                match self.table.slot(v) {
+                    Some(slot) => {
+                        local.hits += 1;
+                        local.hit_bytes += row_bytes;
+                        let s = slot as usize * self.dim;
+                        &self.device_rows[s..s + self.dim]
+                    }
+                    None => {
+                        local.miss_bytes += row_bytes;
+                        self.host.row(v).expect("materialized")
+                    }
+                }
+            });
+            self.stats.add(&local);
+        });
     }
 
     /// Cumulative extraction statistics.
     pub fn stats(&self) -> CacheStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// Resets the statistics (e.g. between epochs).
     pub fn reset_stats(&self) {
-        *self.stats.lock() = CacheStats::default();
+        self.stats.reset();
     }
 }
 
@@ -145,6 +177,37 @@ mod tests {
         assert!(s.stats().lookups > 0);
         s.reset_stats();
         assert_eq!(s.stats().lookups, 0);
+    }
+
+    #[test]
+    fn extract_into_matches_extract() {
+        let s = store(0.5);
+        let ids = vec![0, 5, 2, 4, 4, 1];
+        let owned = s.extract(&ids);
+        let mut buf = vec![0.0f32; ids.len() * s.dim()];
+        s.extract_into(&ids, &mut buf);
+        assert_eq!(owned, buf);
+    }
+
+    #[test]
+    fn parallel_extract_is_identical_to_sequential() {
+        let data: Vec<f32> = (0..64).flat_map(|v| [v as f32, -(v as f32)]).collect();
+        let hotness: Vec<f64> = (0..64).map(|v| v as f64).collect();
+        let ids: Vec<VertexId> = (0..64).chain((0..64).rev()).collect();
+        let build = |threads: usize| {
+            CachedFeatureStore::with_pool(
+                FeatureStore::materialized(64, 2, data.clone()),
+                load_cache(&hotness, 0.25, 64),
+                Arc::new(ThreadPool::new(threads)),
+            )
+        };
+        let seq = build(1);
+        let base = seq.extract(&ids);
+        for threads in [2, 4, 8] {
+            let par = build(threads);
+            assert_eq!(par.extract(&ids), base, "{threads} threads");
+            assert_eq!(par.stats(), seq.stats(), "{threads} threads");
+        }
     }
 
     #[test]

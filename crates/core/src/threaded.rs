@@ -58,7 +58,8 @@ use gnnlab_cache::{load_cache, CachePolicy, CachedFeatureStore, PolicyKind};
 use gnnlab_graph::gen::SbmGraph;
 use gnnlab_graph::{FeatureStore, VertexId};
 use gnnlab_obs::{names, Executor, Obs, Stage};
-use gnnlab_sampling::{MinibatchIter, Sample};
+use gnnlab_par::ThreadPool;
+use gnnlab_sampling::{MinibatchIter, Sample, SampleBuffers};
 use gnnlab_tensor::loss::accuracy;
 use gnnlab_tensor::{Adam, GnnModel, Matrix, ModelConfig, ModelKind, Optimizer};
 use parking_lot::Mutex;
@@ -106,6 +107,11 @@ pub struct ThreadedConfig {
     /// the supervisor's recovery budget. [`FaultPlan::none`] (the default)
     /// injects nothing and fails fast on any organic panic.
     pub faults: FaultPlan,
+    /// Data-parallel width of the Extract path: feature gathering (and the
+    /// PreSC pre-sampling during preprocessing) fans out over a pool of
+    /// this many threads. 1 (the default) runs fully inline. Results are
+    /// bit-identical at every width.
+    pub threads: usize,
 }
 
 impl Default for ThreadedConfig {
@@ -123,6 +129,7 @@ impl Default for ThreadedConfig {
             dynamic_switching: true,
             trainer_delay: None,
             faults: FaultPlan::none(),
+            threads: 1,
         }
     }
 }
@@ -320,26 +327,29 @@ impl LiveStats {
 // ---------------------------------------------------------------------------
 
 /// Builds the Trainers' two-tier feature store with PreSC#1 hotness.
+/// Pre-sampling and extraction both fan out over `pool`.
 fn build_feature_store(
     graph: &SbmGraph,
     train_set: &[VertexId],
     kind: ModelKind,
     cfg: &ThreadedConfig,
+    pool: Arc<ThreadPool>,
 ) -> CachedFeatureStore {
     let n = graph.csr.num_vertices();
     let algo = sampler_for(kind);
-    let hotness = CachePolicy::hotness(
+    let hotness = CachePolicy::hotness_with_pool(
         PolicyKind::PreSC { k: 1 },
         &graph.csr,
         train_set,
         algo.as_ref(),
         cfg.batch_size,
         cfg.seed,
+        &pool,
     )
     .hotness;
     let table = load_cache(&hotness, cfg.cache_alpha.clamp(0.0, 1.0), n);
     let host = FeatureStore::materialized(n, graph.feat_dim, graph.features.clone());
-    CachedFeatureStore::new(host, table)
+    CachedFeatureStore::with_pool(host, table, pool)
 }
 
 /// Copies master parameter values into a replica (the Trainer's pull).
@@ -418,8 +428,16 @@ impl TrainerEnv<'_> {
         );
         let feats = {
             let _g = self.obs.start_span(device, role, Stage::Extract, task.id);
+            let rows = task.sample.num_input_nodes();
             let raw = self.store.extract(task.sample.input_nodes());
-            Matrix::from_vec(task.sample.num_input_nodes(), self.graph.feat_dim, raw)
+            self.obs
+                .metrics
+                .counter_add(names::EXTRACT_PAR_ROWS, rows as f64);
+            self.obs.metrics.counter_add(
+                names::EXTRACT_PAR_CHUNKS,
+                self.store.pool().partitions(rows) as f64,
+            );
+            Matrix::from_vec(rows, self.graph.feat_dim, raw)
         };
         {
             let _g = self.obs.start_span(device, role, Stage::Train, task.id);
@@ -665,6 +683,11 @@ pub fn run_threaded_obs(
 
     let batches_per_epoch = train_set.len().div_ceil(cfg.batch_size);
     let total_batches = batches_per_epoch * cfg.epochs;
+    // The data-parallel pool behind Extract and pre-sampling; shared by
+    // every Trainer through the feature store.
+    let pool = Arc::new(ThreadPool::new(cfg.threads));
+    obs.metrics
+        .gauge_set(names::EXTRACT_PAR_THREADS, pool.threads() as f64);
     let shared = Shared {
         cfg,
         kind,
@@ -674,7 +697,7 @@ pub fn run_threaded_obs(
         batches_per_epoch,
         queue: GlobalQueue::bounded_with_obs(cfg.queue_capacity, Arc::clone(obs)),
         obs: Arc::clone(obs),
-        feature_store: build_feature_store(graph, &train_set, kind, cfg),
+        feature_store: build_feature_store(graph, &train_set, kind, cfg, pool),
         server: Mutex::new(ParamServer {
             master: GnnModel::new(ModelConfig {
                 kind,
@@ -936,6 +959,9 @@ fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
     let mut cached_epoch = usize::MAX;
     let mut batches: Vec<Vec<VertexId>> = Vec::new();
     let mut sampled = 0usize;
+    // Reusable sampling scratch: one set per Sampler thread, so the hot
+    // loop allocates no per-batch intermediates.
+    let mut bufs = SampleBuffers::new();
     loop {
         let claim = sh.book.lock().next_claim(exec);
         let Some(i) = claim else { break };
@@ -961,7 +987,7 @@ fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
         let work_started = Instant::now();
         let mut sample = {
             let _g = obs.start_span(device, Executor::Sampler, Stage::SampleG, id);
-            algo.sample(&sh.graph.csr, batch, &mut rng)
+            algo.sample_with(&sh.graph.csr, batch, &mut rng, &mut bufs)
         };
         // The M step (§5.2): the Sampler marks which input vertices the
         // Trainers' cache holds, so Trainers need no second membership

@@ -3,10 +3,8 @@
 
 use crate::workload::Workload;
 use gnnlab_graph::VertexId;
-use gnnlab_sampling::{Kernel, MinibatchIter, SampleWork};
+use gnnlab_sampling::{presample_rng, Kernel, MinibatchIter, SampleWork};
 use gnnlab_tensor::flops::train_flops;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
 
 /// Measured quantities of one mini-batch's sampling.
 #[derive(Debug, Clone)]
@@ -54,14 +52,19 @@ impl EpochTrace {
     ) -> EpochTrace {
         let algo = workload.sampler(kernel);
         let csr = &workload.dataset.csr;
-        let mut rng = ChaCha8Rng::seed_from_u64(workload.seed ^ (epoch << 32));
         let mut batches = Vec::new();
-        for seeds in MinibatchIter::new(
+        for (bi, seeds) in MinibatchIter::new(
             &workload.dataset.train_set,
             batch_size.max(1),
             workload.seed,
             epoch,
-        ) {
+        )
+        .enumerate()
+        {
+            // Per-(seed, epoch, batch) stream — the same derivation PreSC's
+            // parallel pre-sampling uses, so a recorded epoch and a
+            // pre-sampled epoch see identical draws batch for batch.
+            let mut rng = presample_rng(workload.seed, epoch, bi as u64);
             let s = algo.sample(csr, &seeds, &mut rng);
             let flops = train_flops(
                 workload.model,

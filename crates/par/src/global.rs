@@ -1,0 +1,63 @@
+//! The process-wide `--threads` knob.
+//!
+//! Library code that has no pool handy (the CLI's real-training path, the
+//! tensor matmuls buried under model layers) consults the global pool.
+//! The default is 1 — fully sequential, zero overhead — and because every
+//! parallel path is bit-identical at any thread count, flipping the knob
+//! can only change speed, never results.
+
+use crate::pool::ThreadPool;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(1);
+static GLOBAL_POOL: Mutex<Option<Arc<ThreadPool>>> = Mutex::new(None);
+
+/// The configured global worker count (>= 1; default 1).
+pub fn global_threads() -> usize {
+    GLOBAL_THREADS.load(Ordering::Relaxed)
+}
+
+/// Sets the global worker count (the CLI's `--threads`). Zero is clamped
+/// to 1. An existing pool of a different size is dropped (its workers
+/// join once outstanding handles release) and lazily rebuilt.
+pub fn set_global_threads(threads: usize) {
+    let t = threads.max(1);
+    GLOBAL_THREADS.store(t, Ordering::Relaxed);
+    let mut slot = GLOBAL_POOL.lock();
+    if slot.as_ref().is_some_and(|p| p.threads() != t) {
+        *slot = None;
+    }
+}
+
+/// The shared pool sized by [`set_global_threads`], built on first use.
+pub fn global_pool() -> Arc<ThreadPool> {
+    let t = global_threads();
+    let mut slot = GLOBAL_POOL.lock();
+    match slot.as_ref() {
+        Some(p) if p.threads() == t => Arc::clone(p),
+        _ => {
+            let p = Arc::new(ThreadPool::new(t));
+            *slot = Some(Arc::clone(&p));
+            p
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential_and_knob_rebuilds() {
+        // Note: the knob is process-global; this test restores it.
+        let before = global_threads();
+        set_global_threads(0);
+        assert_eq!(global_threads(), 1);
+        assert_eq!(global_pool().threads(), 1);
+        set_global_threads(3);
+        assert_eq!(global_pool().threads(), 3);
+        set_global_threads(before);
+    }
+}

@@ -1,6 +1,12 @@
 //! Access-footprint recording: the substrate of PreSC and Table 2.
 
-use crate::sample::Sample;
+use crate::minibatch::MinibatchIter;
+use crate::sample::{Sample, SampleBuffers, SampleWork};
+use crate::SamplingAlgorithm;
+use gnnlab_graph::{Csr, VertexId};
+use gnnlab_par::{splitmix64, ThreadPool};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Records how often each vertex is sampled across one or more epochs.
 ///
@@ -65,6 +71,85 @@ impl FootprintRecorder {
         }
         self.epochs += other.epochs;
     }
+}
+
+/// Domain tag separating pre-sampling RNG streams from every other
+/// SplitMix64-derived stream in the workspace.
+const PRESAMPLE_TAG: u64 = 0x5052_4553_414D_504C; // "PRESAMPL"
+
+/// The ChaCha stream for one pre-sampling batch, derived purely from the
+/// batch's identity `(seed, epoch, batch_index)`.
+///
+/// Because the stream is a function of *which* batch is sampled — not of
+/// which worker samples it or what ran before it — pre-sampling epochs
+/// can fan batches out across any number of threads and still produce
+/// bit-identical footprints. The epoch trace recorder uses the same
+/// derivation so PreSC's measured pre-sampling work stays exactly equal
+/// to one recorded epoch's work.
+pub fn presample_rng(seed: u64, epoch: u64, batch: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(splitmix64(splitmix64(seed ^ PRESAMPLE_TAG) ^ epoch) ^ batch)
+}
+
+/// What a pre-sampling run produced: the merged footprint plus the exact
+/// sampling work it cost (Table 6's P3 row).
+#[derive(Debug, Clone)]
+pub struct PresampleOutput {
+    /// Merged visit counts over all pre-sampled epochs.
+    pub recorder: FootprintRecorder,
+    /// Total sampling work across every batch.
+    pub work: SampleWork,
+}
+
+/// Runs `epochs` sampling-only epochs starting at `first_epoch`, fanning
+/// batches across `pool`'s workers. Each worker records into a private
+/// [`FootprintRecorder`] with reusable [`SampleBuffers`]; partials merge
+/// in chunk-index order. Per-vertex counts and work counters are `u64`
+/// sums, so the result is bit-identical at every thread count.
+#[expect(clippy::too_many_arguments)]
+pub fn presample_epochs(
+    csr: &Csr,
+    train_set: &[VertexId],
+    algo: &dyn SamplingAlgorithm,
+    batch_size: usize,
+    seed: u64,
+    first_epoch: u64,
+    epochs: u32,
+    pool: &ThreadPool,
+) -> PresampleOutput {
+    let num_vertices = csr.num_vertices();
+    // Flatten every (epoch, batch) into one task list; batch shuffling is
+    // deterministic in (seed, epoch), same as the training run itself.
+    let mut tasks: Vec<(u64, u64, Vec<VertexId>)> = Vec::new();
+    for e in 0..u64::from(epochs) {
+        let epoch = first_epoch + e;
+        for (bi, batch) in MinibatchIter::new(train_set, batch_size.max(1), seed, epoch).enumerate()
+        {
+            tasks.push((epoch, bi as u64, batch));
+        }
+    }
+    let partials = pool.map_ranges(tasks.len(), |_, range| {
+        let mut rec = FootprintRecorder::new(num_vertices);
+        let mut work = SampleWork::default();
+        let mut bufs = SampleBuffers::new();
+        let mut sample = Sample::default();
+        for (epoch, bi, batch) in &tasks[range] {
+            let mut rng = presample_rng(seed, *epoch, *bi);
+            algo.sample_into(csr, batch, &mut rng, &mut bufs, &mut sample);
+            work.add(&sample.work);
+            rec.record_sample(&sample);
+        }
+        (rec, work)
+    });
+    let mut recorder = FootprintRecorder::new(num_vertices);
+    let mut work = SampleWork::default();
+    for (rec, w) in partials {
+        recorder.merge(&rec); // adds counts; partials carry zero epochs
+        work.add(&w);
+    }
+    for _ in 0..epochs {
+        recorder.end_epoch();
+    }
+    PresampleOutput { recorder, work }
 }
 
 /// The Table 2 similarity of epoch `i`'s footprint to epoch `j`'s:
@@ -173,5 +258,43 @@ mod tests {
     fn empty_footprint_similarity_is_zero() {
         let z = vec![0u64; 4];
         assert_eq!(footprint_similarity(&z, &z, 0.5), 0.0);
+    }
+
+    #[test]
+    fn presample_rng_streams_are_distinct() {
+        use rand::Rng;
+        let mut seen = std::collections::HashSet::new();
+        for epoch in 0..4u64 {
+            for batch in 0..4u64 {
+                let draw: u64 = presample_rng(42, epoch, batch).r#gen();
+                assert!(seen.insert(draw), "stream collision at ({epoch}, {batch})");
+            }
+        }
+    }
+
+    #[test]
+    fn presample_is_bit_identical_across_thread_counts() {
+        use crate::khop::{KHop, Kernel, Selection};
+        use gnnlab_graph::gen::chung_lu;
+        let g = chung_lu(300, 6000, 2.0, 3).unwrap();
+        let algo = KHop::new(vec![15, 10, 5], Kernel::FisherYates, Selection::Uniform);
+        let train: Vec<VertexId> = (0..120).collect();
+        let run = |threads: usize| {
+            let pool = ThreadPool::new(threads);
+            presample_epochs(&g, &train, &algo, 32, 7, 0, 3, &pool)
+        };
+        let base = run(1);
+        assert_eq!(base.recorder.epochs(), 3);
+        assert!(base.work.rng_draws > 0);
+        for threads in [2, 4, 8] {
+            let out = run(threads);
+            assert_eq!(
+                out.recorder.counts(),
+                base.recorder.counts(),
+                "{threads} threads"
+            );
+            assert_eq!(out.recorder.epochs(), base.recorder.epochs());
+            assert_eq!(out.work, base.work);
+        }
     }
 }

@@ -1,10 +1,17 @@
 //! K-hop neighborhood sampling with Fisher–Yates and Reservoir kernels.
 
-use crate::sample::{dedup_remap, LayerBlock, Sample, SampleWork};
+use crate::sample::{dedup_remap_into, LayerBlock, ProbeSet, Sample, SampleBuffers, SampleWork};
 use crate::SamplingAlgorithm;
 use gnnlab_graph::{Csr, VertexId};
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+
+/// Largest fan-out for which the Fisher–Yates duplicate probe stays a
+/// linear scan. Below this a `Vec` scan beats hashing (tiny, cache-hot);
+/// above it the O(k²) scan loses to the O(k) hashed [`ProbeSet`]. The
+/// draw sequence is identical either way: exactly one `gen_range` per
+/// selected index, regardless of the probe structure.
+const FLOYD_LINEAR_MAX: usize = 16;
 
 /// Uniform neighbor-selection kernel variant (§7.3).
 ///
@@ -93,7 +100,8 @@ impl KHop {
         rng: &mut ChaCha8Rng,
         work: &mut SampleWork,
         out: &mut Vec<VertexId>,
-        scratch: &mut Vec<u32>,
+        floyd: &mut Vec<u32>,
+        probe: &mut ProbeSet,
     ) {
         let nbrs = csr.neighbors(v);
         let deg = nbrs.len();
@@ -120,12 +128,13 @@ impl KHop {
                     }
                 }
                 // No weights / zero total: uniform fallback.
-                self.select_uniform(nbrs, fanout, rng, work, out, scratch);
+                self.select_uniform(nbrs, fanout, rng, work, out, floyd, probe);
             }
-            Selection::Uniform => self.select_uniform(nbrs, fanout, rng, work, out, scratch),
+            Selection::Uniform => self.select_uniform(nbrs, fanout, rng, work, out, floyd, probe),
         }
     }
 
+    #[expect(clippy::too_many_arguments)]
     fn select_uniform(
         &self,
         nbrs: &[VertexId],
@@ -133,7 +142,8 @@ impl KHop {
         rng: &mut ChaCha8Rng,
         work: &mut SampleWork,
         out: &mut Vec<VertexId>,
-        scratch: &mut Vec<u32>,
+        floyd: &mut Vec<u32>,
+        probe: &mut ProbeSet,
     ) {
         let deg = nbrs.len();
         if deg <= fanout {
@@ -149,15 +159,31 @@ impl KHop {
                 // makes the kernel "GPU-friendly ... more balanced for
                 // each vertex" (§7.3): a hub with millions of neighbors
                 // costs the same as a leaf.
-                scratch.clear();
-                for j in (deg - fanout)..deg {
-                    let t = rng.gen_range(0..=j) as u32;
-                    if scratch.contains(&t) {
-                        scratch.push(j as u32);
-                        out.push(nbrs[j]);
-                    } else {
-                        scratch.push(t);
-                        out.push(nbrs[t as usize]);
+                if fanout <= FLOYD_LINEAR_MAX {
+                    floyd.clear();
+                    for j in (deg - fanout)..deg {
+                        let t = rng.gen_range(0..=j) as u32;
+                        if floyd.contains(&t) {
+                            floyd.push(j as u32);
+                            out.push(nbrs[j]);
+                        } else {
+                            floyd.push(t);
+                            out.push(nbrs[t as usize]);
+                        }
+                    }
+                } else {
+                    // Same draw sequence, O(1) duplicate probe. `j` can
+                    // never already be a member (every prior member is
+                    // ≤ the previous j < j), matching the linear path.
+                    probe.reset(fanout);
+                    for j in (deg - fanout)..deg {
+                        let t = rng.gen_range(0..=j) as u32;
+                        if probe.insert(t) {
+                            out.push(nbrs[t as usize]);
+                        } else {
+                            probe.insert(j as u32);
+                            out.push(nbrs[j]);
+                        }
                     }
                 }
                 work.rng_draws += fanout as u64;
@@ -170,8 +196,6 @@ impl KHop {
                 // cooperate per vertex but a high-degree vertex still
                 // serializes its thread (the per-vertex imbalance §7.3
                 // blames): cost = clamp(deg/8, k, 64k) lane-steps.
-                scratch.clear();
-                scratch.extend(0..fanout as u32);
                 let base = out.len();
                 out.extend_from_slice(&nbrs[..fanout]);
                 for (i, &nbr) in nbrs.iter().enumerate().skip(fanout) {
@@ -191,47 +215,92 @@ impl KHop {
 
 impl SamplingAlgorithm for KHop {
     fn sample(&self, csr: &Csr, seeds: &[VertexId], rng: &mut ChaCha8Rng) -> Sample {
-        let mut work = SampleWork::default();
-        let mut visit_list = seeds.to_vec();
-        let mut blocks_outward: Vec<LayerBlock> = Vec::with_capacity(self.fanouts.len());
-        let mut frontier: Vec<VertexId> = seeds.to_vec();
-        let mut scratch: Vec<u32> = Vec::new();
+        let mut bufs = SampleBuffers::new();
+        self.sample_with(csr, seeds, rng, &mut bufs)
+    }
 
-        for &fanout in &self.fanouts {
-            let mut selected: Vec<VertexId> = Vec::with_capacity(frontier.len() * fanout);
-            let mut per_dst_ranges: Vec<(usize, usize)> = Vec::with_capacity(frontier.len());
-            for &v in &frontier {
-                let start = selected.len();
-                self.select(csr, v, fanout, rng, &mut work, &mut selected, &mut scratch);
-                per_dst_ranges.push((start, selected.len()));
-            }
-            visit_list.extend_from_slice(&selected);
-            work.kernel_launches += 1;
+    fn sample_with(
+        &self,
+        csr: &Csr,
+        seeds: &[VertexId],
+        rng: &mut ChaCha8Rng,
+        bufs: &mut SampleBuffers,
+    ) -> Sample {
+        let mut out = Sample::default();
+        self.sample_into(csr, seeds, rng, bufs, &mut out);
+        out
+    }
 
-            let (table, map) = dedup_remap(&frontier, &selected);
-            let mut edges = Vec::with_capacity(selected.len() + frontier.len());
-            for (dst_local, &(s, e)) in per_dst_ranges.iter().enumerate() {
-                // Self-connection so isolated dsts still aggregate.
-                edges.push((dst_local as u32, dst_local as u32));
-                for &nbr in &selected[s..e] {
-                    edges.push((map[&nbr], dst_local as u32));
-                }
-            }
-            blocks_outward.push(LayerBlock {
-                dst_count: frontier.len(),
-                src_globals: table.clone(),
-                edges,
+    /// The one real code path: `sample` and `sample_with` delegate here,
+    /// so buffer reuse cannot diverge from the allocating API.
+    fn sample_into(
+        &self,
+        csr: &Csr,
+        seeds: &[VertexId],
+        rng: &mut ChaCha8Rng,
+        bufs: &mut SampleBuffers,
+        out: &mut Sample,
+    ) {
+        let hops = self.fanouts.len();
+        out.work = SampleWork::default();
+        out.cache_mask = None;
+        out.seeds.clear();
+        out.seeds.extend_from_slice(seeds);
+        out.visit_list.clear();
+        out.visit_list.extend_from_slice(seeds);
+        out.blocks.truncate(hops);
+        while out.blocks.len() < hops {
+            out.blocks.push(LayerBlock {
+                src_globals: Vec::new(),
+                dst_count: 0,
+                edges: Vec::new(),
             });
-            frontier = table;
         }
 
-        blocks_outward.reverse();
-        Sample {
-            seeds: seeds.to_vec(),
-            blocks: blocks_outward,
-            visit_list,
-            work,
-            cache_mask: None,
+        bufs.frontier.clear();
+        bufs.frontier.extend_from_slice(seeds);
+        for (hop, &fanout) in self.fanouts.iter().enumerate() {
+            bufs.selected.clear();
+            bufs.ranges.clear();
+            for i in 0..bufs.frontier.len() {
+                let v = bufs.frontier[i];
+                let start = bufs.selected.len();
+                self.select(
+                    csr,
+                    v,
+                    fanout,
+                    rng,
+                    &mut out.work,
+                    &mut bufs.selected,
+                    &mut bufs.floyd,
+                    &mut bufs.probe,
+                );
+                bufs.ranges.push((start, bufs.selected.len()));
+            }
+            out.visit_list.extend_from_slice(&bufs.selected);
+            out.work.kernel_launches += 1;
+
+            // Hop `h` outward is block `hops - 1 - h`: blocks are stored
+            // innermost first (what the old build-then-reverse produced).
+            let block = &mut out.blocks[hops - 1 - hop];
+            dedup_remap_into(
+                &bufs.frontier,
+                &bufs.selected,
+                &mut bufs.remap,
+                &mut block.src_globals,
+            );
+            block.dst_count = bufs.frontier.len();
+            block.edges.clear();
+            for (dst_local, &(s, e)) in bufs.ranges.iter().enumerate() {
+                // Self-connection so isolated dsts still aggregate.
+                block.edges.push((dst_local as u32, dst_local as u32));
+                for &nbr in &bufs.selected[s..e] {
+                    let local = bufs.remap.get(nbr).expect("selected vertex was remapped");
+                    block.edges.push((local, dst_local as u32));
+                }
+            }
+            bufs.frontier.clear();
+            bufs.frontier.extend_from_slice(&block.src_globals);
         }
     }
 
@@ -411,5 +480,71 @@ mod tests {
     #[should_panic(expected = "at least one hop")]
     fn empty_fanouts_panic() {
         let _ = KHop::new(vec![], Kernel::FisherYates, Selection::Uniform);
+    }
+
+    fn assert_samples_equal(a: &Sample, b: &Sample) {
+        assert_eq!(a.seeds, b.seeds);
+        assert_eq!(a.visit_list, b.visit_list);
+        assert_eq!(a.work, b.work);
+        assert_eq!(a.cache_mask, b.cache_mask);
+        assert_eq!(a.blocks.len(), b.blocks.len());
+        for (x, y) in a.blocks.iter().zip(&b.blocks) {
+            assert_eq!(x.src_globals, y.src_globals);
+            assert_eq!(x.dst_count, y.dst_count);
+            assert_eq!(x.edges, y.edges);
+        }
+    }
+
+    #[test]
+    fn buffer_reuse_is_byte_identical_across_batches() {
+        let g = chung_lu(300, 6000, 2.0, 3).unwrap();
+        let k = KHop::new(vec![15, 10, 5], Kernel::FisherYates, Selection::Uniform);
+        let mut bufs = SampleBuffers::new();
+        let mut reused = Sample::default();
+        let mut rng_fresh = rng();
+        let mut rng_reuse = rng();
+        for seeds in [vec![1, 2, 3], vec![7], vec![50, 60, 70, 80], vec![2, 9]] {
+            let fresh = k.sample(&g, &seeds, &mut rng_fresh);
+            k.sample_into(&g, &seeds, &mut rng_reuse, &mut bufs, &mut reused);
+            assert_samples_equal(&fresh, &reused);
+            reused.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn hashed_probe_matches_linear_scan_reference() {
+        // fanout 25 > FLOYD_LINEAR_MAX takes the hashed-probe branch;
+        // replay the draw loop with the original linear scan and the same
+        // stream — selections must agree index for index.
+        let deg = 500usize;
+        let fanout = 25usize;
+        assert!(fanout > FLOYD_LINEAR_MAX);
+        let g = star(deg);
+        let k = KHop::new(vec![fanout], Kernel::FisherYates, Selection::Uniform);
+        let s = k.sample(&g, &[0], &mut rng());
+
+        let nbrs = g.neighbors(0);
+        let mut r = rng();
+        let mut scratch: Vec<u32> = Vec::new();
+        let mut expect: Vec<VertexId> = Vec::new();
+        for j in (deg - fanout)..deg {
+            let t = r.gen_range(0..=j) as u32;
+            if scratch.contains(&t) {
+                scratch.push(j as u32);
+                expect.push(nbrs[j]);
+            } else {
+                scratch.push(t);
+                expect.push(nbrs[t as usize]);
+            }
+        }
+        // src_globals = [seed 0] ++ deduped selections in selection order.
+        let mut dedup: Vec<VertexId> = Vec::new();
+        for &v in &expect {
+            if v != 0 && !dedup.contains(&v) {
+                dedup.push(v);
+            }
+        }
+        assert_eq!(&s.blocks[0].src_globals[1..], &dedup[..]);
+        assert_eq!(s.work.rng_draws, fanout as u64);
     }
 }

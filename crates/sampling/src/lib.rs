@@ -26,11 +26,13 @@ pub mod sample;
 pub mod subgraph;
 
 pub use alias::AliasTable;
-pub use footprint::{footprint_similarity, FootprintRecorder};
+pub use footprint::{
+    footprint_similarity, presample_epochs, presample_rng, FootprintRecorder, PresampleOutput,
+};
 pub use khop::{KHop, Kernel, Selection};
 pub use minibatch::MinibatchIter;
 pub use randomwalk::RandomWalk;
-pub use sample::{LayerBlock, Sample, SampleWork};
+pub use sample::{LayerBlock, ProbeSet, RemapTable, Sample, SampleBuffers, SampleWork};
 pub use subgraph::{ClusterGcn, GraphSaintNode};
 
 use gnnlab_graph::{Csr, VertexId};
@@ -43,6 +45,37 @@ use rand_chacha::ChaCha8Rng;
 pub trait SamplingAlgorithm: Send + Sync {
     /// Samples the `hops`-hop neighborhood of `seeds`.
     fn sample(&self, csr: &Csr, seeds: &[VertexId], rng: &mut ChaCha8Rng) -> Sample;
+
+    /// [`SamplingAlgorithm::sample`] with caller-owned scratch buffers, so
+    /// hot loops (Sampler threads, pre-sampling epochs) avoid per-batch
+    /// allocations. Output is byte-identical to `sample` for the same RNG
+    /// state. The default ignores the buffers; samplers with reusable
+    /// intermediates override it.
+    fn sample_with(
+        &self,
+        csr: &Csr,
+        seeds: &[VertexId],
+        rng: &mut ChaCha8Rng,
+        bufs: &mut SampleBuffers,
+    ) -> Sample {
+        let _ = bufs;
+        self.sample(csr, seeds, rng)
+    }
+
+    /// Fills a caller-owned [`Sample`] in place (clearing it first), so a
+    /// loop that drops each sample after use (PreSC pre-sampling) reuses
+    /// the output vectors too. Semantics match
+    /// [`SamplingAlgorithm::sample_with`].
+    fn sample_into(
+        &self,
+        csr: &Csr,
+        seeds: &[VertexId],
+        rng: &mut ChaCha8Rng,
+        bufs: &mut SampleBuffers,
+        out: &mut Sample,
+    ) {
+        *out = self.sample_with(csr, seeds, rng, bufs);
+    }
 
     /// Number of GNN layers the produced samples feed (= number of blocks).
     fn num_layers(&self) -> usize;

@@ -96,6 +96,20 @@ pub struct Sample {
     pub cache_mask: Option<Vec<bool>>,
 }
 
+impl Default for Sample {
+    /// An empty sample — the starting state for buffer-reusing fills via
+    /// [`crate::SamplingAlgorithm::sample_into`].
+    fn default() -> Self {
+        Sample {
+            seeds: Vec::new(),
+            blocks: Vec::new(),
+            visit_list: Vec::new(),
+            work: SampleWork::default(),
+            cache_mask: None,
+        }
+    }
+}
+
 impl Sample {
     /// Global ids of all distinct vertices whose features this sample
     /// needs — the src set of the innermost block.
@@ -198,6 +212,187 @@ pub fn dedup_remap(
     (table, map)
 }
 
+/// Zero-alloc [`dedup_remap`]: same dedup order and local-id assignment,
+/// but the id table is written into `table_out` and the lookup lives in a
+/// reusable open-addressing [`RemapTable`] instead of a fresh `HashMap`.
+pub fn dedup_remap_into(
+    dsts: &[VertexId],
+    selected: &[VertexId],
+    map: &mut RemapTable,
+    table_out: &mut Vec<VertexId>,
+) {
+    map.reset(dsts.len() + selected.len());
+    table_out.clear();
+    for &v in dsts {
+        let prev = map.insert_if_absent(v, table_out.len() as u32);
+        debug_assert!(prev.is_none(), "dsts must be duplicate-free");
+        table_out.push(v);
+    }
+    for &v in selected {
+        if map.insert_if_absent(v, table_out.len() as u32).is_none() {
+            table_out.push(v);
+        }
+    }
+}
+
+/// Finalizer-style 32-bit mixer (murmur3) for the open-addressing tables.
+#[inline]
+fn mix32(x: u32) -> u32 {
+    let mut h = x;
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xC2B2_AE35);
+    h ^ (h >> 16)
+}
+
+/// A reusable open-addressing `u32 → u32` map with generation stamps:
+/// `reset` is O(1) (a generation bump), so the per-hop remap of
+/// [`dedup_remap_into`] allocates nothing after warm-up.
+#[derive(Debug, Clone, Default)]
+pub struct RemapTable {
+    keys: Vec<u32>,
+    vals: Vec<u32>,
+    stamps: Vec<u32>,
+    generation: u32,
+    mask: usize,
+}
+
+impl RemapTable {
+    /// An empty table; storage grows on first [`RemapTable::reset`].
+    pub fn new() -> Self {
+        RemapTable::default()
+    }
+
+    /// Prepares the table for up to `items` distinct keys, clearing any
+    /// previous contents without touching the slot arrays.
+    pub fn reset(&mut self, items: usize) {
+        let needed = (items.max(1) * 2).next_power_of_two();
+        if self.keys.len() < needed {
+            self.keys = vec![0; needed];
+            self.vals = vec![0; needed];
+            self.stamps = vec![0; needed];
+            self.generation = 0;
+            self.mask = needed - 1;
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Stamp wrap-around: old entries would look live again.
+            self.stamps.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// Inserts `key → val` unless `key` is present; returns the existing
+    /// value if it was.
+    pub fn insert_if_absent(&mut self, key: u32, val: u32) -> Option<u32> {
+        debug_assert!(!self.keys.is_empty(), "reset before insert");
+        let mut slot = mix32(key) as usize & self.mask;
+        loop {
+            if self.stamps[slot] != self.generation {
+                self.stamps[slot] = self.generation;
+                self.keys[slot] = key;
+                self.vals[slot] = val;
+                return None;
+            }
+            if self.keys[slot] == key {
+                return Some(self.vals[slot]);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u32) -> Option<u32> {
+        if self.keys.is_empty() {
+            return None;
+        }
+        let mut slot = mix32(key) as usize & self.mask;
+        loop {
+            if self.stamps[slot] != self.generation {
+                return None;
+            }
+            if self.keys[slot] == key {
+                return Some(self.vals[slot]);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
+/// A reusable open-addressing `u32` set with generation stamps, used by
+/// the Fisher–Yates kernel's duplicate probe at large fan-outs.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeSet {
+    keys: Vec<u32>,
+    stamps: Vec<u32>,
+    generation: u32,
+    mask: usize,
+}
+
+impl ProbeSet {
+    /// An empty set; storage grows on first [`ProbeSet::reset`].
+    pub fn new() -> Self {
+        ProbeSet::default()
+    }
+
+    /// Prepares the set for up to `items` members, clearing in O(1).
+    pub fn reset(&mut self, items: usize) {
+        let needed = (items.max(1) * 2).next_power_of_two();
+        if self.keys.len() < needed {
+            self.keys = vec![0; needed];
+            self.stamps = vec![0; needed];
+            self.generation = 0;
+            self.mask = needed - 1;
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            self.stamps.fill(0);
+            self.generation = 1;
+        }
+    }
+
+    /// Inserts `key`; returns `true` if it was newly inserted.
+    pub fn insert(&mut self, key: u32) -> bool {
+        debug_assert!(!self.keys.is_empty(), "reset before insert");
+        let mut slot = mix32(key) as usize & self.mask;
+        loop {
+            if self.stamps[slot] != self.generation {
+                self.stamps[slot] = self.generation;
+                self.keys[slot] = key;
+                return true;
+            }
+            if self.keys[slot] == key {
+                return false;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
+/// Reusable scratch for allocation-free sampling: hop-local intermediates
+/// (selection list, per-dst ranges, the running frontier) plus the
+/// open-addressing remap and probe tables. One instance per sampler
+/// thread; thread it through [`crate::SamplingAlgorithm::sample_with`] /
+/// [`crate::SamplingAlgorithm::sample_into`] and per-batch allocations
+/// disappear after the first call.
+#[derive(Debug, Default)]
+pub struct SampleBuffers {
+    pub(crate) selected: Vec<VertexId>,
+    pub(crate) ranges: Vec<(usize, usize)>,
+    pub(crate) frontier: Vec<VertexId>,
+    pub(crate) remap: RemapTable,
+    pub(crate) floyd: Vec<u32>,
+    pub(crate) probe: ProbeSet,
+}
+
+impl SampleBuffers {
+    /// Empty buffers; capacity grows to the working-set size on first use.
+    pub fn new() -> Self {
+        SampleBuffers::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +405,48 @@ mod tests {
         assert_eq!(map[&20], 1);
         assert_eq!(map[&30], 2);
         assert_eq!(map[&40], 3);
+    }
+
+    #[test]
+    fn dedup_remap_into_matches_hashmap_path() {
+        let dsts = vec![10, 20];
+        let selected = vec![30, 10, 30, 40, 20, 50];
+        let (table, map) = dedup_remap(&dsts, &selected);
+        let mut rt = RemapTable::new();
+        let mut out = Vec::new();
+        dedup_remap_into(&dsts, &selected, &mut rt, &mut out);
+        assert_eq!(out, table);
+        for (&global, &local) in &map {
+            assert_eq!(rt.get(global), Some(local));
+        }
+        // Reuse across calls: a second fill sees none of the first.
+        dedup_remap_into(&[1], &[2, 1, 3], &mut rt, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(rt.get(10), None);
+        assert_eq!(rt.get(2), Some(1));
+    }
+
+    #[test]
+    fn probe_set_tracks_membership_across_resets() {
+        let mut p = ProbeSet::new();
+        p.reset(4);
+        assert!(p.insert(7));
+        assert!(!p.insert(7));
+        assert!(p.insert(1000));
+        p.reset(4);
+        assert!(p.insert(7), "reset must clear membership");
+    }
+
+    #[test]
+    fn remap_table_survives_generation_wrap() {
+        let mut rt = RemapTable::new();
+        rt.reset(2);
+        rt.generation = u32::MAX; // force the next reset to wrap
+        rt.reset(2);
+        assert_eq!(rt.generation, 1);
+        assert_eq!(rt.get(5), None);
+        assert_eq!(rt.insert_if_absent(5, 0), None);
+        assert_eq!(rt.get(5), Some(0));
     }
 
     #[test]

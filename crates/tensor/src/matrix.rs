@@ -1,7 +1,28 @@
 //! Row-major `f32` matrices with the operations GNN layers need.
+//!
+//! The three matmul variants are data-parallel over disjoint *output* rows:
+//! each output row's accumulation runs in the exact sequential order
+//! (ascending `k`), so results are bit-identical at every thread count —
+//! parallelism changes which thread computes a row, never the float-add
+//! order within it. The plain methods consult [`gnnlab_par::global_threads`]
+//! and only fan out when a multi-thread pool is configured and the product
+//! is large enough to amortize dispatch.
 
+use gnnlab_par::ThreadPool;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
+
+/// Minimum `rows * inner * cols` product worth fanning out; below this the
+/// chunk-dispatch overhead exceeds the multiply itself.
+const PAR_MIN_FLOPS: usize = 64 * 1024;
+
+fn par_pool(flops: usize) -> Option<std::sync::Arc<ThreadPool>> {
+    if gnnlab_par::global_threads() > 1 && flops >= PAR_MIN_FLOPS {
+        Some(gnnlab_par::global_pool())
+    } else {
+        None
+    }
+}
 
 /// A dense row-major matrix of `f32`.
 #[derive(Debug, Clone, PartialEq)]
@@ -96,46 +117,98 @@ impl Matrix {
         }
     }
 
-    /// `self @ other` (ikj loop order for cache friendliness).
+    /// `self @ other` (ikj loop order for cache friendliness). Fans out
+    /// over the global pool when one is configured and the product is
+    /// large; see [`Matrix::matmul_with`].
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        if let Some(pool) = par_pool(self.rows * self.cols * other.cols) {
+            return self.matmul_with(other, &pool);
+        }
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+            Self::matmul_row(self.row(i), other, out.row_mut(i));
         }
         out
     }
 
-    /// `self @ other.T`.
+    /// `self @ other` with output rows fanned across `pool`. Bit-identical
+    /// to the sequential [`Matrix::matmul`] at every pool size.
+    pub fn matmul_with(&self, other: &Matrix, pool: &ThreadPool) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        if out.data.is_empty() {
+            return out;
+        }
+        let cols = other.cols;
+        pool.par_chunks_mut(&mut out.data, cols, |_, rows, chunk| {
+            for (i, out_row) in rows.clone().zip(chunk.chunks_exact_mut(cols)) {
+                Self::matmul_row(self.row(i), other, out_row);
+            }
+        });
+        out
+    }
+
+    /// One output row of `matmul`: `out_row += a_row @ other`.
+    #[inline]
+    fn matmul_row(a_row: &[f32], other: &Matrix, out_row: &mut [f32]) {
+        for (k, &a) in a_row.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let b_row = other.row(k);
+            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                *o += a * b;
+            }
+        }
+    }
+
+    /// `self @ other.T`. Fans out like [`Matrix::matmul`].
     pub fn matmul_transb(&self, other: &Matrix) -> Matrix {
+        if let Some(pool) = par_pool(self.rows * self.cols * other.rows) {
+            return self.matmul_transb_with(other, &pool);
+        }
         assert_eq!(self.cols, other.cols, "matmul_transb shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.set(i, j, acc);
-            }
+            Self::matmul_transb_row(self.row(i), other, out.row_mut(i));
         }
         out
     }
 
-    /// `self.T @ other`.
+    /// `self @ other.T` with output rows fanned across `pool`.
+    pub fn matmul_transb_with(&self, other: &Matrix, pool: &ThreadPool) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transb shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        if out.data.is_empty() {
+            return out;
+        }
+        let cols = other.rows;
+        pool.par_chunks_mut(&mut out.data, cols, |_, rows, chunk| {
+            for (i, out_row) in rows.clone().zip(chunk.chunks_exact_mut(cols)) {
+                Self::matmul_transb_row(self.row(i), other, out_row);
+            }
+        });
+        out
+    }
+
+    /// One output row of `matmul_transb`: `out_row[j] = a_row · other[j]`.
+    #[inline]
+    fn matmul_transb_row(a_row: &[f32], other: &Matrix, out_row: &mut [f32]) {
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (&a, &b) in a_row.iter().zip(other.row(j)) {
+                acc += a * b;
+            }
+            *o = acc;
+        }
+    }
+
+    /// `self.T @ other`. Fans out like [`Matrix::matmul`].
     pub fn transa_matmul(&self, other: &Matrix) -> Matrix {
+        if let Some(pool) = par_pool(self.rows * self.cols * other.cols) {
+            return self.transa_matmul_with(other, &pool);
+        }
         assert_eq!(self.rows, other.rows, "transa_matmul shape mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
         for k in 0..self.rows {
@@ -151,6 +224,35 @@ impl Matrix {
                 }
             }
         }
+        out
+    }
+
+    /// `self.T @ other` with output rows fanned across `pool`.
+    ///
+    /// Each output row `i` (column `i` of `self`) accumulates over `k` in
+    /// the same ascending order — with the same `a == 0` skips — as the
+    /// sequential k-outer loop, so every output element sees the identical
+    /// float-add sequence and the result is bit-identical.
+    pub fn transa_matmul_with(&self, other: &Matrix, pool: &ThreadPool) -> Matrix {
+        assert_eq!(self.rows, other.rows, "transa_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        if out.data.is_empty() {
+            return out;
+        }
+        let cols = other.cols;
+        pool.par_chunks_mut(&mut out.data, cols, |_, rows, chunk| {
+            for (i, out_row) in rows.clone().zip(chunk.chunks_exact_mut(cols)) {
+                for k in 0..self.rows {
+                    let a = self.data[k * self.cols + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for (o, &b) in out_row.iter_mut().zip(other.row(k)) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
         out
     }
 
@@ -341,5 +443,43 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn pooled_matmuls_are_bit_identical_to_sequential() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        // Odd sizes so chunks split unevenly; some zeros to hit the skips.
+        let mut a = Matrix::xavier(37, 19, &mut rng);
+        let b = Matrix::xavier(19, 23, &mut rng);
+        let c = Matrix::xavier(37, 19, &mut rng);
+        for v in a.data_mut().iter_mut().step_by(7) {
+            *v = 0.0;
+        }
+        let mm = a.matmul(&b);
+        let tb = a.matmul_transb(&c);
+        let ta = a.transa_matmul(&c);
+        for threads in [1, 2, 4, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(a.matmul_with(&b, &pool).data(), mm.data(), "{threads}");
+            assert_eq!(
+                a.matmul_transb_with(&c, &pool).data(),
+                tb.data(),
+                "{threads}"
+            );
+            assert_eq!(
+                a.transa_matmul_with(&c, &pool).data(),
+                ta.data(),
+                "{threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pooled_matmul_handles_empty_output() {
+        let a = Matrix::zeros(0, 3);
+        let b = Matrix::zeros(3, 4);
+        let pool = ThreadPool::new(4);
+        assert_eq!(a.matmul_with(&b, &pool).rows(), 0);
+        assert_eq!(a.transa_matmul_with(&Matrix::zeros(0, 0), &pool).cols(), 0);
     }
 }

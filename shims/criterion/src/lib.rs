@@ -1,10 +1,53 @@
 //! Offline shim of the `criterion` API surface this workspace's benches
-//! use. Instead of criterion's statistical engine it runs a short
-//! fixed-iteration measurement and prints mean wall time per iteration —
+//! use. Instead of criterion's statistical engine it times every
+//! iteration individually and prints the median wall time per iteration —
 //! enough to compare kernels by eye and to keep `cargo bench` working
 //! offline.
+//!
+//! Two criterion conventions are honored:
+//!
+//! - `cargo bench -- --test` runs every benchmark once (smoke mode — the
+//!   CI job uses it to prove benches compile and run without paying for a
+//!   measurement);
+//! - setting `GNNLAB_BENCH_JSON=<path>` appends one JSON line per
+//!   benchmark (`{"name": ..., "median_ns": ..., "iters": ...}`) so runs
+//!   can be diffed or committed as machine-readable results.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
+
+/// Whether the harness was invoked in criterion's `--test` smoke mode
+/// (`cargo bench -- --test`): run everything once, skip real measurement.
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Appends one result line to the `GNNLAB_BENCH_JSON` file, if set.
+fn export_json(name: &str, median: Duration, iters: u64) {
+    let Ok(path) = std::env::var("GNNLAB_BENCH_JSON") else {
+        return;
+    };
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    else {
+        eprintln!("GNNLAB_BENCH_JSON: cannot open {path}");
+        return;
+    };
+    let escaped: String = name
+        .chars()
+        .flat_map(|ch| match ch {
+            '"' | '\\' => vec!['\\', ch],
+            _ => vec![ch],
+        })
+        .collect();
+    let _ = writeln!(
+        f,
+        "{{\"name\": \"{escaped}\", \"median_ns\": {}, \"iters\": {iters}}}",
+        median.as_nanos()
+    );
+}
 
 /// Opaque-to-the-optimizer value passthrough.
 #[inline]
@@ -70,30 +113,50 @@ impl IntoBenchmarkId for String {
 /// The measurement driver passed to benchmark closures.
 pub struct Bencher {
     iters: u64,
-    elapsed: Duration,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Measures `routine` over a fixed number of iterations.
+    /// Measures `routine`, timing each iteration individually.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // One untimed warm-up iteration.
         black_box(routine());
-        let start = Instant::now();
+        self.samples.clear();
         for _ in 0..self.iters {
+            let start = Instant::now();
             black_box(routine());
+            self.samples.push(start.elapsed());
         }
-        self.elapsed = start.elapsed();
+    }
+}
+
+/// Median of the recorded per-iteration times (zero if none).
+fn median(samples: &mut [Duration]) -> Duration {
+    if samples.is_empty() {
+        return Duration::ZERO;
+    }
+    samples.sort_unstable();
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2
     }
 }
 
 fn run_bench(full_name: &str, iters: u64, f: impl FnOnce(&mut Bencher)) {
+    let iters = if quick_mode() { 1 } else { iters };
     let mut b = Bencher {
         iters,
-        elapsed: Duration::ZERO,
+        samples: Vec::with_capacity(iters as usize),
     };
     f(&mut b);
-    let per_iter = b.elapsed.as_secs_f64() / iters.max(1) as f64;
-    println!("{full_name:<60} {:>12.3} us/iter", per_iter * 1e6);
+    let med = median(&mut b.samples);
+    println!(
+        "{full_name:<60} {:>12.3} us/iter (median of {iters})",
+        med.as_secs_f64() * 1e6
+    );
+    export_json(full_name, med, iters);
 }
 
 /// The top-level benchmark context.
@@ -215,5 +278,14 @@ mod tests {
     fn ids_render() {
         assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn median_of_samples() {
+        let ms = Duration::from_millis;
+        assert_eq!(median(&mut []), Duration::ZERO);
+        assert_eq!(median(&mut [ms(5)]), ms(5));
+        assert_eq!(median(&mut [ms(9), ms(1), ms(5)]), ms(5));
+        assert_eq!(median(&mut [ms(4), ms(2), ms(8), ms(6)]), ms(5));
     }
 }

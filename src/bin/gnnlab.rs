@@ -13,6 +13,7 @@
 //!
 //! ```text
 //! --samplers N --trainers N --epochs N --batch-size N --capacity N --seed S
+//! --threads N                 data-parallel width of Extract/pre-sampling
 //! --crash-trainer IDX@BATCH   kill Trainer IDX after BATCH batches
 //! --crash-sampler IDX@BATCH   kill Sampler IDX after BATCH batches
 //! --straggler ROLE:IDX:FACTOR slow one executor (role `sampler`/`trainer`)
@@ -61,8 +62,9 @@ fn usage() -> ExitCode {
          gnnlab simulate <PR|TW|PA|UK> <GCN|GSG|PSG> [gpus]\n  \
          gnnlab job <PR|TW|PA|UK> <GCN|GSG|PSG> [epochs]\n  \
          gnnlab threaded [--samplers N] [--trainers N] [--epochs N] [--batch-size N]\n           \
-         [--capacity N] [--seed S] [--crash-trainer IDX@BATCH] [--crash-sampler IDX@BATCH]\n           \
-         [--straggler ROLE:IDX:FACTOR] [--transient P] [--max-respawns N]"
+         [--capacity N] [--seed S] [--threads N] [--crash-trainer IDX@BATCH]\n           \
+         [--crash-sampler IDX@BATCH] [--straggler ROLE:IDX:FACTOR] [--transient P]\n           \
+         [--max-respawns N]"
     );
     ExitCode::from(2)
 }
@@ -278,6 +280,17 @@ fn cmd_threaded(args: &[String]) -> ExitCode {
             "--batch-size" => ok = value.parse().map(|v| cfg.batch_size = v).is_ok(),
             "--capacity" => ok = value.parse().map(|v| cfg.queue_capacity = v).is_ok(),
             "--seed" => ok = value.parse().map(|v| cfg.seed = v).is_ok(),
+            "--threads" => {
+                ok = value
+                    .parse()
+                    .map(|v: usize| {
+                        cfg.threads = v.max(1);
+                        // Paths outside the run's own pool (gather_features,
+                        // large matmuls) follow the same width.
+                        gnnlab::par::set_global_threads(cfg.threads);
+                    })
+                    .is_ok()
+            }
             "--max-respawns" => {
                 ok = value
                     .parse()

@@ -9,6 +9,7 @@ pub use gnnlab_cache as cache;
 pub use gnnlab_core as core;
 pub use gnnlab_graph as graph;
 pub use gnnlab_obs as obs;
+pub use gnnlab_par as par;
 pub use gnnlab_sampling as sampling;
 pub use gnnlab_sim as sim;
 pub use gnnlab_tensor as tensor;
