@@ -35,11 +35,13 @@
 //!   a batch reclaimed at the last moment is still trained.
 //!
 //! Occupancy counters live in an observability registry: a queue built
-//! with [`GlobalQueue::bounded_with_obs`] records a `queue.depth` sample
-//! on every enqueue and dequeue (plus `queue.enqueued`/`queue.dequeued`
-//! counters, a `queue.capacity` gauge, and `queue.blocked_ns` for time
-//! spent blocked on either side); a plain [`GlobalQueue::bounded`] queue
-//! keeps a private registry so the accessors below work either way.
+//! with [`GlobalQueue::bounded_with_obs`] updates a `queue.depth` gauge
+//! on every enqueue and dequeue (last value + exact peak; the telemetry
+//! thread turns the gauge into a bounded wall-clock series), plus
+//! `queue.enqueued`/`queue.dequeued` counters, a `queue.capacity` gauge,
+//! and `queue.blocked_ns` for time spent blocked on either side; a plain
+//! [`GlobalQueue::bounded`] queue keeps a private registry so the
+//! accessors below work either way.
 
 use gnnlab_obs::{names, Obs};
 use parking_lot::{Condvar, Mutex};
@@ -166,12 +168,14 @@ impl<T> GlobalQueue<T> {
         self.capacity
     }
 
+    /// Publishes the current depth as a gauge only — cheap enough for
+    /// every enqueue/dequeue, and `Gauge::max` keeps the exact peak. The
+    /// `queue.depth` *series* is filled on a wall-clock interval by the
+    /// telemetry thread (or explicit virtual-time samples in the
+    /// co-simulations), not per operation, so series memory no longer
+    /// scales with traffic.
     fn note_depth(&self, depth: usize) {
-        let depth = depth as f64;
-        self.obs
-            .metrics
-            .sample(names::QUEUE_DEPTH, self.obs.now_ns(), depth);
-        self.obs.metrics.gauge_set(names::QUEUE_DEPTH, depth);
+        self.obs.metrics.gauge_set(names::QUEUE_DEPTH, depth as f64);
     }
 
     /// Records one blocking episode of `blocked_ns` nanoseconds under the
@@ -523,10 +527,36 @@ mod tests {
         q.dequeue().unwrap();
         assert_eq!(obs.metrics.counter("queue.enqueued"), 2.0);
         assert_eq!(obs.metrics.counter("queue.dequeued"), 1.0);
-        // One depth sample per enqueue/dequeue.
-        assert_eq!(obs.metrics.series_len("queue.depth"), 3);
-        assert_eq!(obs.metrics.gauge("queue.depth").unwrap().max, 2.0);
+        // Depth is gauge-only on the hot path: last value and exact peak,
+        // no per-operation series points (the telemetry thread samples
+        // the series on its own clock).
+        let depth = obs.metrics.gauge("queue.depth").unwrap();
+        assert_eq!(depth.last, 1.0);
+        assert_eq!(depth.max, 2.0);
+        assert_eq!(obs.metrics.series_len("queue.depth"), 0);
         assert_eq!(obs.metrics.gauge("queue.capacity").unwrap().last, 32.0);
+    }
+
+    /// Satellite regression: a million enqueue/dequeues stay within the
+    /// series cap — the hot path never pushes series points at all, and
+    /// even explicit sampling at that rate is bounded by the registry.
+    #[test]
+    fn a_million_queue_ops_keep_series_memory_bounded() {
+        let obs = Arc::new(Obs::wall());
+        obs.metrics.set_series_cap(1024);
+        let q = GlobalQueue::bounded_with_obs(16, Arc::clone(&obs));
+        for i in 0..500_000u64 {
+            q.enqueue(i).unwrap();
+            q.dequeue().unwrap();
+        }
+        let cap = obs.metrics.series_cap();
+        assert!(
+            obs.metrics.series_len("queue.depth") <= cap,
+            "series grew past the cap"
+        );
+        // The gauge still carries the exact traffic history extremes.
+        assert_eq!(obs.metrics.gauge("queue.depth").unwrap().last, 0.0);
+        assert_eq!(obs.metrics.counter("queue.enqueued"), 500_000.0);
     }
 
     #[test]

@@ -57,7 +57,7 @@ use crate::train_real::{gather_features, sampler_for};
 use gnnlab_cache::{load_cache, CachePolicy, CachedFeatureStore, PolicyKind};
 use gnnlab_graph::gen::SbmGraph;
 use gnnlab_graph::{FeatureStore, VertexId};
-use gnnlab_obs::{names, Executor, Obs, Stage};
+use gnnlab_obs::{names, Executor, Obs, Stage, Telemetry, TelemetryConfig};
 use gnnlab_par::ThreadPool;
 use gnnlab_sampling::{MinibatchIter, Sample, SampleBuffers};
 use gnnlab_tensor::loss::accuracy;
@@ -112,6 +112,10 @@ pub struct ThreadedConfig {
     /// this many threads. 1 (the default) runs fully inline. Results are
     /// bit-identical at every width.
     pub threads: usize,
+    /// Live-telemetry configuration: the wall-clock gauge-sampling
+    /// interval and the alert-rule thresholds. Every run gets a telemetry
+    /// thread; this only tunes it.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ThreadedConfig {
@@ -130,6 +134,7 @@ impl Default for ThreadedConfig {
             trainer_delay: None,
             faults: FaultPlan::none(),
             threads: 1,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -651,11 +656,16 @@ pub fn run_threaded(
 }
 
 /// [`run_threaded`] with a caller-supplied observability hub: every
-/// Sampler/Trainer records wall-clock spans, the global queue records a
-/// depth sample per enqueue/dequeue plus blocked time, the live EWMA
-/// stage-time estimates publish under `scheduler.ewma_*`, the Trainers'
-/// cache statistics are published under `cache.*`, and fault handling
-/// under `faults.*` / `recovery.*` / `retry.*`.
+/// Sampler/Trainer records wall-clock spans (feeding the `stage.*.ns`
+/// latency histograms), the global queue keeps a `queue.depth` gauge
+/// plus blocked time, the live EWMA stage-time estimates publish under
+/// `scheduler.ewma_*` and per-executor `executor.ewma.*` gauges, the
+/// Trainers' cache statistics are published under `cache.*`, and fault
+/// handling under `faults.*` / `recovery.*` / `retry.*`. A telemetry
+/// thread ([`TelemetryConfig`] in the config) samples gauges into
+/// bounded series on a wall-clock interval and evaluates the alert
+/// rules; alerts land in the registry (`alerts.*` counters + structured
+/// events in the snapshot).
 ///
 /// # Errors
 ///
@@ -688,6 +698,13 @@ pub fn run_threaded_obs(
     let pool = Arc::new(ThreadPool::new(cfg.threads));
     obs.metrics
         .gauge_set(names::EXTRACT_PAR_THREADS, pool.threads() as f64);
+    obs.metrics
+        .gauge_set(names::FAULTS_RESPAWN_BUDGET, cfg.faults.max_respawns as f64);
+    // Live telemetry for the whole run: periodic gauge→series sampling
+    // and alert evaluation. Stopped explicitly after the final cache
+    // publish so the closing evaluation sees the complete end state
+    // (dropped — and thus still joined — on the early error return).
+    let telemetry = Telemetry::start(Arc::clone(obs), cfg.telemetry);
     let shared = Shared {
         cfg,
         kind,
@@ -763,6 +780,7 @@ pub fn run_threaded_obs(
 
     let cache_stats = shared.feature_store.stats();
     cache_stats.publish(&obs.metrics);
+    telemetry.stop();
     Ok(ThreadedResult {
         batches_trained: shared.trained.load(Ordering::Relaxed),
         samples_produced: shared.produced.load(Ordering::Relaxed),
@@ -959,6 +977,10 @@ fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
     let mut cached_epoch = usize::MAX;
     let mut batches: Vec<Vec<VertexId>> = Vec::new();
     let mut sampled = 0usize;
+    // This executor's own batch-time EWMA, published as a gauge so the
+    // straggler alert can compare it against the sampler fleet's median.
+    let ewma_gauge = names::executor_ewma("sampler", slot);
+    let mut my_ewma: Option<f64> = None;
     // Reusable sampling scratch: one set per Sampler thread, so the hot
     // loop allocates no per-batch intermediates.
     let mut bufs = SampleBuffers::new();
@@ -1012,6 +1034,9 @@ fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
             secs,
             obs,
         );
+        let est = my_ewma.map_or(secs, |prev| prev + EWMA_ALPHA * (secs - prev));
+        my_ewma = Some(est);
+        obs.metrics.gauge_set(&ewma_gauge, est);
         let labels = batch.iter().map(|&v| sh.graph.labels[v as usize]).collect();
         let enqueued = {
             let _g = obs.start_span(device, Executor::Sampler, Stage::SampleC, id);
@@ -1062,6 +1087,7 @@ fn trainer_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), Thread
         device,
         Executor::Trainer,
         &format!("Trainer {slot}"),
+        &names::executor_ewma("trainer", slot),
         &mut replica,
         crash,
         slowdown,
@@ -1112,6 +1138,7 @@ fn standby_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), Thread
         slot as u32,
         Executor::Standby,
         &format!("Standby {slot}"),
+        &names::executor_ewma("standby", slot),
         &mut replica,
         None,
         slowdown,
@@ -1132,6 +1159,7 @@ fn consume_loop(
     device: u32,
     role: Executor,
     who: &str,
+    ewma_gauge: &str,
     replica: &mut GnnModel,
     crash: Option<(usize, usize)>,
     slowdown: f64,
@@ -1153,6 +1181,8 @@ fn consume_loop(
         (&sh.stats.t_train, names::SCHEDULER_EWMA_T_TRAIN)
     };
     let mut done = 0usize;
+    // This executor's own batch-time EWMA (straggler-alert input).
+    let mut my_ewma: Option<f64> = None;
     loop {
         // Blocking leased dequeue: wakes on enqueue, reclaim, close or
         // poison — idle consumers cost no CPU.
@@ -1198,6 +1228,9 @@ fn consume_loop(
                     secs *= slowdown;
                 }
                 sh.stats.update(cell, series, secs, obs);
+                let est = my_ewma.map_or(secs, |prev| prev + EWMA_ALPHA * (secs - prev));
+                my_ewma = Some(est);
+                obs.metrics.gauge_set(ewma_gauge, est);
                 sh.queue.complete(lease.id);
                 done += 1;
             }
@@ -1306,12 +1339,14 @@ mod tests {
         };
         let res = run_threaded_obs(&g, ModelKind::GraphSage, &cfg, &obs).unwrap();
 
-        // Queue depth was sampled on every enqueue/dequeue, and the
-        // capacity gauge reflects the bound.
+        // The telemetry thread sampled the depth gauge into a series (at
+        // least the final stop-time tick), and the capacity gauge
+        // reflects the bound.
         assert!(
             obs.metrics.series_len("queue.depth") > 0,
             "no depth samples"
         );
+        assert!(obs.metrics.gauge("queue.depth").is_some());
         assert_eq!(
             obs.metrics.gauge("queue.capacity").unwrap().last,
             cfg.queue_capacity as f64
@@ -1327,6 +1362,32 @@ mod tests {
         // Live stage-time estimates were published.
         assert!(obs.metrics.series_len("scheduler.ewma_t_sample") > 0);
         assert!(obs.metrics.series_len("scheduler.ewma_t_train") > 0);
+        // Per-executor batch-time EWMAs (straggler-alert inputs): one
+        // gauge per sampler and trainer slot.
+        for s in 0..cfg.num_samplers {
+            assert!(
+                obs.metrics
+                    .gauge(&names::executor_ewma("sampler", s))
+                    .is_some(),
+                "missing sampler {s} EWMA gauge"
+            );
+        }
+        for t in 0..cfg.num_trainers {
+            assert!(
+                obs.metrics
+                    .gauge(&names::executor_ewma("trainer", t))
+                    .is_some(),
+                "missing trainer {t} EWMA gauge"
+            );
+        }
+        // Span recording fed the per-stage latency histograms, with live
+        // quantiles.
+        let train_ns = obs.metrics.histogram("stage.train.ns").unwrap();
+        assert!(train_ns.count > 0);
+        assert!(train_ns.p99().unwrap() >= train_ns.p50().unwrap());
+        // The respawn budget is visible to the alert engine even on a
+        // healthy run.
+        assert!(obs.metrics.gauge(names::FAULTS_RESPAWN_BUDGET).is_some());
         // Cache hit/miss totals were published by the Trainers' store.
         assert!(obs.metrics.counter("cache.lookups") > 0.0);
         assert!(obs.metrics.counter("cache.hits") > 0.0);
@@ -1398,7 +1459,9 @@ mod tests {
         // Backpressure: the queue filled to exactly its capacity and the
         // Samplers spent real time blocked.
         assert_eq!(res.peak_queue_depth, 4, "queue never hit its bound");
-        assert_eq!(obs.metrics.series_max("queue.depth"), Some(4.0));
+        // The gauge's max catches the peak exactly (the sampled series
+        // may miss the instant the queue was full).
+        assert_eq!(obs.metrics.gauge("queue.depth").unwrap().max, 4.0);
         assert!(res.queue_blocked_ns > 0, "no blocked time recorded");
         assert!(obs.metrics.counter("queue.blocked_ns") > 0.0);
     }

@@ -7,24 +7,42 @@
 //!   t_start, t_end)` intervals — virtual nanoseconds for the
 //!   co-simulations, wall-clock nanoseconds for the threaded runtime,
 //!   unified by the [`Clock`] abstraction;
-//! * a [`MetricsRegistry`] for counters, gauges, histograms and
-//!   timestamped series (queue depth, cache hits, switching profits, …);
+//! * a [`MetricsRegistry`] for counters, gauges, streaming-quantile
+//!   histograms, bounded timestamped series and alert events (queue
+//!   depth, cache hits, switching profits, …);
+//! * live telemetry: a periodic sampler/alert thread ([`Telemetry`]), an
+//!   [`AlertEngine`] with straggler/saturation/cache/respawn rules, and
+//!   a dependency-free Prometheus scrape endpoint ([`MetricsServer`]);
 //! * exporters: Chrome trace-event JSON ([`Obs::chrome_trace`], loadable
-//!   in Perfetto, one track per simulated GPU) and a structured metrics
-//!   dump ([`Obs::metrics_json`]).
+//!   in Perfetto, one track per simulated GPU), a structured metrics
+//!   dump ([`Obs::metrics_json`]), and Prometheus text exposition
+//!   ([`render_prometheus`]).
 //!
 //! Everything is thread-safe; executors share one `Obs` behind `&` or
 //! `Arc`.
 
+mod alerts;
 mod chrome;
 mod clock;
+mod hist;
 mod metrics;
 pub mod names;
+mod prom;
+mod server;
 mod span;
+mod telemetry;
 
+pub use alerts::{AlertEngine, AlertEvent, AlertRules};
 pub use clock::Clock;
-pub use metrics::{Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SeriesPoint};
+pub use hist::{GAMMA, ZERO_THRESHOLD};
+pub use metrics::{
+    BoundedSeries, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, SeriesPoint,
+    DEFAULT_SERIES_CAP,
+};
+pub use prom::{render_prometheus, sanitize_name, PROMETHEUS_CONTENT_TYPE};
+pub use server::MetricsServer;
 pub use span::{Executor, Span, SpanRecorder, Stage, HOST_DEVICE};
+pub use telemetry::{Telemetry, TelemetryConfig};
 
 use parking_lot::Mutex;
 use serde_json::Value;
@@ -96,7 +114,9 @@ impl Obs {
     }
 
     /// Records a completed span with explicit timestamps (nanoseconds).
-    /// Advances a virtual clock's high-water mark to `t_end`.
+    /// Advances a virtual clock's high-water mark to `t_end`, and feeds
+    /// the span's duration into the per-stage latency histogram
+    /// (`stage.<stage>.ns`), which is where live p50/p90/p99 come from.
     pub fn record_span(
         &self,
         device: u32,
@@ -107,6 +127,8 @@ impl Obs {
         t_end: u64,
     ) {
         self.clock.advance_to(t_end);
+        self.metrics
+            .observe(stage.histogram_name(), t_end.saturating_sub(t_start) as f64);
         self.spans.record(Span {
             run: self.current_run(),
             device,
@@ -133,6 +155,16 @@ impl Obs {
             stage,
             batch,
             t_start: self.now_ns(),
+        }
+    }
+
+    /// Samples every gauge's current value into its same-named series at
+    /// the current clock time. The [`Telemetry`] thread calls this on a
+    /// wall-clock interval, replacing PR 1's per-operation series pushes.
+    pub fn sample_gauges(&self) {
+        let now = self.now_ns();
+        for (name, g) in self.metrics.gauges_snapshot() {
+            self.metrics.sample(&name, now, g.last);
         }
     }
 

@@ -1,14 +1,27 @@
-//! A thread-safe metrics registry: counters, gauges, histograms and
-//! timestamped series.
+//! A thread-safe metrics registry: counters, gauges, histograms,
+//! bounded timestamped series, and structured alert events.
 //!
 //! Every runtime publishes into one registry under stable dotted names
 //! (`queue.depth`, `cache.hit_bytes`, `scheduler.switch_profit`, …); the
 //! registry serializes to a structured JSON dump via
 //! [`MetricsRegistry::snapshot`]. Values are `f64` throughout so counts
 //! and byte totals share one code path.
+//!
+//! Series are retained in [`BoundedSeries`] ring buffers: each series
+//! keeps at most [`MetricsRegistry::series_cap`] points (default
+//! [`DEFAULT_SERIES_CAP`]) by stride downsampling — when the buffer
+//! fills, every other retained point is dropped and the sampling stride
+//! doubles, so memory stays bounded for arbitrarily long runs while the
+//! retained points stay evenly spaced over the full run.
 
+use crate::alerts::AlertEvent;
+pub use crate::hist::Histogram;
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default per-series retention cap (points kept per metric name).
+pub const DEFAULT_SERIES_CAP: usize = 8192;
 
 /// A last-value gauge that also remembers its maximum.
 #[derive(Debug, Clone, Copy, serde::Serialize)]
@@ -17,48 +30,6 @@ pub struct Gauge {
     pub last: f64,
     /// Largest value ever set.
     pub max: f64,
-}
-
-/// A scalar distribution summary (count/sum/min/max).
-#[derive(Debug, Clone, Copy, serde::Serialize)]
-pub struct Histogram {
-    /// Number of observations.
-    pub count: u64,
-    /// Sum of observations.
-    pub sum: f64,
-    /// Smallest observation.
-    pub min: f64,
-    /// Largest observation.
-    pub max: f64,
-}
-
-impl Histogram {
-    fn observe(&mut self, v: f64) {
-        self.count += 1;
-        self.sum += v;
-        self.min = self.min.min(v);
-        self.max = self.max.max(v);
-    }
-
-    /// Mean observation (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum / self.count as f64
-        }
-    }
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram {
-            count: 0,
-            sum: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
-    }
 }
 
 /// One timestamped sample of a series metric.
@@ -70,30 +41,124 @@ pub struct SeriesPoint {
     pub value: f64,
 }
 
+/// A bounded series buffer with stride downsampling.
+///
+/// Only every `stride`-th offered point is retained; when the retained
+/// points reach the cap, every other one is dropped and the stride
+/// doubles. The result is ≤ `cap` points that always span the whole
+/// recording, at a resolution that degrades gracefully (halves) as the
+/// run grows — instead of an unbounded `Vec` that eats memory one
+/// `queue.depth` point per enqueue.
+#[derive(Debug, Clone)]
+pub struct BoundedSeries {
+    points: Vec<SeriesPoint>,
+    stride: u64,
+    seen: u64,
+}
+
+impl BoundedSeries {
+    fn new() -> Self {
+        BoundedSeries {
+            points: Vec::new(),
+            stride: 1,
+            seen: 0,
+        }
+    }
+}
+
+impl Default for BoundedSeries {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BoundedSeries {
+    fn push(&mut self, p: SeriesPoint, cap: usize) {
+        if self.seen.is_multiple_of(self.stride.max(1)) {
+            self.points.push(p);
+            if self.points.len() >= cap.max(2) {
+                let mut i = 0usize;
+                self.points.retain(|_| {
+                    let keep = i.is_multiple_of(2);
+                    i += 1;
+                    keep
+                });
+                self.stride = self.stride.max(1) * 2;
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// Points currently retained.
+    pub fn points(&self) -> &[SeriesPoint] {
+        &self.points
+    }
+
+    /// Number of points currently retained.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points are retained.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Current downsampling stride (1 = every sample retained).
+    pub fn stride(&self) -> u64 {
+        self.stride.max(1)
+    }
+
+    /// Total samples ever offered (including downsampled-away ones).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
 /// An immutable snapshot of the registry, ready for JSON export.
+///
+/// Empty histograms are omitted: they carry no information and their
+/// `min`/`max` sentinels (`±inf`) would render as `null` in JSON.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct MetricsSnapshot {
     /// Monotonic counters.
     pub counters: BTreeMap<String, f64>,
     /// Last-value gauges with maxima.
     pub gauges: BTreeMap<String, Gauge>,
-    /// Distribution summaries.
+    /// Distribution summaries with streaming quantiles (non-empty only).
     pub histograms: BTreeMap<String, Histogram>,
-    /// Timestamped series, in recording order per name.
+    /// Timestamped series (downsampled to the cap), per name.
     pub series: BTreeMap<String, Vec<SeriesPoint>>,
+    /// Structured alert events, in the order they fired.
+    pub alerts: Vec<AlertEvent>,
 }
 
 /// The thread-safe registry shared by all executors of a run.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, f64>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
     histograms: Mutex<BTreeMap<String, Histogram>>,
-    series: Mutex<BTreeMap<String, Vec<SeriesPoint>>>,
+    series: Mutex<BTreeMap<String, BoundedSeries>>,
+    series_cap: AtomicUsize,
+    alerts: Mutex<Vec<AlertEvent>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            series: Mutex::new(BTreeMap::new()),
+            series_cap: AtomicUsize::new(DEFAULT_SERIES_CAP),
+            alerts: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl MetricsRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry with the default series cap.
     pub fn new() -> Self {
         Self::default()
     }
@@ -113,6 +178,11 @@ impl MetricsRegistry {
         self.counters.lock().get(name).copied().unwrap_or(0.0)
     }
 
+    /// A copy of all counters.
+    pub fn counters_snapshot(&self) -> BTreeMap<String, f64> {
+        self.counters.lock().clone()
+    }
+
     /// Sets the gauge `name`, tracking its maximum.
     pub fn gauge_set(&self, name: &str, value: f64) {
         let mut gauges = self.gauges.lock();
@@ -129,6 +199,11 @@ impl MetricsRegistry {
         self.gauges.lock().get(name).copied()
     }
 
+    /// A copy of all gauges.
+    pub fn gauges_snapshot(&self) -> BTreeMap<String, Gauge> {
+        self.gauges.lock().clone()
+    }
+
     /// Records one observation into the histogram `name`.
     pub fn observe(&self, name: &str, value: f64) {
         self.histograms
@@ -138,42 +213,83 @@ impl MetricsRegistry {
             .observe(value);
     }
 
-    /// Reads the histogram `name`.
+    /// Reads (clones) the histogram `name`.
     pub fn histogram(&self, name: &str) -> Option<Histogram> {
-        self.histograms.lock().get(name).copied()
+        self.histograms.lock().get(name).cloned()
     }
 
-    /// Appends a timestamped sample to the series `name`.
+    /// Maximum points retained per series before downsampling kicks in.
+    pub fn series_cap(&self) -> usize {
+        self.series_cap.load(Ordering::Relaxed)
+    }
+
+    /// Sets the per-series retention cap (min 2). Applies to future
+    /// samples; existing series shrink the next time they fill.
+    pub fn set_series_cap(&self, cap: usize) {
+        self.series_cap.store(cap.max(2), Ordering::Relaxed);
+    }
+
+    /// Appends a timestamped sample to the series `name`, downsampling
+    /// to the cap as needed.
     pub fn sample(&self, name: &str, t_ns: u64, value: f64) {
+        let cap = self.series_cap();
         self.series
             .lock()
             .entry(name.to_string())
             .or_default()
-            .push(SeriesPoint { t_ns, value });
+            .push(SeriesPoint { t_ns, value }, cap);
     }
 
-    /// Number of samples in the series `name`.
+    /// Number of retained samples in the series `name`.
     pub fn series_len(&self, name: &str) -> usize {
-        self.series.lock().get(name).map_or(0, Vec::len)
+        self.series.lock().get(name).map_or(0, BoundedSeries::len)
     }
 
-    /// Largest sampled value in the series `name`, if any.
+    /// Largest retained value in the series `name`, if any. Note that
+    /// downsampling may drop a transient peak — gauges (which track
+    /// `max` exactly) are the right tool for peak detection.
     pub fn series_max(&self, name: &str) -> Option<f64> {
         self.series
             .lock()
             .get(name)?
+            .points()
             .iter()
             .map(|p| p.value)
             .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
     }
 
-    /// Snapshots the whole registry for export.
+    /// Records a structured alert event and bumps the `alerts.<rule>`
+    /// counter, so rule totals are visible without scanning the log.
+    pub fn raise(&self, event: AlertEvent) {
+        self.counter_inc(&format!("alerts.{}", event.rule));
+        self.alerts.lock().push(event);
+    }
+
+    /// All alert events raised so far, in firing order.
+    pub fn alerts(&self) -> Vec<AlertEvent> {
+        self.alerts.lock().clone()
+    }
+
+    /// Snapshots the whole registry for export. Empty histograms are
+    /// omitted (their `±inf` sentinels don't survive JSON).
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             counters: self.counters.lock().clone(),
             gauges: self.gauges.lock().clone(),
-            histograms: self.histograms.lock().clone(),
-            series: self.series.lock().clone(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .filter(|(_, h)| !h.is_empty())
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
+            series: self
+                .series
+                .lock()
+                .iter()
+                .map(|(k, s)| (k.clone(), s.points().to_vec()))
+                .collect(),
+            alerts: self.alerts.lock().clone(),
         }
     }
 }
@@ -217,7 +333,8 @@ mod tests {
     }
 
     /// Satellite requirement: the registry stays consistent under
-    /// concurrent Sampler/Trainer-style recording.
+    /// concurrent Sampler/Trainer-style recording. 8 × 1000 samples stay
+    /// below the default cap, so retention is still exact here.
     #[test]
     fn registry_is_race_free_under_concurrent_recording() {
         let reg = Arc::new(MetricsRegistry::new());
@@ -245,5 +362,79 @@ mod tests {
         assert_eq!(h.max, (per_thread - 1) as f64);
         assert_eq!(reg.series_len("depth"), threads * per_thread);
         assert_eq!(reg.gauge("depth").unwrap().max, (per_thread - 1) as f64);
+    }
+
+    /// The tentpole memory bound: a million samples never hold more than
+    /// `cap` points, and the survivors still span the whole run.
+    #[test]
+    fn series_stays_bounded_under_a_million_samples() {
+        let reg = MetricsRegistry::new();
+        reg.set_series_cap(256);
+        let total = 1_000_000u64;
+        for i in 0..total {
+            reg.sample("queue.depth", i, (i % 7) as f64);
+        }
+        let len = reg.series_len("queue.depth");
+        assert!(len <= 256, "retained {len} > cap 256");
+        assert!(len >= 64, "downsampled too hard: {len}");
+        let snap = reg.snapshot();
+        let pts = &snap.series["queue.depth"];
+        assert_eq!(pts.first().unwrap().t_ns, 0, "lost the run's start");
+        let last = pts.last().unwrap().t_ns;
+        assert!(
+            last >= total - total / 128,
+            "lost the run's tail: last t_ns {last}"
+        );
+        // Retained points are still in recording order.
+        assert!(pts.windows(2).all(|w| w[0].t_ns < w[1].t_ns));
+    }
+
+    #[test]
+    fn series_cap_is_configurable_and_clamped() {
+        let reg = MetricsRegistry::new();
+        assert_eq!(reg.series_cap(), DEFAULT_SERIES_CAP);
+        reg.set_series_cap(0);
+        assert_eq!(reg.series_cap(), 2);
+        for i in 0..100 {
+            reg.sample("s", i, i as f64);
+        }
+        assert!(reg.series_len("s") <= 2);
+    }
+
+    /// Satellite: snapshots omit empty histograms, so the JSON dump never
+    /// contains `min: null` from the `+inf` sentinel.
+    #[test]
+    fn snapshot_omits_empty_histograms_and_serializes_without_nulls() {
+        let reg = MetricsRegistry::new();
+        reg.observe("seen", 2.0);
+        let snap = reg.snapshot();
+        assert!(snap.histograms.contains_key("seen"));
+        let text = serde_json::to_string(&snap).unwrap();
+        assert!(!text.contains("null"), "snapshot leaked null: {text}");
+        let doc = serde_json::from_str(&text).unwrap();
+        let h = doc.get("histograms").unwrap().get("seen").unwrap();
+        assert_eq!(h.get("min").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(h.get("max").and_then(|v| v.as_f64()), Some(2.0));
+    }
+
+    #[test]
+    fn alerts_are_recorded_and_counted() {
+        let reg = MetricsRegistry::new();
+        reg.raise(AlertEvent {
+            rule: "straggler".to_string(),
+            subject: "trainer.0".to_string(),
+            message: "2.3x over fleet median".to_string(),
+            value: 2.3,
+            threshold: 2.0,
+            t_ns: 42,
+        });
+        assert_eq!(reg.counter("alerts.straggler"), 1.0);
+        let alerts = reg.alerts();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].subject, "trainer.0");
+        let snap = reg.snapshot();
+        assert_eq!(snap.alerts.len(), 1);
+        let text = serde_json::to_string(&snap).unwrap();
+        assert!(text.contains("straggler"));
     }
 }

@@ -6,7 +6,10 @@
 //! queue; older call sites still use string literals with the same
 //! values (`queue.depth`, `cache.hits`, …).
 
-/// Series + gauge: queue occupancy, sampled on every enqueue/dequeue.
+/// Gauge (+ series via the telemetry sampler): queue occupancy. The
+/// gauge is updated on every enqueue/dequeue and tracks the exact peak;
+/// the series is filled by the periodic telemetry thread (threaded
+/// runtime) or explicit virtual-time samples (co-simulations).
 pub const QUEUE_DEPTH: &str = "queue.depth";
 /// Counter: tasks ever enqueued.
 pub const QUEUE_ENQUEUED: &str = "queue.enqueued";
@@ -60,3 +63,46 @@ pub const RECOVERY_DOWNTIME_NS: &str = "recovery.downtime_ns";
 pub const RETRY_ATTEMPTS: &str = "retry.attempts";
 /// Counter: total nanoseconds spent in retry backoff sleeps.
 pub const RETRY_BACKOFF_NS: &str = "retry.backoff_ns";
+
+/// Counter: feature-cache lookups (hits + misses).
+pub const CACHE_LOOKUPS: &str = "cache.lookups";
+/// Counter: feature-cache hits.
+pub const CACHE_HITS: &str = "cache.hits";
+
+/// Gauge: the fault supervisor's configured respawn budget
+/// (`FaultPlan::max_respawns`); the respawn-burn alert compares recovery
+/// actions against it.
+pub const FAULTS_RESPAWN_BUDGET: &str = "faults.respawn_budget";
+
+/// Prefix of the per-executor batch-time EWMA gauges published by the
+/// threaded runtime: `executor.ewma.<role>.<slot>` (seconds per batch,
+/// alpha 0.2). The straggler alert compares each gauge against the
+/// median of its role's fleet. Build names with [`executor_ewma`].
+pub const EXECUTOR_EWMA_PREFIX: &str = "executor.ewma.";
+
+/// The per-executor EWMA gauge name for `role` (`sampler` / `trainer` /
+/// `standby`) and executor slot index.
+pub fn executor_ewma(role: &str, slot: usize) -> String {
+    format!("{EXECUTOR_EWMA_PREFIX}{role}.{slot}")
+}
+
+/// Prefix of per-stage latency histograms fed by span recording:
+/// `stage.<stage>.ns` (e.g. `stage.train.ns`), one observation per
+/// completed span. These carry the streaming p50/p90/p99 estimates the
+/// scrape endpoint exposes.
+pub const STAGE_NS_PREFIX: &str = "stage.";
+
+/// Counter family: alerts raised per rule (`alerts.straggler`,
+/// `alerts.queue_saturation`, `alerts.cache_collapse`,
+/// `alerts.respawn_burn`); structured events live in the snapshot's
+/// `alerts` list.
+pub const ALERTS_PREFIX: &str = "alerts.";
+
+/// Alert rule name: one executor's batch-time EWMA far above its fleet.
+pub const RULE_STRAGGLER: &str = "straggler";
+/// Alert rule name: executors pinned blocked on the bounded queue.
+pub const RULE_QUEUE_SATURATION: &str = "queue_saturation";
+/// Alert rule name: feature-cache hit rate collapsed.
+pub const RULE_CACHE_COLLAPSE: &str = "cache_collapse";
+/// Alert rule name: fault-recovery respawn budget nearly exhausted.
+pub const RULE_RESPAWN_BURN: &str = "respawn_burn";

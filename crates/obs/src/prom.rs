@@ -1,0 +1,225 @@
+//! Prometheus text exposition (format 0.0.4), dependency-free.
+//!
+//! [`render_prometheus`] turns a [`MetricsSnapshot`] into the plain-text
+//! format every Prometheus-compatible scraper understands:
+//!
+//! * counters → `# TYPE <name> counter` + one sample;
+//! * gauges → `# TYPE <name> gauge` + the last value, plus a
+//!   `<name>_peak` gauge carrying the exact maximum;
+//! * histograms → `# TYPE <name> summary` with `quantile="0.5|0.9|0.99"`
+//!   samples from the streaming log-bucketed estimator, plus the
+//!   conventional `_sum` and `_count`;
+//! * alert events → `alert_events{rule="…",subject="…"}` gauges counting
+//!   events per (rule, subject), with label values escaped per the spec.
+//!
+//! Dotted registry names (`queue.depth`) are sanitized to the metric
+//! name charset (`queue_depth`). Series are deliberately not exposed:
+//! a scraper builds its own time dimension by scraping repeatedly.
+
+use crate::metrics::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The Content-Type a conforming exposition endpoint must declare.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+/// Maps a dotted registry name onto the Prometheus metric-name charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value: backslash, double-quote and newline, per the
+/// exposition-format spec.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a value the way Prometheus parsers expect: integral values
+/// without a fraction, non-finite values as `NaN`/`+Inf`/`-Inf`.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v == v.trunc() && v.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders the snapshot in Prometheus text exposition format 0.0.4.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    for (name, value) in &snap.counters {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {}", fmt_value(*value));
+    }
+
+    for (name, g) in &snap.gauges {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {}", fmt_value(g.last));
+        let _ = writeln!(out, "# TYPE {n}_peak gauge");
+        let _ = writeln!(out, "{n}_peak {}", fmt_value(g.max));
+    }
+
+    for (name, h) in &snap.histograms {
+        if h.is_empty() {
+            continue;
+        }
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} summary");
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            let v = h.quantile(q).unwrap_or(0.0);
+            let _ = writeln!(out, "{n}{{quantile=\"{label}\"}} {}", fmt_value(v));
+        }
+        let _ = writeln!(out, "{n}_sum {}", fmt_value(h.sum));
+        let _ = writeln!(out, "{n}_count {}", h.count);
+    }
+
+    if !snap.alerts.is_empty() {
+        let mut by_key: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for a in &snap.alerts {
+            *by_key
+                .entry((a.rule.clone(), a.subject.clone()))
+                .or_insert(0) += 1;
+        }
+        let _ = writeln!(out, "# TYPE alert_events gauge");
+        for ((rule, subject), count) in by_key {
+            let _ = writeln!(
+                out,
+                "alert_events{{rule=\"{}\",subject=\"{}\"}} {count}",
+                escape_label(&rule),
+                escape_label(&subject)
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alerts::AlertEvent;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn sanitizes_names_and_escapes_labels() {
+        assert_eq!(sanitize_name("queue.depth"), "queue_depth");
+        assert_eq!(sanitize_name("stage.sample_g.ns"), "stage_sample_g_ns");
+        assert_eq!(sanitize_name("9lives"), "_lives");
+        assert_eq!(sanitize_name("a-b c"), "a_b_c");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn formats_values_like_prometheus() {
+        assert_eq!(fmt_value(3.0), "3");
+        assert_eq!(fmt_value(3.5), "3.5");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_value(f64::NAN), "NaN");
+    }
+
+    /// The golden exposition test: a registry with one of everything
+    /// renders the exact expected text.
+    #[test]
+    fn golden_exposition_format() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("queue.enqueued", 18.0);
+        reg.gauge_set("queue.depth", 3.0);
+        reg.gauge_set("queue.depth", 2.0);
+        for v in [10.0, 20.0, 30.0] {
+            reg.observe("stage.train.ns", v);
+        }
+        reg.raise(AlertEvent {
+            rule: "straggler".to_string(),
+            subject: "trainer.0".to_string(),
+            message: "slow".to_string(),
+            value: 2.5,
+            threshold: 2.0,
+            t_ns: 1,
+        });
+        let text = render_prometheus(&reg.snapshot());
+        let expected_lines = [
+            "# TYPE alerts_straggler counter",
+            "alerts_straggler 1",
+            "# TYPE queue_enqueued counter",
+            "queue_enqueued 18",
+            "# TYPE queue_depth gauge",
+            "queue_depth 2",
+            "# TYPE queue_depth_peak gauge",
+            "queue_depth_peak 3",
+            "# TYPE stage_train_ns summary",
+            "stage_train_ns_sum 60",
+            "stage_train_ns_count 3",
+            "# TYPE alert_events gauge",
+            "alert_events{rule=\"straggler\",subject=\"trainer.0\"} 1",
+        ];
+        for line in expected_lines {
+            assert!(
+                text.lines().any(|l| l == line),
+                "missing `{line}` in:\n{text}"
+            );
+        }
+        // The three summary quantiles are present and ordered p50 ≤ p99.
+        let q = |label: &str| -> f64 {
+            let prefix = format!("stage_train_ns{{quantile=\"{label}\"}} ");
+            text.lines()
+                .find_map(|l| l.strip_prefix(&prefix))
+                .unwrap_or_else(|| panic!("missing quantile {label} in:\n{text}"))
+                .parse()
+                .unwrap()
+        };
+        assert!(q("0.5") <= q("0.9") && q("0.9") <= q("0.99"));
+        assert!((q("0.99") - 30.0).abs() / 30.0 <= 0.05);
+    }
+
+    #[test]
+    fn exposition_parses_line_by_line() {
+        let reg = MetricsRegistry::new();
+        reg.counter_inc("a.b");
+        reg.gauge_set("c", 1.5);
+        reg.observe("h", 2.0);
+        let text = render_prometheus(&reg.snapshot());
+        for line in text.lines() {
+            assert!(!line.is_empty());
+            if line.starts_with('#') {
+                let mut parts = line.split_whitespace();
+                assert_eq!(parts.next(), Some("#"));
+                assert_eq!(parts.next(), Some("TYPE"));
+                assert!(parts.next().is_some());
+                assert!(matches!(
+                    parts.next(),
+                    Some("counter" | "gauge" | "summary")
+                ));
+            } else {
+                // `name{labels} value` or `name value`.
+                let (_, value) = line.rsplit_once(' ').expect("sample line");
+                assert!(value.parse::<f64>().is_ok(), "bad value in `{line}`");
+            }
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! The scrape endpoint: a dependency-free HTTP server on
+//! `std::net::TcpListener` exposing live metrics while a run executes.
+//!
+//! * `GET /metrics` (or `/`) → Prometheus text exposition
+//!   ([`crate::render_prometheus`]);
+//! * `GET /metrics.json` (or `/json`) → the structured metrics dump
+//!   ([`crate::Obs::metrics_json`]);
+//! * anything else → 404.
+//!
+//! One acceptor thread hands each connection to a short-lived handler
+//! thread; scrapes only ever *read* registry snapshots, so they never
+//! block the executors publishing metrics. Binding port 0 picks a free
+//! port (see [`MetricsServer::local_addr`]), which is what the tests do.
+
+use crate::prom::{render_prometheus, PROMETHEUS_CONTENT_TYPE};
+use crate::Obs;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running scrape endpoint. Shuts down (and joins its acceptor) on
+/// [`MetricsServer::shutdown`] or drop.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9464`; port 0 for an ephemeral
+    /// port) and starts serving `obs` immediately.
+    pub fn bind(addr: &str, obs: Arc<Obs>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_in = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("gnnlab-metrics-server".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop_in.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let obs = Arc::clone(&obs);
+                    // Short-lived per-connection thread: scrapes are rare
+                    // (seconds apart) and handlers exit after one response.
+                    let _ = std::thread::Builder::new()
+                        .name("gnnlab-metrics-conn".to_string())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &obs);
+                        });
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the acceptor, and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // `incoming()` blocks in accept(2); a throwaway local connection
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Reads one request head, routes it, writes one response, closes.
+fn handle_connection(mut stream: TcpStream, obs: &Obs) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    // Read until the end of the request head (or a sanity limit): the
+    // endpoint only serves bodyless GETs.
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
+    let method = request_line.next().unwrap_or("");
+    let path = request_line.next().unwrap_or("");
+
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        )
+    } else {
+        match path {
+            "/" | "/metrics" => (
+                "200 OK",
+                PROMETHEUS_CONTENT_TYPE,
+                render_prometheus(&obs.metrics.snapshot()),
+            ),
+            "/json" | "/metrics.json" => (
+                "200 OK",
+                "application/json; charset=utf-8",
+                serde_json::to_string_pretty(&obs.metrics_json())
+                    .unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}")),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "try /metrics or /metrics.json\n".to_string(),
+            ),
+        }
+    };
+
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead as _;
+
+    /// A minimal in-test HTTP client: one GET, returns (status, body).
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+        )
+        .expect("request");
+        let mut reader = std::io::BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).expect("status line");
+        let mut line = String::new();
+        loop {
+            line.clear();
+            reader.read_line(&mut line).expect("header");
+            if line == "\r\n" || line.is_empty() {
+                break;
+            }
+        }
+        let mut body = String::new();
+        reader.read_to_string(&mut body).expect("body");
+        (status.trim_end().to_string(), body)
+    }
+
+    #[test]
+    fn serves_prometheus_text_and_json() {
+        let obs = Arc::new(Obs::wall());
+        obs.metrics.gauge_set("queue.depth", 3.0);
+        obs.metrics.observe("stage.train.ns", 12.0);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&obs)).expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("queue_depth 3"), "{body}");
+        assert!(body.contains("stage_train_ns{quantile=\"0.99\"}"), "{body}");
+
+        let (status, body) = get(addr, "/metrics.json");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let doc = serde_json::from_str(&body).expect("valid JSON");
+        assert!(doc.get("metrics").is_some());
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+        server.shutdown();
+        // The port is released: a scrape now fails to connect or hits a
+        // dead socket.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    #[test]
+    fn rejects_non_get() {
+        let obs = Arc::new(Obs::wall());
+        let server = MetricsServer::bind("127.0.0.1:0", obs).expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+
+    /// Satellite: concurrent scrapes against live publishers never see a
+    /// torn payload — every response parses.
+    #[test]
+    fn concurrent_scrapes_race_publishers_cleanly() {
+        let obs = Arc::new(Obs::wall());
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&obs)).expect("bind");
+        let addr = server.local_addr();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let publisher = {
+            let obs = Arc::clone(&obs);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    obs.metrics.counter_inc("spam.count");
+                    obs.metrics.gauge_set("queue.depth", (i % 9) as f64);
+                    obs.metrics.observe("stage.train.ns", (i % 1000) as f64);
+                    obs.metrics.sample("queue.depth", i, (i % 9) as f64);
+                    i += 1;
+                }
+            })
+        };
+
+        let scrapers: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        let (status, body) = get(addr, "/metrics");
+                        assert_eq!(status, "HTTP/1.1 200 OK");
+                        for line in body.lines().filter(|l| !l.starts_with('#')) {
+                            let (_, v) = line.rsplit_once(' ').expect("sample line");
+                            assert!(v.parse::<f64>().is_ok(), "torn line `{line}`");
+                        }
+                        let (_, json) = get(addr, "/metrics.json");
+                        serde_json::from_str(&json).expect("scrape mid-publish parses");
+                    }
+                })
+            })
+            .collect();
+        for s in scrapers {
+            s.join().expect("scraper");
+        }
+        stop.store(true, Ordering::Relaxed);
+        publisher.join().expect("publisher");
+        server.shutdown();
+    }
+}

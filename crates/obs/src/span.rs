@@ -69,6 +69,23 @@ impl Stage {
         }
     }
 
+    /// The per-stage latency histogram this stage's spans feed
+    /// (`stage.<stage>.ns`); every recorded span observes its duration
+    /// there, which is where the scrape endpoint's p50/p90/p99 come from.
+    pub fn histogram_name(self) -> &'static str {
+        match self {
+            Stage::SampleG => "stage.sample_g.ns",
+            Stage::SampleM => "stage.sample_m.ns",
+            Stage::SampleC => "stage.sample_c.ns",
+            Stage::Extract => "stage.extract.ns",
+            Stage::Train => "stage.train.ns",
+            Stage::DiskToDram => "stage.disk_to_dram.ns",
+            Stage::LoadTopology => "stage.load_topology.ns",
+            Stage::LoadCache => "stage.load_cache.ns",
+            Stage::Presample => "stage.presample.ns",
+        }
+    }
+
     /// The span name shown in trace viewers.
     pub fn name(self) -> &'static str {
         match self {

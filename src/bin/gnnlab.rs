@@ -19,21 +19,32 @@
 //! --straggler ROLE:IDX:FACTOR slow one executor (role `sampler`/`trainer`)
 //! --transient P               per-batch transient-fault probability
 //! --max-respawns N            supervisor respawn budget (0 = fail fast)
+//! --metrics-addr HOST:PORT    serve live metrics over HTTP during the run
+//!                             (GET /metrics = Prometheus text, /metrics.json)
+//! --metrics-out PATH          write the final metrics JSON (incl. alerts)
+//! --series-cap N              per-series retention cap (default 8192)
 //! ```
+//!
+//! A telemetry thread samples gauges (queue depth, per-executor EWMAs)
+//! into bounded series and evaluates alert rules (straggler, queue
+//! saturation, cache collapse, respawn-budget burn); fired alerts print
+//! after the recovery report and land in `--metrics-out`.
 
 use gnnlab::cache::PolicyKind;
 use gnnlab::core::driver::run_job;
 use gnnlab::core::report::RunError;
 use gnnlab::core::runtime::{build_cache_table, run_system, SimContext};
-use gnnlab::core::threaded::{run_threaded, ThreadedConfig};
+use gnnlab::core::threaded::{run_threaded_obs, ThreadedConfig};
 use gnnlab::core::trace::EpochTrace;
 use gnnlab::core::{ExecutorRole, FaultPlan, SystemKind, Workload};
 use gnnlab::graph::gen::{sbm, SbmParams};
 use gnnlab::graph::{io, Dataset, DatasetKind, Scale};
+use gnnlab::obs::{MetricsServer, Obs};
 use gnnlab::sampling::Kernel;
 use gnnlab::tensor::ModelKind;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn dataset_kind(s: &str) -> Option<DatasetKind> {
     match s.to_ascii_uppercase().as_str() {
@@ -64,7 +75,8 @@ fn usage() -> ExitCode {
          gnnlab threaded [--samplers N] [--trainers N] [--epochs N] [--batch-size N]\n           \
          [--capacity N] [--seed S] [--threads N] [--crash-trainer IDX@BATCH]\n           \
          [--crash-sampler IDX@BATCH] [--straggler ROLE:IDX:FACTOR] [--transient P]\n           \
-         [--max-respawns N]"
+         [--max-respawns N] [--metrics-addr HOST:PORT] [--metrics-out PATH]\n           \
+         [--series-cap N]"
     );
     ExitCode::from(2)
 }
@@ -265,6 +277,9 @@ fn cmd_threaded(args: &[String]) -> ExitCode {
         ..Default::default()
     };
     let mut plan = FaultPlan::none();
+    let mut metrics_addr: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut series_cap: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -319,6 +334,9 @@ fn cmd_threaded(args: &[String]) -> ExitCode {
                 }
                 _ => ok = false,
             },
+            "--metrics-addr" => metrics_addr = Some(value.clone()),
+            "--metrics-out" => metrics_out = Some(value.clone()),
+            "--series-cap" => ok = value.parse().map(|v| series_cap = Some(v)).is_ok(),
             _ => {
                 eprintln!("unknown flag {flag}");
                 return usage();
@@ -351,7 +369,28 @@ fn cmd_threaded(args: &[String]) -> ExitCode {
         "threaded run: {}S + {}T, {} epochs, batch {}, queue capacity {}",
         cfg.num_samplers, cfg.num_trainers, cfg.epochs, cfg.batch_size, cfg.queue_capacity
     );
-    match run_threaded(&g, ModelKind::GraphSage, &cfg) {
+    let obs = Arc::new(Obs::wall());
+    if let Some(cap) = series_cap {
+        obs.metrics.set_series_cap(cap);
+    }
+    let server =
+        metrics_addr
+            .as_ref()
+            .map(|addr| match MetricsServer::bind(addr, Arc::clone(&obs)) {
+                Ok(server) => {
+                    eprintln!(
+                        "[serving live metrics on http://{}/metrics (and /metrics.json)]",
+                        server.local_addr()
+                    );
+                    server
+                }
+                Err(e) => {
+                    eprintln!("failed to bind metrics endpoint {addr}: {e}");
+                    std::process::exit(1);
+                }
+            });
+    let outcome = run_threaded_obs(&g, ModelKind::GraphSage, &cfg, &obs);
+    let code = match outcome {
         Ok(res) => {
             println!("  produced:      {:>8} batches", res.samples_produced);
             println!("  trained:       {:>8} batches", res.batches_trained);
@@ -366,13 +405,38 @@ fn cmd_threaded(args: &[String]) -> ExitCode {
             println!("  reassignments: {:>8}", r.reassignments);
             println!("  retries:       {:>8}", r.retries);
             println!("  downtime:      {:>8.3} ms", r.downtime_ns as f64 / 1e6);
+            let alerts = obs.metrics.alerts();
+            if alerts.is_empty() {
+                println!("alerts:          none");
+            } else {
+                println!("alerts:");
+                for a in &alerts {
+                    println!(
+                        "  {:<16} {:<12} {} (value {:.3}, threshold {:.3})",
+                        a.rule, a.subject, a.message, a.value, a.threshold
+                    );
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("run failed: {e}");
             ExitCode::FAILURE
         }
+    };
+    if let Some(path) = &metrics_out {
+        match obs.write_metrics_json(Path::new(path)) {
+            Ok(()) => eprintln!("[wrote metrics to {path}]"),
+            Err(e) => {
+                eprintln!("failed to write metrics to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    code
 }
 
 fn main() -> ExitCode {

@@ -151,8 +151,8 @@ fn acceptance_backpressure_switching_and_metrics() {
     // Samplers hit the bound: depth max == capacity, real blocked time.
     assert_eq!(res.peak_queue_depth, cfg.queue_capacity);
     assert_eq!(
-        obs.metrics.series_max("queue.depth"),
-        Some(cfg.queue_capacity as f64)
+        obs.metrics.gauge("queue.depth").unwrap().max,
+        cfg.queue_capacity as f64
     );
     assert_eq!(
         obs.metrics.gauge("queue.capacity").unwrap().last,
