@@ -65,6 +65,7 @@ fn run_one(name: &str, cfg: &ExpConfig) -> bool {
         "partition" => print_tables(vec![exp::partition::run(cfg)]),
         "ablations" => print_tables(exp::ablations::run(cfg)),
         "fault_recovery" => print_tables(vec![exp::fault_recovery::run(cfg)]),
+        "switch_cache" => print_tables(vec![exp::switch_cache::run(cfg)]),
         _ => return false,
     }
     eprintln!("[{name} took {:.1}s]\n", start.elapsed().as_secs_f64());
@@ -91,6 +92,7 @@ const ALL: &[&str] = &[
     "partition",
     "ablations",
     "fault_recovery",
+    "switch_cache",
 ];
 
 /// Removes `--flag VALUE` (or `--flag=VALUE`) from `args`, returning VALUE.

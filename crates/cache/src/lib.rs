@@ -23,5 +23,5 @@ pub mod table;
 
 pub use metrics::{AtomicCacheStats, CacheStats, ExtractVolume};
 pub use policy::{CachePolicy, PolicyKind};
-pub use store::CachedFeatureStore;
-pub use table::{load_cache, CacheTable};
+pub use store::{CacheFill, CachedFeatureStore};
+pub use table::{load_cache, load_cache_topk, CacheTable};

@@ -19,9 +19,24 @@ use gnnlab_graph::{FeatureStore, VertexId};
 use gnnlab_par::{gather_rows_into, global_pool, ThreadPool};
 use std::sync::Arc;
 
+/// What one cache fill (build or refresh) actually moved: the quantities
+/// a span-instrumented cache-refresh stage reports alongside its elapsed
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheFill {
+    /// Feature rows copied into the device tier.
+    pub rows: usize,
+    /// Bytes those rows occupy.
+    pub bytes: u64,
+    /// Disjoint chunks the fill fanned out as (1 on a single-thread pool).
+    pub chunks: usize,
+}
+
 /// A feature store split between a static device cache and host memory.
 pub struct CachedFeatureStore {
-    host: FeatureStore,
+    /// The host tier is shared: per-executor stores on one node differ
+    /// only in their device-resident cache, never in the DRAM features.
+    host: Arc<FeatureStore>,
     table: CacheTable,
     /// Dense row-major buffer of the cached rows, in slot order — the
     /// "GPU memory" tier.
@@ -47,22 +62,54 @@ impl CachedFeatureStore {
 
     /// [`CachedFeatureStore::new`] with an explicit extraction pool.
     pub fn with_pool(host: FeatureStore, table: CacheTable, pool: Arc<ThreadPool>) -> Self {
+        Self::shared_with_pool(Arc::new(host), table, pool).0
+    }
+
+    /// Builds a store over a *shared* host tier — several executors on one
+    /// node each own a device cache (their own table + rows + stats) while
+    /// the DRAM features stay single-copy. Returns the store plus a
+    /// [`CacheFill`] report so callers can account the refresh cost.
+    ///
+    /// The fill is chunked across `pool` exactly like extraction: disjoint
+    /// row ranges of the device buffer, each worker copying its rows, so a
+    /// standby Trainer's cache refresh parallelizes and the result is
+    /// byte-identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// See [`CachedFeatureStore::new`].
+    pub fn shared_with_pool(
+        host: Arc<FeatureStore>,
+        table: CacheTable,
+        pool: Arc<ThreadPool>,
+    ) -> (Self, CacheFill) {
         let dim = host.dim();
-        let mut device_rows = Vec::with_capacity(table.len() * dim);
-        for &v in table.cached_vertices() {
-            let row = host
-                .row(v)
-                .expect("CachedFeatureStore requires materialized host features");
-            device_rows.extend_from_slice(row);
-        }
-        CachedFeatureStore {
+        let rows = table.len();
+        // SAFETY: par_chunks_mut covers the buffer with disjoint row
+        // chunks and gather_rows_into copies `dim` floats into every row,
+        // so each element is written exactly once before first read.
+        let mut device_rows = unsafe { gnnlab_par::uninit_f32_vec(rows * dim) };
+        let cached = table.cached_vertices();
+        pool.par_chunks_mut(&mut device_rows, dim, |_, range, chunk| {
+            gather_rows_into(&cached[range], dim, chunk, |_, v| {
+                host.row(v)
+                    .expect("CachedFeatureStore requires materialized host features")
+            });
+        });
+        let fill = CacheFill {
+            rows,
+            bytes: rows as u64 * (dim * std::mem::size_of::<f32>()) as u64,
+            chunks: pool.partitions(rows),
+        };
+        let store = CachedFeatureStore {
             host,
             table,
             device_rows,
             dim,
             stats: AtomicCacheStats::new(),
             pool,
-        }
+        };
+        (store, fill)
     }
 
     /// Feature dimension.

@@ -105,12 +105,30 @@ impl CacheTable {
 /// Panics if `hotness.len() != num_vertices` or `alpha` is outside `[0, 1]`
 /// or non-finite.
 pub fn load_cache(hotness: &[f64], alpha: f64, num_vertices: usize) -> CacheTable {
-    assert_eq!(hotness.len(), num_vertices, "hotness map size mismatch");
     assert!(
         alpha.is_finite() && (0.0..=1.0).contains(&alpha),
         "alpha must be in [0, 1]"
     );
     let k = ((alpha * num_vertices as f64).ceil() as usize).min(num_vertices);
+    load_cache_topk(hotness, k, num_vertices)
+}
+
+/// [`load_cache`] with an exact row budget instead of a ratio: caches the
+/// top-`k` vertices by hotness. Memory planners that derive the budget
+/// from a byte ledger use this so the table never exceeds the ledger by a
+/// rounding row; the recorded α is `k / num_vertices`.
+///
+/// # Panics
+///
+/// Panics if `hotness.len() != num_vertices` or `k > num_vertices`.
+pub fn load_cache_topk(hotness: &[f64], k: usize, num_vertices: usize) -> CacheTable {
+    assert_eq!(hotness.len(), num_vertices, "hotness map size mismatch");
+    assert!(k <= num_vertices, "cache rows exceed the vertex count");
+    let alpha = if num_vertices == 0 {
+        0.0
+    } else {
+        k as f64 / num_vertices as f64
+    };
     let mut table = CacheTable {
         location: vec![NOT_CACHED; num_vertices],
         cached: Vec::with_capacity(k),
@@ -184,6 +202,22 @@ mod tests {
         assert_eq!(hits, vec![1, 3, 1]);
         assert_eq!(misses, vec![0, 2]);
         assert_eq!(t.mark(&ids), vec![false, true, false, true, true]);
+    }
+
+    #[test]
+    fn topk_budget_is_exact() {
+        let hot = vec![0.5, 9.0, 1.0, 7.0, 0.0];
+        let t = load_cache_topk(&hot, 3, 5);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.cached_vertices(), &[1, 3, 2]);
+        assert!((t.alpha() - 0.6).abs() < 1e-12);
+        assert!(load_cache_topk(&hot, 0, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn topk_rejects_overbudget() {
+        let _ = load_cache_topk(&[1.0, 2.0], 3, 2);
     }
 
     #[test]

@@ -39,13 +39,15 @@
 //! on every enqueue and dequeue (last value + exact peak; the telemetry
 //! thread turns the gauge into a bounded wall-clock series), plus
 //! `queue.enqueued`/`queue.dequeued` counters, a `queue.capacity` gauge,
-//! and `queue.blocked_ns` for time spent blocked on either side; a plain
-//! [`GlobalQueue::bounded`] queue keeps a private registry so the
-//! accessors below work either way.
+//! and `queue.blocked_ns` for time spent blocked on either side. The
+//! registry is telemetry only: several queues may share one hub and their
+//! counters merge there, so the accessors ([`GlobalQueue::total_enqueued`]
+//! and friends) read queue-local atomics instead of the registry.
 
 use gnnlab_obs::{names, Obs};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -97,6 +99,19 @@ struct State<T> {
     poison: Option<String>,
 }
 
+/// This queue's own lifetime totals. The registry counters under the
+/// same names are *telemetry*: several queues sharing one [`Obs`] merge
+/// their traffic there, so the accessors ([`GlobalQueue::total_enqueued`]
+/// and friends) must never read them back — that double-counted a
+/// sibling queue's traffic.
+#[derive(Debug, Default)]
+struct LocalTotals {
+    enqueued: AtomicU64,
+    dequeued: AtomicU64,
+    peak_depth: AtomicU64,
+    blocked_ns: AtomicU64,
+}
+
 /// A bounded, blocking MPMC queue in host memory with occupancy
 /// accounting and crash-replay leases (see the module docs for the full
 /// contract).
@@ -107,6 +122,7 @@ pub struct GlobalQueue<T> {
     not_full: Condvar,
     capacity: usize,
     obs: Arc<Obs>,
+    totals: LocalTotals,
 }
 
 impl<T> Default for GlobalQueue<T> {
@@ -154,6 +170,7 @@ impl<T> GlobalQueue<T> {
             not_full: Condvar::new(),
             capacity,
             obs,
+            totals: LocalTotals::default(),
         }
     }
 
@@ -175,6 +192,9 @@ impl<T> GlobalQueue<T> {
     /// co-simulations), not per operation, so series memory no longer
     /// scales with traffic.
     fn note_depth(&self, depth: usize) {
+        self.totals
+            .peak_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
         self.obs.metrics.gauge_set(names::QUEUE_DEPTH, depth as f64);
     }
 
@@ -182,6 +202,9 @@ impl<T> GlobalQueue<T> {
     /// shared counter plus the side-specific histogram.
     fn note_blocked(&self, histogram: &str, blocked_ns: u64) {
         if blocked_ns > 0 {
+            self.totals
+                .blocked_ns
+                .fetch_add(blocked_ns, Ordering::Relaxed);
             self.obs
                 .metrics
                 .counter_add(names::QUEUE_BLOCKED_NS, blocked_ns as f64);
@@ -217,6 +240,7 @@ impl<T> GlobalQueue<T> {
                 state.items.push_back((id, item));
                 let depth = state.items.len();
                 drop(state);
+                self.totals.enqueued.fetch_add(1, Ordering::Relaxed);
                 self.obs.metrics.counter_inc(names::QUEUE_ENQUEUED);
                 self.note_depth(depth);
                 if let Some(t0) = blocked_since {
@@ -285,6 +309,7 @@ impl<T> GlobalQueue<T> {
                 }
                 let depth = state.items.len();
                 drop(state);
+                self.totals.dequeued.fetch_add(1, Ordering::Relaxed);
                 self.obs.metrics.counter_inc(names::QUEUE_DEQUEUED);
                 self.note_depth(depth);
                 finish_blocked(blocked_since);
@@ -400,27 +425,29 @@ impl<T> GlobalQueue<T> {
         self.state.lock().items.len()
     }
 
-    /// Total tasks ever enqueued.
+    /// Total tasks ever enqueued *into this queue*. Backed by a
+    /// queue-local atomic — the registry counter of the same name is
+    /// shared telemetry and may include sibling queues' traffic.
     pub fn total_enqueued(&self) -> usize {
-        self.obs.metrics.counter(names::QUEUE_ENQUEUED) as usize
+        self.totals.enqueued.load(Ordering::Relaxed) as usize
     }
 
-    /// Total tasks ever dequeued.
+    /// Total tasks ever dequeued from this queue (queue-local; see
+    /// [`GlobalQueue::total_enqueued`]).
     pub fn total_dequeued(&self) -> usize {
-        self.obs.metrics.counter(names::QUEUE_DEQUEUED) as usize
+        self.totals.dequeued.load(Ordering::Relaxed) as usize
     }
 
-    /// Largest queue depth ever sampled.
+    /// Largest depth this queue ever reached (queue-local; the shared
+    /// `queue.depth` gauge may mix sibling queues).
     pub fn peak_depth(&self) -> usize {
-        self.obs
-            .metrics
-            .gauge(names::QUEUE_DEPTH)
-            .map_or(0, |g| g.max as usize)
+        self.totals.peak_depth.load(Ordering::Relaxed) as usize
     }
 
-    /// Total nanoseconds producers and consumers spent blocked.
+    /// Total nanoseconds producers and consumers spent blocked on this
+    /// queue (queue-local; see [`GlobalQueue::total_enqueued`]).
     pub fn blocked_ns(&self) -> u64 {
-        self.obs.metrics.counter(names::QUEUE_BLOCKED_NS) as u64
+        self.totals.blocked_ns.load(Ordering::Relaxed)
     }
 
     /// Whether the queue is empty.
@@ -535,6 +562,34 @@ mod tests {
         assert_eq!(depth.max, 2.0);
         assert_eq!(obs.metrics.series_len("queue.depth"), 0);
         assert_eq!(obs.metrics.gauge("queue.capacity").unwrap().last, 32.0);
+    }
+
+    /// Regression: two queues on one `Obs` must not double-count each
+    /// other's traffic through the shared registry. The accessors read
+    /// queue-local atomics; only the registry aggregates across queues.
+    #[test]
+    fn two_queues_on_one_obs_keep_separate_totals() {
+        let obs = Arc::new(Obs::wall());
+        let a = GlobalQueue::bounded_with_obs(8, Arc::clone(&obs));
+        let b = GlobalQueue::bounded_with_obs(8, Arc::clone(&obs));
+        for i in 0..5 {
+            a.enqueue(i).unwrap();
+        }
+        for i in 0..3 {
+            b.enqueue(i).unwrap();
+        }
+        a.dequeue().unwrap();
+        a.dequeue().unwrap();
+        b.dequeue().unwrap();
+        assert_eq!(a.total_enqueued(), 5);
+        assert_eq!(b.total_enqueued(), 3);
+        assert_eq!(a.total_dequeued(), 2);
+        assert_eq!(b.total_dequeued(), 1);
+        assert_eq!(a.peak_depth(), 5);
+        assert_eq!(b.peak_depth(), 3);
+        // The registry still carries the merged telemetry view.
+        assert_eq!(obs.metrics.counter("queue.enqueued"), 8.0);
+        assert_eq!(obs.metrics.counter("queue.dequeued"), 3.0);
     }
 
     /// Satellite regression: a million enqueue/dequeues stay within the

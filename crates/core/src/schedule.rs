@@ -63,6 +63,26 @@ pub fn should_switch(remaining: usize, t_train: f64, num_trainers: usize, t_stan
     switch_profit(remaining, t_train, num_trainers, t_standby) > 0.0
 }
 
+/// Seeds the standby per-batch estimate `T_t'` before any standby has
+/// run, from the *planned* cache shapes and the measured cache-refresh
+/// cost:
+///
+/// `T_t' ≈ T_t · miss_ratio + refresh / max(M_r, 1)`,
+///
+/// where `miss_ratio ≥ 1` scales the Trainer batch time by how much more
+/// extraction traffic the standby's smaller planned cache misses, and the
+/// measured refresh seconds (0.0 until a fill has been timed) are
+/// amortized over the batches the standby could win. Once real standby
+/// batches exist their EWMA replaces this seed entirely.
+pub fn seed_standby_estimate(
+    t_train: f64,
+    miss_ratio: f64,
+    refresh_secs: f64,
+    remaining: usize,
+) -> f64 {
+    t_train * miss_ratio.max(1.0) + refresh_secs.max(0.0) / remaining.max(1) as f64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +144,18 @@ mod tests {
         assert!(!should_switch(0, 5.0, 4, 0.5));
         // Even a free standby switch (T_t' = 0) is not *profitable*.
         assert!(!should_switch(0, 1.0, 2, 0.0));
+    }
+
+    #[test]
+    fn standby_seed_is_never_faster_than_the_trainer() {
+        // A standby with an equal cache and no refresh cost matches T_t.
+        assert!((seed_standby_estimate(2.0, 1.0, 0.0, 10) - 2.0).abs() < 1e-12);
+        // A smaller cache slows it; refresh cost amortizes over the queue.
+        let est = seed_standby_estimate(2.0, 1.5, 5.0, 10);
+        assert!((est - 3.5).abs() < 1e-12);
+        // Degenerate inputs stay sane: ratio < 1 clamps, remaining 0
+        // amortizes over one batch.
+        assert!(seed_standby_estimate(2.0, 0.5, 1.0, 0) >= 2.0);
     }
 
     #[test]

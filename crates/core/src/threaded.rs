@@ -51,10 +51,16 @@
 //! and `retry.*` metric names.
 
 use crate::faults::{splitmix64, ExecutorRole, FaultPlan};
+use crate::memory::{
+    live_sample_workspace_bytes, live_train_workspace_bytes, plan_live_run, LiveCachePlan,
+    LiveGraphBytes,
+};
 use crate::queue::{DequeueError, GlobalQueue, DEFAULT_CAPACITY};
-use crate::schedule::{num_samplers, switch_profit};
+use crate::schedule::{num_samplers, seed_standby_estimate, switch_profit};
 use crate::train_real::{gather_features, sampler_for};
-use gnnlab_cache::{load_cache, CachePolicy, CachedFeatureStore, PolicyKind};
+use gnnlab_cache::{
+    load_cache_topk, CachePolicy, CacheStats, CacheTable, CachedFeatureStore, PolicyKind,
+};
 use gnnlab_graph::gen::SbmGraph;
 use gnnlab_graph::{FeatureStore, VertexId};
 use gnnlab_obs::{names, Executor, Obs, Stage, Telemetry, TelemetryConfig};
@@ -91,9 +97,20 @@ pub struct ThreadedConfig {
     /// two consumers (Samplers, model inits, evaluation, shuffling) ever
     /// share a stream.
     pub seed: u64,
-    /// Feature-cache ratio for the Trainers' real two-tier extraction
-    /// (PreSC#1 hotness); 0 disables the cache.
+    /// Target feature-cache ratio for the dedicated Trainers' two-tier
+    /// extraction; 0 disables caching (and skips the hotness pass
+    /// entirely). Standby Trainers get a smaller cache per the §3 memory
+    /// ledger: their device still holds topology and the sampling
+    /// workspace.
     pub cache_alpha: f64,
+    /// Hotness policy ranking vertices for every per-executor cache
+    /// (default PreSC#1, the paper's).
+    pub cache_policy: PolicyKind,
+    /// Per-device memory budget in bytes the role planners allocate out
+    /// of. `None` derives a budget from [`ThreadedConfig::cache_alpha`]
+    /// so dedicated Trainers land exactly on that ratio; the standby
+    /// shape then affords strictly fewer rows.
+    pub device_budget: Option<u64>,
     /// Capacity of the bounded global queue: Samplers block once this many
     /// samples wait unconsumed (host-memory backpressure, §5.2).
     pub queue_capacity: usize,
@@ -129,6 +146,8 @@ impl Default for ThreadedConfig {
             lr: 0.01,
             seed: 0,
             cache_alpha: 0.2,
+            cache_policy: PolicyKind::PreSC { k: 1 },
+            device_budget: None,
             queue_capacity: DEFAULT_CAPACITY,
             dynamic_switching: true,
             trainer_delay: None,
@@ -183,6 +202,25 @@ impl RecoveryReport {
     }
 }
 
+/// End-of-run accounting for one executor-owned feature cache: every
+/// dedicated Trainer and every switched standby contributes one report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorCacheReport {
+    /// Consumer role that owned the store ([`Executor::Trainer`] or
+    /// [`Executor::Standby`]).
+    pub role: Executor,
+    /// Executor slot within its role.
+    pub slot: usize,
+    /// Cache ratio α its memory plan afforded.
+    pub alpha: f64,
+    /// Cached feature rows.
+    pub rows: usize,
+    /// Measured wall nanoseconds of its cache fill (the refresh stage).
+    pub refresh_ns: u64,
+    /// Extraction statistics over the executor's lifetime.
+    pub stats: CacheStats,
+}
+
 /// Outcome of a threaded run.
 #[derive(Debug, Clone)]
 pub struct ThreadedResult {
@@ -194,8 +232,11 @@ pub struct ThreadedResult {
     pub final_accuracy: f64,
     /// Largest queue backlog observed; capped by the queue capacity.
     pub peak_queue_depth: usize,
-    /// Cache hit rate of the Trainers' real two-tier extraction.
+    /// Aggregate cache hit rate across every executor-owned store.
     pub cache_hit_rate: f64,
+    /// Per-executor cache reports, sorted Trainers first then standbys,
+    /// each by slot.
+    pub caches: Vec<ExecutorCacheReport>,
     /// Standby-Trainer switches performed by finished Samplers (§5.3).
     pub switches: usize,
     /// Total nanoseconds executors spent blocked on the global queue
@@ -258,10 +299,6 @@ fn stream_seed(seed: u64, role: StreamRole, index: u64) -> u64 {
 
 /// EWMA smoothing factor for the live stage-time estimates.
 const EWMA_ALPHA: f64 = 0.2;
-
-/// Standby prior: until a standby Trainer has run, assume it is this much
-/// slower than a normal Trainer (its cache is colder, §5.3).
-const STANDBY_PRIOR: f64 = 1.5;
 
 /// A lock-free EWMA cell (f64 bits in an atomic; NaN = no samples yet).
 #[derive(Debug)]
@@ -331,30 +368,57 @@ impl LiveStats {
 // Helpers.
 // ---------------------------------------------------------------------------
 
-/// Builds the Trainers' two-tier feature store with PreSC#1 hotness.
-/// Pre-sampling and extraction both fan out over `pool`.
-fn build_feature_store(
+/// Computes the shared hotness map every per-executor cache ranks by
+/// ([`ThreadedConfig::cache_policy`]; pre-sampling fans out over `pool`).
+///
+/// Returns `None` when no planned role affords a single cache row: the
+/// α = 0 path used to pay a full pre-sampling epoch for a cache nothing
+/// would ever populate.
+fn build_hotness(
     graph: &SbmGraph,
     train_set: &[VertexId],
     kind: ModelKind,
     cfg: &ThreadedConfig,
-    pool: Arc<ThreadPool>,
-) -> CachedFeatureStore {
-    let n = graph.csr.num_vertices();
+    plan: &LiveCachePlan,
+    pool: &Arc<ThreadPool>,
+) -> Option<Vec<f64>> {
+    if plan.trainer_rows == 0 && plan.standby_rows == 0 {
+        return None;
+    }
     let algo = sampler_for(kind);
-    let hotness = CachePolicy::hotness_with_pool(
-        PolicyKind::PreSC { k: 1 },
-        &graph.csr,
-        train_set,
-        algo.as_ref(),
-        cfg.batch_size,
-        cfg.seed,
-        &pool,
+    Some(
+        CachePolicy::hotness_with_pool(
+            cfg.cache_policy,
+            &graph.csr,
+            train_set,
+            algo.as_ref(),
+            cfg.batch_size,
+            cfg.seed,
+            pool,
+        )
+        .hotness,
     )
-    .hotness;
-    let table = load_cache(&hotness, cfg.cache_alpha.clamp(0.0, 1.0), n);
-    let host = FeatureStore::materialized(n, graph.feat_dim, graph.features.clone());
-    CachedFeatureStore::with_pool(host, table, pool)
+}
+
+/// How much more extraction traffic the standby's planned cache misses
+/// relative to a dedicated Trainer's, estimated from the hotness mass
+/// each planned cache captures: `(1 + miss_s) / (1 + miss_t)` where
+/// `miss_r` is role r's expected miss fraction (hotness is proportional
+/// to expected visits, so captured mass approximates the hit rate).
+/// Always ≥ 1; exactly 1 with no hotness or equal shapes. Seeds the
+/// standby `T_t'` estimate before any standby has run.
+fn planned_miss_ratio(hotness: Option<&Vec<f64>>, trainer_rows: usize, standby_rows: usize) -> f64 {
+    let Some(h) = hotness else { return 1.0 };
+    let total: f64 = h.iter().sum();
+    if total <= 0.0 {
+        return 1.0;
+    }
+    let mut sorted = h.clone();
+    sorted.sort_unstable_by(|a, b| b.total_cmp(a));
+    let mass = |rows: usize| sorted.iter().take(rows).sum::<f64>() / total;
+    let miss_t = 1.0 - mass(trainer_rows);
+    let miss_s = 1.0 - mass(standby_rows);
+    ((1.0 + miss_s) / (1.0 + miss_t)).max(1.0)
 }
 
 /// Copies master parameter values into a replica (the Trainer's pull).
@@ -539,7 +603,33 @@ struct Shared<'a> {
     batches_per_epoch: usize,
     queue: GlobalQueue<TrainTask>,
     obs: Arc<Obs>,
-    feature_store: CachedFeatureStore,
+    /// The shared host feature tier every executor-owned store reads on a
+    /// miss; materialized once per run.
+    host_store: Arc<FeatureStore>,
+    /// Shared PreSC hotness map the per-executor tables rank by; `None`
+    /// when no planned role affords cache rows (α = 0 skips the pass).
+    hotness: Option<Vec<f64>>,
+    /// The per-role memory plans (§3 capacity accounting): Trainer budget
+    /// minus train workspace; standby budget minus topology + sampling
+    /// workspace + train workspace.
+    plan: LiveCachePlan,
+    /// The table the Samplers' M step marks against. Per-executor stores
+    /// built at trainer rows share this exact layout; a standby's table is
+    /// a prefix of it, so the mask stays a sound hint (it only feeds a
+    /// length debug-assert plus the Sampler-side mark accounting).
+    mark_table: CacheTable,
+    /// The data-parallel pool behind Extract, pre-sampling and cache
+    /// fills.
+    pool: Arc<ThreadPool>,
+    /// Planned standby/trainer extraction-traffic ratio (≥ 1), the
+    /// `T_t'` seed before any standby has run.
+    standby_miss_ratio: f64,
+    /// EWMA of measured cache-refresh seconds, amortized into the `T_t'`
+    /// seed.
+    refresh_secs: AtomicEwma,
+    /// One report per executor-owned store, pushed when its consume loop
+    /// exits.
+    cache_reports: Mutex<Vec<ExecutorCacheReport>>,
     server: Mutex<ParamServer>,
     stats: LiveStats,
     book: Mutex<SamplerBook>,
@@ -617,6 +707,42 @@ impl Shared<'_> {
         self.obs
             .metrics
             .counter_add(names::RECOVERY_DOWNTIME_NS, ns as f64);
+    }
+
+    /// Builds one executor's cache table at its planned row budget.
+    fn plan_table(&self, rows: usize) -> CacheTable {
+        let n = self.graph.csr.num_vertices();
+        match &self.hotness {
+            Some(h) if rows > 0 => load_cache_topk(h, rows, n),
+            _ => CacheTable::empty(n),
+        }
+    }
+
+    /// The span-instrumented cache-refresh stage: fills a fresh
+    /// executor-owned store with its planned `rows` hottest feature rows,
+    /// measuring the cost into the `cache.refresh_ns` histogram and the
+    /// refresh EWMA that amortizes into the `T_t'` seed. Returns the
+    /// store and its measured refresh nanoseconds.
+    fn build_store(&self, rows: usize, device: u32, role: Executor) -> (CachedFeatureStore, u64) {
+        let table = self.plan_table(rows);
+        let started = Instant::now();
+        let store = {
+            let _g = self
+                .obs
+                .start_span(device, role, Stage::LoadCache, u64::MAX);
+            CachedFeatureStore::shared_with_pool(
+                Arc::clone(&self.host_store),
+                table,
+                Arc::clone(&self.pool),
+            )
+            .0
+        };
+        // Tiny fills can round to 0 on a coarse clock; floor at 1ns so
+        // "the refresh was measured" stays observable per store.
+        let ns = (started.elapsed().as_nanos() as u64).max(1);
+        self.obs.metrics.observe(names::CACHE_REFRESH_NS, ns as f64);
+        self.refresh_secs.update(ns as f64 / 1e9);
+        (store, ns)
     }
 
     /// The §5.2 allocation rule on live estimates: with `n_g` devices,
@@ -700,6 +826,43 @@ pub fn run_threaded_obs(
         .gauge_set(names::EXTRACT_PAR_THREADS, pool.threads() as f64);
     obs.metrics
         .gauge_set(names::FAULTS_RESPAWN_BUDGET, cfg.faults.max_respawns as f64);
+    // The §3 memory plan: one role-appropriate cache budget per consumer.
+    // Trainers spend budget minus the train workspace on cache rows; a
+    // standby's device additionally keeps topology and the sampling
+    // workspace, so its cache is strictly smaller.
+    let live = LiveGraphBytes::new(n, graph.csr.num_edges(), graph.feat_dim);
+    let sample_ws = live_sample_workspace_bytes(kind, cfg.batch_size, n);
+    let train_ws = live_train_workspace_bytes(
+        kind,
+        cfg.batch_size,
+        graph.feat_dim,
+        cfg.hidden_dim,
+        graph.num_classes,
+        n,
+    );
+    let plan = plan_live_run(
+        cfg.device_budget,
+        cfg.cache_alpha,
+        &live,
+        sample_ws,
+        train_ws,
+    );
+    obs.metrics
+        .gauge_set(names::CACHE_TRAINER_ALPHA, plan.trainer.cache_alpha);
+    obs.metrics
+        .gauge_set(names::CACHE_STANDBY_ALPHA, plan.standby.cache_alpha);
+    let hotness = build_hotness(graph, &train_set, kind, cfg, &plan, &pool);
+    let standby_miss_ratio =
+        planned_miss_ratio(hotness.as_ref(), plan.trainer_rows, plan.standby_rows);
+    let mark_table = match &hotness {
+        Some(h) if plan.trainer_rows > 0 => load_cache_topk(h, plan.trainer_rows, n),
+        _ => CacheTable::empty(n),
+    };
+    let host_store = Arc::new(FeatureStore::materialized(
+        n,
+        graph.feat_dim,
+        graph.features.clone(),
+    ));
     // Live telemetry for the whole run: periodic gauge→series sampling
     // and alert evaluation. Stopped explicitly after the final cache
     // publish so the closing evaluation sees the complete end state
@@ -714,7 +877,14 @@ pub fn run_threaded_obs(
         batches_per_epoch,
         queue: GlobalQueue::bounded_with_obs(cfg.queue_capacity, Arc::clone(obs)),
         obs: Arc::clone(obs),
-        feature_store: build_feature_store(graph, &train_set, kind, cfg, pool),
+        host_store,
+        hotness,
+        plan,
+        mark_table,
+        pool,
+        standby_miss_ratio,
+        refresh_secs: AtomicEwma::new(),
+        cache_reports: Mutex::new(Vec::new()),
         server: Mutex::new(ParamServer {
             master: GnnModel::new(ModelConfig {
                 kind,
@@ -778,7 +948,14 @@ pub fn run_threaded_obs(
         total += chunk.len();
     }
 
-    let cache_stats = shared.feature_store.stats();
+    // Per-executor stores already streamed `cache.<role>.<slot>.*`; here
+    // their end states roll up into the aggregate `cache.*` totals.
+    let mut caches = std::mem::take(&mut *shared.cache_reports.lock());
+    caches.sort_by_key(|c| (c.role == Executor::Standby, c.slot));
+    let mut cache_stats = CacheStats::default();
+    for c in &caches {
+        cache_stats.add(&c.stats);
+    }
     cache_stats.publish(&obs.metrics);
     telemetry.stop();
     Ok(ThreadedResult {
@@ -791,6 +968,7 @@ pub fn run_threaded_obs(
         },
         peak_queue_depth: shared.queue.peak_depth(),
         cache_hit_rate: cache_stats.hit_rate(),
+        caches,
         switches: shared.switches.load(Ordering::Relaxed),
         queue_blocked_ns: shared.queue.blocked_ns(),
         recovery: RecoveryReport {
@@ -1016,7 +1194,7 @@ fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
         // pass.
         {
             let _g = obs.start_span(device, Executor::Sampler, Stage::SampleM, id);
-            sample.cache_mask = Some(sh.feature_store.table().mark(sample.input_nodes()));
+            sample.cache_mask = Some(sh.mark_table.mark(sample.input_nodes()));
         }
         let mut secs = work_started.elapsed().as_secs_f64();
         if slowdown > 1.0 {
@@ -1067,8 +1245,9 @@ fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
     }
 }
 
-/// A Trainer's main loop: lease tasks off the queue, retry transient
-/// faults in place, train, confirm the lease.
+/// A Trainer's main loop: build its own memory-planned cache, then lease
+/// tasks off the queue, retry transient faults in place, train, confirm
+/// the lease.
 fn trainer_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), ThreadedError> {
     let cfg = sh.cfg;
     let device = (cfg.num_samplers + slot) as u32;
@@ -1079,16 +1258,17 @@ fn trainer_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), Thread
         num_classes: sh.graph.num_classes,
         seed: stream_seed(cfg.seed, StreamRole::Trainer, exec as u64),
     });
+    let (store, refresh_ns) = sh.build_store(sh.plan.trainer_rows, device, Executor::Trainer);
     let crash = cfg.faults.crash_for(ExecutorRole::Trainer, slot);
     let slowdown = cfg.faults.slowdown(ExecutorRole::Trainer, slot);
     consume_loop(
         sh,
         exec,
         device,
-        Executor::Trainer,
-        &format!("Trainer {slot}"),
-        &names::executor_ewma("trainer", slot),
+        slot,
         &mut replica,
+        &store,
+        refresh_ns,
         crash,
         slowdown,
         false,
@@ -1096,21 +1276,29 @@ fn trainer_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), Thread
 }
 
 /// The §5.3 switching decision a Sampler takes once its sampling work is
-/// done: evaluate the live profit metric and, if positive, train as a
-/// standby Trainer until the queue drains.
+/// done: evaluate the live profit metric and, if positive, pay the
+/// replica-init and cache-refresh cost, re-check, and train as a standby
+/// Trainer until the queue drains.
 fn standby_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), ThreadedError> {
     let cfg = sh.cfg;
     let obs = &*sh.obs;
     let remaining = sh.queue.remaining();
-    // Until estimates exist, fall back: T_t ≈ T_s (same order of work per
-    // batch here), T_t' ≈ STANDBY_PRIOR × T_t (colder cache).
+    // Until estimates exist, fall back T_t ≈ T_s (same order of work per
+    // batch here).
     let t_train = sh
         .stats
         .t_train
         .get()
         .or_else(|| sh.stats.t_sample.get())
         .unwrap_or(0.0);
-    let t_standby = sh.stats.t_standby.get().unwrap_or(t_train * STANDBY_PRIOR);
+    // T_t' is the measured standby EWMA once one exists; before that it
+    // is *seeded* from the standby's planned cache shape and the measured
+    // refresh cost (§5.3: the standby keeps topology, so its cache is
+    // smaller and T_t' > T_t) — no hard-coded prior.
+    let refresh = sh.refresh_secs.get().unwrap_or(0.0);
+    let t_standby = sh.stats.t_standby.get().unwrap_or_else(|| {
+        seed_standby_estimate(t_train, sh.standby_miss_ratio, refresh, remaining)
+    });
     let n_t = sh.stats.active_trainers.load(Ordering::Relaxed);
     let profit = switch_profit(remaining, t_train, n_t, t_standby);
     obs.metrics
@@ -1120,8 +1308,10 @@ fn standby_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), Thread
         obs.metrics.counter_inc(names::SCHEDULER_SWITCH_DENIED);
         return Ok(());
     }
-    obs.metrics.counter_inc(names::SCHEDULER_SWITCHES);
-    sh.switches.fetch_add(1, Ordering::Relaxed);
+    // Tentatively switch: register as a consumer, pay the replica init
+    // and the cache refresh, then re-check the profit on a fresh queue
+    // read — committing on the stale pre-init read both wasted the init
+    // cost on a drained queue and overcounted `scheduler.switches`.
     sh.stats.active_trainers.fetch_add(1, Ordering::Relaxed);
     sh.consuming.lock().insert(exec);
     let mut replica = GnnModel::new(ModelConfig {
@@ -1131,15 +1321,38 @@ fn standby_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), Thread
         num_classes: sh.graph.num_classes,
         seed: stream_seed(cfg.seed, StreamRole::Standby, exec as u64),
     });
+    let (store, refresh_ns) = sh.build_store(sh.plan.standby_rows, slot as u32, Executor::Standby);
+    let remaining_now = sh.queue.remaining();
+    let peers = sh
+        .stats
+        .active_trainers
+        .load(Ordering::Relaxed)
+        .saturating_sub(1);
+    let t_standby_now = sh.stats.t_standby.get().unwrap_or(t_standby);
+    let profit_now = switch_profit(
+        remaining_now,
+        sh.stats.t_train.get().unwrap_or(t_train),
+        peers,
+        t_standby_now,
+    );
+    if profit_now <= 0.0 {
+        // The queue drained (or peers multiplied) while this standby was
+        // initializing: a futile wake, not a switch.
+        obs.metrics.counter_inc(names::SCHEDULER_SWITCH_FUTILE);
+        sh.stats.active_trainers.fetch_sub(1, Ordering::Relaxed);
+        return Ok(());
+    }
+    obs.metrics.counter_inc(names::SCHEDULER_SWITCHES);
+    sh.switches.fetch_add(1, Ordering::Relaxed);
     let slowdown = cfg.faults.slowdown(ExecutorRole::Sampler, slot);
     let res = consume_loop(
         sh,
         exec,
         slot as u32,
-        Executor::Standby,
-        &format!("Standby {slot}"),
-        &names::executor_ewma("standby", slot),
+        slot,
         &mut replica,
+        &store,
+        refresh_ns,
         None,
         slowdown,
         true,
@@ -1151,26 +1364,39 @@ fn standby_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), Thread
 /// The shared consumer loop of Trainers and standbys: lease, maybe crash
 /// (injected, at most once, while the lease is held so the replay trains
 /// the batch exactly once), retry transient faults with seeded backoff,
-/// process, confirm.
+/// process, confirm. Streams the executor's own `cache.<role>.<slot>.*`
+/// hit/miss counters per batch and files its [`ExecutorCacheReport`] on
+/// exit.
 #[allow(clippy::too_many_arguments)]
 fn consume_loop(
     sh: &Shared<'_>,
     exec: usize,
     device: u32,
-    role: Executor,
-    who: &str,
-    ewma_gauge: &str,
+    slot: usize,
     replica: &mut GnnModel,
+    store: &CachedFeatureStore,
+    refresh_ns: u64,
     crash: Option<(usize, usize)>,
     slowdown: f64,
     standby: bool,
 ) -> Result<(), ThreadedError> {
     let cfg = sh.cfg;
     let obs = &*sh.obs;
+    let (role, role_name) = if standby {
+        (Executor::Standby, "standby")
+    } else {
+        (Executor::Trainer, "trainer")
+    };
+    let who = format!("{} {slot}", if standby { "Standby" } else { "Trainer" });
+    let ewma_gauge = names::executor_ewma(role_name, slot);
+    let lookups_name = names::executor_cache(role_name, slot, "lookups");
+    let hits_name = names::executor_cache(role_name, slot, "hits");
+    let misses_name = names::executor_cache(role_name, slot, "misses");
+    let hit_rate_name = names::executor_cache(role_name, slot, "hit_rate");
     let env = TrainerEnv {
         obs,
         server: &sh.server,
-        store: &sh.feature_store,
+        store,
         graph: sh.graph,
         trained: &sh.trained,
         delay: cfg.trainer_delay,
@@ -1183,6 +1409,21 @@ fn consume_loop(
     let mut done = 0usize;
     // This executor's own batch-time EWMA (straggler-alert input).
     let mut my_ewma: Option<f64> = None;
+    // Last published cache snapshot, so the per-executor counters stream
+    // deltas instead of re-adding the running totals.
+    let mut last_cache = CacheStats::default();
+    // Files this executor's cache report whether the loop exits cleanly
+    // or returns an unrecoverable error.
+    let file_report = |stats: CacheStats| {
+        sh.cache_reports.lock().push(ExecutorCacheReport {
+            role,
+            slot,
+            alpha: store.table().alpha(),
+            rows: store.table().len(),
+            refresh_ns,
+            stats,
+        });
+    };
     loop {
         // Blocking leased dequeue: wakes on enqueue, reclaim, close or
         // poison — idle consumers cost no CPU.
@@ -1206,8 +1447,9 @@ fn consume_loop(
                         // Unrecoverable: fail the run through the poison
                         // path (no respawn would help a deterministic
                         // fault).
+                        file_report(store.stats());
                         return Err(ThreadedError {
-                            executor: who.to_string(),
+                            executor: who.clone(),
                             message: format!(
                                 "unrecoverable transient fault on batch {} after {attempt} retries",
                                 lease.task.id
@@ -1230,7 +1472,21 @@ fn consume_loop(
                 sh.stats.update(cell, series, secs, obs);
                 let est = my_ewma.map_or(secs, |prev| prev + EWMA_ALPHA * (secs - prev));
                 my_ewma = Some(est);
-                obs.metrics.gauge_set(ewma_gauge, est);
+                obs.metrics.gauge_set(&ewma_gauge, est);
+                // Stream this executor's own hit/miss deltas so the
+                // low-hit-rate alert sees each store, not the fleet
+                // average.
+                let snap = store.stats();
+                obs.metrics
+                    .counter_add(&lookups_name, (snap.lookups - last_cache.lookups) as f64);
+                obs.metrics
+                    .counter_add(&hits_name, (snap.hits - last_cache.hits) as f64);
+                obs.metrics.counter_add(
+                    &misses_name,
+                    ((snap.lookups - snap.hits) - (last_cache.lookups - last_cache.hits)) as f64,
+                );
+                obs.metrics.gauge_set(&hit_rate_name, snap.hit_rate());
+                last_cache = snap;
                 sh.queue.complete(lease.id);
                 done += 1;
             }
@@ -1240,6 +1496,7 @@ fn consume_loop(
             Err(DequeueError::Poisoned(_)) => break,
         }
     }
+    file_report(store.stats());
     Ok(())
 }
 
@@ -1388,10 +1645,50 @@ mod tests {
         // The respawn budget is visible to the alert engine even on a
         // healthy run.
         assert!(obs.metrics.gauge(names::FAULTS_RESPAWN_BUDGET).is_some());
-        // Cache hit/miss totals were published by the Trainers' store.
+        // Cache hit/miss totals were published by the executors' stores.
         assert!(obs.metrics.counter("cache.lookups") > 0.0);
         assert!(obs.metrics.counter("cache.hits") > 0.0);
         assert!(obs.metrics.counter("cache.misses") > 0.0);
+        // Each Trainer streamed its own per-executor cache family, and the
+        // aggregate equals the sum of the per-executor counters.
+        let mut lookup_sum = 0.0;
+        for t in 0..cfg.num_trainers {
+            let lk = obs
+                .metrics
+                .counter(&names::executor_cache("trainer", t, "lookups"));
+            assert!(lk > 0.0, "trainer {t} published no cache lookups");
+            assert!(
+                obs.metrics
+                    .gauge(&names::executor_cache("trainer", t, "hit_rate"))
+                    .is_some(),
+                "trainer {t} missing hit-rate gauge"
+            );
+            lookup_sum += lk;
+        }
+        // The aggregate rolls up every per-executor store (standby
+        // families join the trainer ones when a switch happened).
+        assert!(lookup_sum <= obs.metrics.counter("cache.lookups"));
+        assert_eq!(
+            res.caches.iter().map(|c| c.stats.lookups).sum::<u64>() as f64,
+            obs.metrics.counter("cache.lookups")
+        );
+        // Every Trainer's cache fill was measured into the refresh
+        // histogram, and the plan gauges carry the per-role ratios.
+        let refresh = obs.metrics.histogram(names::CACHE_REFRESH_NS).unwrap();
+        assert!(refresh.count >= cfg.num_trainers as u64);
+        assert!(refresh.sum > 0.0);
+        assert_eq!(
+            obs.metrics.gauge(names::CACHE_TRAINER_ALPHA).unwrap().last,
+            0.5
+        );
+        // One report per dedicated Trainer (no switch happened here or it
+        // adds standby entries after the trainers).
+        assert!(res.caches.len() >= cfg.num_trainers);
+        for (t, c) in res.caches.iter().take(cfg.num_trainers).enumerate() {
+            assert_eq!(c.role, Executor::Trainer);
+            assert_eq!(c.slot, t);
+            assert!(c.refresh_ns > 0);
+        }
         // Every executor recorded wall-clock spans; none overlap on a lane.
         assert!(obs.span_count() > 0);
         assert!(gnnlab_obs::find_overlap(&obs.spans()).is_none());
@@ -1494,6 +1791,60 @@ mod tests {
         assert_eq!(res.samples_produced, batches_per_epoch * 3);
         // The standby recorded spans under its own executor role.
         assert!(obs.spans().iter().any(|s| s.executor == Executor::Standby));
+    }
+
+    /// Satellite: under skewed hotness a switched standby's *measured*
+    /// hit rate sits strictly below a dedicated Trainer's — its memory
+    /// plan keeps topology and the sampling workspace, so it affords
+    /// fewer cache rows — and every switch measured a cache refresh.
+    #[test]
+    fn standby_cache_is_smaller_and_hits_less_than_a_trainers() {
+        let g = graph();
+        let obs = Arc::new(Obs::wall());
+        let cfg = ThreadedConfig {
+            num_samplers: 2,
+            num_trainers: 1,
+            epochs: 3,
+            batch_size: 25,
+            cache_alpha: 0.5,
+            queue_capacity: 128,
+            trainer_delay: Some(Duration::from_millis(3)),
+            ..Default::default()
+        };
+        let res = run_threaded_obs(&g, ModelKind::GraphSage, &cfg, &obs).unwrap();
+        assert!(res.switches >= 1, "no standby switch despite backlog");
+        let trainer = res
+            .caches
+            .iter()
+            .find(|c| c.role == Executor::Trainer)
+            .expect("a dedicated Trainer report");
+        let standby = res
+            .caches
+            .iter()
+            .find(|c| c.role == Executor::Standby && c.stats.lookups > 0)
+            .expect("a switched standby that trained batches");
+        assert!(
+            standby.rows < trainer.rows,
+            "standby rows {} not below trainer rows {}",
+            standby.rows,
+            trainer.rows
+        );
+        assert!(standby.alpha < trainer.alpha);
+        assert!(
+            standby.stats.hit_rate() < trainer.stats.hit_rate(),
+            "standby hit rate {:.3} not strictly below trainer {:.3}",
+            standby.stats.hit_rate(),
+            trainer.stats.hit_rate()
+        );
+        // Every switched standby's refresh was measured (trainer fills +
+        // one per standby store built).
+        let refresh = obs.metrics.histogram(names::CACHE_REFRESH_NS).unwrap();
+        assert!(refresh.count >= (cfg.num_trainers + res.switches) as u64);
+        for c in &res.caches {
+            assert!(c.refresh_ns > 0, "{:?} has unmeasured refresh", c.role);
+        }
+        // Exactly-once training still holds through the switch.
+        assert_eq!(res.batches_trained, res.samples_produced);
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //!   [`AlertRules::saturation_blocked_rate`] blocked-seconds per
 //!   wall-second: producers or consumers are pinned on the bounded
 //!   queue instead of working.
-//! * **cache_collapse** — the feature-cache hit rate
-//!   (`cache.hits / cache.lookups`) falls below
+//! * **cache_collapse** — an executor cache's hit rate
+//!   (`cache.<role>.<slot>.hits / .lookups`, one subject per
+//!   executor-owned store; aggregate `cache.hits / cache.lookups` when no
+//!   per-executor family exists) falls below
 //!   [`AlertRules::cache_collapse_hit_rate`] once enough lookups have
 //!   happened to be meaningful.
 //! * **respawn_burn** — recovery actions (respawns + reassignments)
@@ -221,28 +223,55 @@ impl AlertEngine {
     }
 
     fn eval_cache(&mut self, obs: &Obs, t_ns: u64) {
-        let lookups = obs.metrics.counter(names::CACHE_LOOKUPS);
-        if lookups < self.rules.cache_min_lookups {
-            return;
+        // Per-executor stores first: `cache.<role>.<slot>.lookups`
+        // counters, one subject per executor-owned cache. The aggregate
+        // `cache.lookups`/`cache.hits` pair is only consulted when no
+        // per-executor family exists (runs that publish one shared store).
+        let counters = obs.metrics.counters_snapshot();
+        let mut stores: Vec<(String, f64, f64)> = Vec::new();
+        for (name, &lookups) in &counters {
+            let Some(rest) = name.strip_prefix(names::EXECUTOR_CACHE_PREFIX) else {
+                continue;
+            };
+            // Exactly `<role>.<slot>.lookups` — the aggregate
+            // `cache.lookups` has no role/slot segments.
+            let parts: Vec<&str> = rest.split('.').collect();
+            if parts.len() != 3 || parts[2] != "lookups" {
+                continue;
+            }
+            let hits = counters
+                .get(&format!("cache.{}.{}.hits", parts[0], parts[1]))
+                .copied()
+                .unwrap_or(0.0);
+            stores.push((format!("cache.{}.{}", parts[0], parts[1]), lookups, hits));
         }
-        let hits = obs.metrics.counter(names::CACHE_HITS);
-        let hit_rate = hits / lookups;
+        if stores.is_empty() {
+            let lookups = obs.metrics.counter(names::CACHE_LOOKUPS);
+            let hits = obs.metrics.counter(names::CACHE_HITS);
+            stores.push(("cache".to_string(), lookups, hits));
+        }
         let threshold = self.rules.cache_collapse_hit_rate;
-        let message = format!(
-            "feature-cache hit rate {:.1}% over {} lookups",
-            hit_rate * 100.0,
-            lookups as u64
-        );
-        self.edge(
-            obs,
-            hit_rate < threshold,
-            names::RULE_CACHE_COLLAPSE,
-            "cache",
-            message,
-            hit_rate,
-            threshold,
-            t_ns,
-        );
+        for (subject, lookups, hits) in stores {
+            if lookups < self.rules.cache_min_lookups {
+                continue;
+            }
+            let hit_rate = hits / lookups;
+            let message = format!(
+                "{subject} hit rate {:.1}% over {} lookups",
+                hit_rate * 100.0,
+                lookups as u64
+            );
+            self.edge(
+                obs,
+                hit_rate < threshold,
+                names::RULE_CACHE_COLLAPSE,
+                &subject,
+                message,
+                hit_rate,
+                threshold,
+                t_ns,
+            );
+        }
     }
 
     fn eval_respawn_burn(&mut self, obs: &Obs, gauges: &BTreeMap<String, crate::Gauge>, t_ns: u64) {
@@ -351,6 +380,34 @@ mod tests {
         obs.metrics.counter_add(names::CACHE_HITS, 10.0);
         engine.evaluate(&obs);
         assert_eq!(obs.metrics.counter("alerts.cache_collapse"), 1.0);
+    }
+
+    #[test]
+    fn cache_collapse_keys_on_per_executor_stores() {
+        let obs = Obs::wall();
+        let mut engine = AlertEngine::new(AlertRules::default());
+        // A healthy trainer cache and a collapsed standby cache; the
+        // aggregate would look healthy, but the standby must fire.
+        obs.metrics
+            .counter_add(&names::executor_cache("trainer", 0, "lookups"), 1000.0);
+        obs.metrics
+            .counter_add(&names::executor_cache("trainer", 0, "hits"), 800.0);
+        obs.metrics
+            .counter_add(&names::executor_cache("standby", 1, "lookups"), 600.0);
+        obs.metrics
+            .counter_add(&names::executor_cache("standby", 1, "hits"), 6.0);
+        // The aggregate pair exists too and is healthy — it must be
+        // ignored once per-executor families are present.
+        obs.metrics.counter_add(names::CACHE_LOOKUPS, 1600.0);
+        obs.metrics.counter_add(names::CACHE_HITS, 806.0);
+        engine.evaluate(&obs);
+        let alerts = obs.metrics.alerts();
+        let collapsed: Vec<_> = alerts
+            .iter()
+            .filter(|a| a.rule == names::RULE_CACHE_COLLAPSE)
+            .collect();
+        assert_eq!(collapsed.len(), 1, "{alerts:?}");
+        assert_eq!(collapsed[0].subject, "cache.standby.1");
     }
 
     #[test]

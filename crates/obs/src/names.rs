@@ -37,6 +37,10 @@ pub const EXTRACT_PAR_CHUNKS: &str = "extract.par_chunks";
 pub const SCHEDULER_SWITCHES: &str = "scheduler.switches";
 /// Counter: switching decisions where the profit metric said no.
 pub const SCHEDULER_SWITCH_DENIED: &str = "scheduler.switch_denied";
+/// Counter: standby wakes that passed the initial profit check, paid
+/// replica init + cache refresh, and then found the queue drained on the
+/// post-init re-check — counted here instead of `scheduler.switches`.
+pub const SCHEDULER_SWITCH_FUTILE: &str = "scheduler.switch_futile";
 /// Series + histogram: the profit value `P` per switching decision.
 pub const SCHEDULER_SWITCH_PROFIT: &str = "scheduler.switch_profit";
 /// Series: live EWMA estimate of the Sampler per-batch time `T_s` (secs).
@@ -64,10 +68,37 @@ pub const RETRY_ATTEMPTS: &str = "retry.attempts";
 /// Counter: total nanoseconds spent in retry backoff sleeps.
 pub const RETRY_BACKOFF_NS: &str = "retry.backoff_ns";
 
-/// Counter: feature-cache lookups (hits + misses).
+/// Counter: feature-cache lookups (hits + misses), aggregated across all
+/// executor stores. Per-executor counters live under [`executor_cache`].
 pub const CACHE_LOOKUPS: &str = "cache.lookups";
-/// Counter: feature-cache hits.
+/// Counter: feature-cache hits (aggregate; see [`executor_cache`]).
 pub const CACHE_HITS: &str = "cache.hits";
+/// Histogram: wall nanoseconds of one executor's cache fill/refresh (the
+/// span-instrumented LoadCache stage of a Trainer start or a standby
+/// switch). The measured values seed and update the `T_t'` estimate.
+pub const CACHE_REFRESH_NS: &str = "cache.refresh_ns";
+/// Gauge: the cache ratio α the memory plan afforded a dedicated Trainer
+/// (budget minus train workspace).
+pub const CACHE_TRAINER_ALPHA: &str = "cache.trainer_alpha";
+/// Gauge: the cache ratio α' the memory plan afforded a switched standby
+/// (budget minus topology, sampling and train workspaces) — strictly
+/// smaller than the Trainer's when topology takes space.
+pub const CACHE_STANDBY_ALPHA: &str = "cache.standby_alpha";
+
+/// Prefix of the per-executor cache metrics published by the threaded
+/// runtime: `cache.<role>.<slot>.<field>` counters (`lookups`, `hits`,
+/// `misses`) plus a `hit_rate` gauge — one family per executor-owned
+/// feature store. Build names with [`executor_cache`]; the cache-collapse
+/// alert keys on these per-executor families, falling back to the
+/// aggregate `cache.lookups`/`cache.hits` when none exist.
+pub const EXECUTOR_CACHE_PREFIX: &str = "cache.";
+
+/// The per-executor cache metric name for `role` (`trainer` / `standby`),
+/// executor slot index, and `field` (`lookups` / `hits` / `misses` /
+/// `hit_rate`).
+pub fn executor_cache(role: &str, slot: usize, field: &str) -> String {
+    format!("{EXECUTOR_CACHE_PREFIX}{role}.{slot}.{field}")
+}
 
 /// Gauge: the fault supervisor's configured respawn budget
 /// (`FaultPlan::max_respawns`); the respawn-burn alert compares recovery

@@ -3,7 +3,8 @@
 //! [`render_prometheus`] turns a [`MetricsSnapshot`] into the plain-text
 //! format every Prometheus-compatible scraper understands:
 //!
-//! * counters → `# TYPE <name> counter` + one sample;
+//! * counters → `# TYPE <name>_total counter` + one sample (the `_total`
+//!   suffix Prometheus naming conventions require of counters);
 //! * gauges → `# TYPE <name> gauge` + the last value, plus a
 //!   `<name>_peak` gauge carrying the exact maximum;
 //! * histograms → `# TYPE <name> summary` with `quantile="0.5|0.9|0.99"`
@@ -71,7 +72,13 @@ pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
 
     for (name, value) in &snap.counters {
-        let n = sanitize_name(name);
+        let mut n = sanitize_name(name);
+        // Prometheus naming conventions: counters carry the `_total`
+        // suffix (recording rules and `rate()` idioms depend on it).
+        // Registry names that already end in `_total` are left alone.
+        if !n.ends_with("_total") {
+            n.push_str("_total");
+        }
         let _ = writeln!(out, "# TYPE {n} counter");
         let _ = writeln!(out, "{n} {}", fmt_value(*value));
     }
@@ -164,10 +171,10 @@ mod tests {
         });
         let text = render_prometheus(&reg.snapshot());
         let expected_lines = [
-            "# TYPE alerts_straggler counter",
-            "alerts_straggler 1",
-            "# TYPE queue_enqueued counter",
-            "queue_enqueued 18",
+            "# TYPE alerts_straggler_total counter",
+            "alerts_straggler_total 1",
+            "# TYPE queue_enqueued_total counter",
+            "queue_enqueued_total 18",
             "# TYPE queue_depth gauge",
             "queue_depth 2",
             "# TYPE queue_depth_peak gauge",
@@ -195,6 +202,20 @@ mod tests {
         };
         assert!(q("0.5") <= q("0.9") && q("0.9") <= q("0.99"));
         assert!((q("0.99") - 30.0).abs() / 30.0 <= 0.05);
+    }
+
+    #[test]
+    fn counters_always_carry_the_total_suffix() {
+        let reg = MetricsRegistry::new();
+        reg.counter_inc("cache.trainer.0.hits");
+        reg.counter_inc("already_total");
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("# TYPE cache_trainer_0_hits_total counter"));
+        assert!(text.contains("cache_trainer_0_hits_total 1"));
+        // No naked counter sample lines, and no double suffix.
+        assert!(!text.lines().any(|l| l == "cache_trainer_0_hits 1"));
+        assert!(!text.contains("already_total_total"));
+        assert!(text.contains("already_total 1"));
     }
 
     #[test]

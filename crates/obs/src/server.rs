@@ -251,8 +251,11 @@ mod tests {
                         let (status, body) = get(addr, "/metrics");
                         assert_eq!(status, "HTTP/1.1 200 OK");
                         for line in body.lines().filter(|l| !l.starts_with('#')) {
-                            let (_, v) = line.rsplit_once(' ').expect("sample line");
+                            let (name, v) = line.rsplit_once(' ').expect("sample line");
                             assert!(v.parse::<f64>().is_ok(), "torn line `{line}`");
+                            // Counters render with the conventional
+                            // `_total` suffix, even mid-publish.
+                            assert_ne!(name, "spam_count", "counter missing _total");
                         }
                         let (_, json) = get(addr, "/metrics.json");
                         serde_json::from_str(&json).expect("scrape mid-publish parses");
