@@ -6,7 +6,8 @@
 //!             [--exp NAME | name ...]
 //!     names: table1 table2 table4 table5 table6
 //!            fig3 fig4 fig5 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
-//!            partition all motivation caching performance
+//!            partition ablations fault_recovery switch_cache kill_resume
+//!            all motivation caching performance
 //! Environment: GNNLAB_SCALE=<divisor> (default 1024)
 //! ```
 //!
@@ -66,6 +67,7 @@ fn run_one(name: &str, cfg: &ExpConfig) -> bool {
         "ablations" => print_tables(exp::ablations::run(cfg)),
         "fault_recovery" => print_tables(vec![exp::fault_recovery::run(cfg)]),
         "switch_cache" => print_tables(vec![exp::switch_cache::run(cfg)]),
+        "kill_resume" => print_tables(vec![exp::kill_resume::run(cfg)]),
         _ => return false,
     }
     eprintln!("[{name} took {:.1}s]\n", start.elapsed().as_secs_f64());
@@ -93,6 +95,7 @@ const ALL: &[&str] = &[
     "ablations",
     "fault_recovery",
     "switch_cache",
+    "kill_resume",
 ];
 
 /// Removes `--flag VALUE` (or `--flag=VALUE`) from `args`, returning VALUE.
@@ -155,8 +158,10 @@ fn main() {
                 server
             }
             Err(e) => {
-                eprintln!("failed to bind metrics endpoint {addr}: {e}");
-                std::process::exit(1);
+                // `ServerError` already names the address and OS error;
+                // exit code 3 = metrics endpoint, matching `gnnlab`.
+                eprintln!("{e}");
+                std::process::exit(3);
             }
         }
     });

@@ -20,6 +20,7 @@
 //! | [`ablations`] | design-choice ablations: pipelining, multi-tenant stragglers, batch/training-set size, partitioned sampling, subgraph sampling vs PreSC |
 //! | [`fault_recovery`] | degraded-mode recovery: device killed mid-epoch, replay + re-balance cost |
 //! | [`switch_cache`] | memory-planned per-executor caches: per-role hit rates, refresh cost and profit trajectory under dynamic switching |
+//! | [`kill_resume`] | kill–resume chaos: durable checkpoints, torn-write fallback, bit-identical resumed training |
 
 pub mod ablations;
 pub mod fault_recovery;
@@ -34,6 +35,7 @@ pub mod fig17;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod kill_resume;
 pub mod partition;
 pub mod switch_cache;
 pub mod table1;

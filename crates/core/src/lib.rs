@@ -28,6 +28,11 @@
 //! - [`report`]: stage breakdowns and epoch reports matching the paper's
 //!   table columns.
 
+//! - [`checkpoint`]: durable crash-safe checkpoint/resume — versioned,
+//!   CRC-checked, atomically-written generations plus the manifest-based
+//!   latest-valid selection the kill–resume chaos harness exercises.
+
+pub mod checkpoint;
 pub mod driver;
 pub mod faults;
 pub mod memory;
@@ -41,6 +46,7 @@ pub mod trace;
 pub mod train_real;
 pub mod workload;
 
+pub use checkpoint::{ChaosPlan, CheckpointError, CheckpointPolicy};
 pub use faults::{ExecutorRole, FaultPlan, RetryPolicy};
 pub use report::{EpochReport, RunError, StageBreakdown};
 pub use systems::SystemKind;

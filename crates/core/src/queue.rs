@@ -283,6 +283,19 @@ impl<T> GlobalQueue<T> {
             .map(|opt| opt.expect("deadline-free dequeue never times out"))
     }
 
+    /// [`GlobalQueue::dequeue_leased`] with a timeout: returns `Ok(None)`
+    /// if no task arrived (and the queue neither drained nor poisoned)
+    /// within `timeout`. Consumers use this while a checkpoint quiesce is
+    /// pending so they can alternate between draining leases and checking
+    /// the quiesce gate instead of blocking indefinitely.
+    pub fn dequeue_leased_timeout(
+        &self,
+        owner: u32,
+        timeout: Duration,
+    ) -> Result<Option<Lease<T>>, DequeueError> {
+        self.dequeue_deadline(Some(timeout), Some(owner))
+    }
+
     fn dequeue_deadline(
         &self,
         timeout: Option<Duration>,
@@ -747,6 +760,26 @@ mod tests {
         assert_eq!(q.leased_count(), 0);
         q.close();
         assert_eq!(deq(&q), Err(DequeueError::Drained));
+    }
+
+    #[test]
+    fn dequeue_leased_timeout_times_out_and_leases() {
+        let q: GlobalQueue<u8> = GlobalQueue::bounded(2);
+        let started = Instant::now();
+        assert!(q
+            .dequeue_leased_timeout(3, Duration::from_millis(30))
+            .unwrap()
+            .is_none());
+        assert!(started.elapsed() >= Duration::from_millis(25));
+        // With a task present it behaves exactly like dequeue_leased.
+        q.enqueue(9).unwrap();
+        let lease = q
+            .dequeue_leased_timeout(3, Duration::from_millis(30))
+            .unwrap()
+            .expect("task is ready");
+        assert_eq!(*lease.task, 9);
+        assert_eq!(q.leased_count(), 1);
+        assert_eq!(q.reclaim(3), 1, "timed-out-path leases are reclaimable");
     }
 
     #[test]

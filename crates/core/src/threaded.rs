@@ -50,6 +50,10 @@
 //! [`RecoveryReport`] and published under the `faults.*`, `recovery.*`
 //! and `retry.*` metric names.
 
+use crate::checkpoint::{
+    self, BatchRecord, CheckpointError, CheckpointMeta, CheckpointPolicy, CheckpointState,
+    RngCursor, SchedSnapshot,
+};
 use crate::faults::{splitmix64, ExecutorRole, FaultPlan};
 use crate::memory::{
     live_sample_workspace_bytes, live_train_workspace_bytes, plan_live_run, LiveCachePlan,
@@ -65,10 +69,10 @@ use gnnlab_graph::gen::SbmGraph;
 use gnnlab_graph::{FeatureStore, VertexId};
 use gnnlab_obs::{names, Executor, Obs, Stage, Telemetry, TelemetryConfig};
 use gnnlab_par::ThreadPool;
-use gnnlab_sampling::{MinibatchIter, Sample, SampleBuffers};
+use gnnlab_sampling::{presample_rng, MinibatchIter, Sample, SampleBuffers};
 use gnnlab_tensor::loss::accuracy;
 use gnnlab_tensor::{Adam, GnnModel, Matrix, ModelConfig, ModelKind, Optimizer};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{HashMap, HashSet};
@@ -133,6 +137,10 @@ pub struct ThreadedConfig {
     /// interval and the alert-rule thresholds. Every run gets a telemetry
     /// thread; this only tunes it.
     pub telemetry: TelemetryConfig,
+    /// Durable checkpoint/resume policy: where and how often to snapshot,
+    /// whether to resume from the latest valid generation, and any chaos
+    /// injection. The default is fully disabled.
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for ThreadedConfig {
@@ -154,6 +162,40 @@ impl Default for ThreadedConfig {
             faults: FaultPlan::none(),
             threads: 1,
             telemetry: TelemetryConfig::default(),
+            checkpoint: CheckpointPolicy::default(),
+        }
+    }
+}
+
+/// Failure classes of a threaded run, each mapped to its own documented
+/// CLI exit code so wrappers and CI can react without parsing messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadedErrorKind {
+    /// An executor panicked with no respawn budget left to absorb it (the
+    /// queue is poisoned, so this also covers every thread that died on
+    /// the poisoned-queue path).
+    ExecutorPanic,
+    /// An executor panicked after the fault plan's respawn budget had
+    /// already been spent.
+    RespawnBudgetExhausted,
+    /// A deterministic transient fault exceeded its retry budget.
+    UnrecoverableFault,
+    /// A checkpoint could not be written or a resume could not be applied.
+    Checkpoint,
+    /// A chaos kill-point terminated the run (simulated process kill).
+    Killed,
+}
+
+impl ThreadedErrorKind {
+    /// The documented `gnnlab threaded` exit code for this failure class.
+    /// (1 = generic failure, 2 = usage, 3 = metrics endpoint.)
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ThreadedErrorKind::ExecutorPanic => 10,
+            ThreadedErrorKind::RespawnBudgetExhausted => 11,
+            ThreadedErrorKind::UnrecoverableFault => 12,
+            ThreadedErrorKind::Checkpoint => 13,
+            ThreadedErrorKind::Killed => 14,
         }
     }
 }
@@ -161,15 +203,39 @@ impl Default for ThreadedConfig {
 /// An executor crash surfaced by [`run_threaded`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadedError {
+    /// Which failure class this is (drives the CLI exit code).
+    pub kind: ThreadedErrorKind,
     /// Which executor crashed (e.g. `"Trainer 2"`).
     pub executor: String,
     /// The panic payload rendered as text.
     pub message: String,
 }
 
+impl ThreadedError {
+    fn new(
+        kind: ThreadedErrorKind,
+        executor: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        ThreadedError {
+            kind,
+            executor: executor.into(),
+            message: message.into(),
+        }
+    }
+}
+
 impl std::fmt::Display for ThreadedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} panicked: {}", self.executor, self.message)
+        match self.kind {
+            ThreadedErrorKind::Checkpoint => {
+                write!(f, "{} checkpoint failure: {}", self.executor, self.message)
+            }
+            ThreadedErrorKind::Killed => {
+                write!(f, "{} killed: {}", self.executor, self.message)
+            }
+            _ => write!(f, "{} panicked: {}", self.executor, self.message),
+        }
     }
 }
 
@@ -244,6 +310,18 @@ pub struct ThreadedResult {
     pub queue_blocked_ns: u64,
     /// What the supervisor did about faults.
     pub recovery: RecoveryReport,
+    /// Per-batch training history (loss and accuracy per global batch
+    /// index), sorted by id. With exactly-once training this has one
+    /// record per batch; the kill–resume chaos harness holds it to
+    /// bit-identity across restarts.
+    pub history: Vec<BatchRecord>,
+    /// The master model's final parameter values, flattened in
+    /// `params_mut()` order — the second bit-identity anchor.
+    pub final_params: Vec<f32>,
+    /// Checkpoint generations successfully written during this run.
+    pub checkpoints_written: usize,
+    /// The generation this run resumed from, if any.
+    pub resumed_from: Option<u64>,
 }
 
 /// One task flowing through the global queue.
@@ -272,8 +350,13 @@ struct ParamServer {
 enum StreamRole {
     /// Master model initialization.
     Model = 1,
-    /// A Sampler's sampling stream.
-    Sampler = 2,
+    // 2 was a Sampler's per-*executor* stream. Batch sampling now draws
+    // from per-*batch* domain-tagged streams (`sampling::presample_rng`
+    // over `(seed, epoch, batch)`), so the sampling RNG "position" is a
+    // pure function of the batch cursor: checkpoints persist the cursor
+    // and resume replays the exact same draws, no matter which executor
+    // samples which batch before or after the restart. It also puts
+    // PreSC's pre-sampled epoch 0 in exact lockstep with the trained one.
     /// A Trainer replica's initialization.
     Trainer = 3,
     /// A standby Trainer replica's initialization.
@@ -307,6 +390,13 @@ struct AtomicEwma(AtomicU64);
 impl AtomicEwma {
     fn new() -> Self {
         AtomicEwma(AtomicU64::new(f64::NAN.to_bits()))
+    }
+
+    /// Overwrites the cell with a checkpointed estimate (`None` = the
+    /// cell had never been updated).
+    fn set(&self, value: Option<f64>) {
+        self.0
+            .store(value.unwrap_or(f64::NAN).to_bits(), Ordering::Relaxed);
     }
 
     /// Folds one observation in and returns the new estimate.
@@ -473,6 +563,7 @@ struct TrainerEnv<'a> {
     store: &'a CachedFeatureStore,
     graph: &'a SbmGraph,
     trained: &'a AtomicUsize,
+    history: &'a Mutex<Vec<BatchRecord>>,
     delay: Option<Duration>,
 }
 
@@ -513,8 +604,13 @@ impl TrainerEnv<'_> {
             if let Some(d) = self.delay {
                 std::thread::sleep(d);
             }
-            let _ = replica.train_batch(&task.sample, &feats, &task.labels);
+            let (loss, acc) = replica.train_batch(&task.sample, &feats, &task.labels);
             push_grads(replica, self.server);
+            self.history.lock().push(BatchRecord {
+                id: task.id,
+                loss,
+                acc,
+            });
         }
         self.trained.fetch_add(1, Ordering::Relaxed);
         started.elapsed().as_secs_f64()
@@ -588,6 +684,74 @@ impl SamplerBook {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint quiesce gate.
+// ---------------------------------------------------------------------------
+
+/// How often gate-aware executors poll between quiesce checks.
+const CKPT_POLL: Duration = Duration::from_millis(10);
+
+/// The quiesce gate's mutable core. `participants` counts live executor
+/// threads (registered at spawn, deregistered when the thread's closure
+/// ends — including the crash-handler path); `parked` counts how many are
+/// waiting inside [`Shared::ckpt_park`]. The round number lets parked
+/// threads detect that a round ended (written or aborted) without a
+/// separate flag per thread.
+struct GateState {
+    participants: usize,
+    parked: usize,
+    round: u64,
+    /// True while one parked thread (the round's closer) is writing with
+    /// the gate lock released; blocks a second thread from also closing.
+    closing: bool,
+}
+
+/// Live checkpointing state for a run whose policy is enabled.
+struct CkptRuntime {
+    policy: CheckpointPolicy,
+    gate: Mutex<GateState>,
+    cv: Condvar,
+    /// Fast-path mirror of "a quiesce round is pending" (set by the
+    /// cadence check, cleared by the round's closer under the gate lock).
+    requested: AtomicBool,
+    /// Batch-count trigger: a round is requested once `trained` reaches
+    /// this. Advanced only on a successful write, so aborted rounds retry
+    /// at the next opportunity.
+    next_due: AtomicUsize,
+    /// Next generation number to write (resume continues past the loaded
+    /// generation).
+    generation: AtomicU64,
+    /// Successful writes this run.
+    writes: AtomicUsize,
+    /// Wall clock of the last successful write (drives `every_secs`).
+    last_write: Mutex<Instant>,
+    /// The chaos kill-point fires at most once.
+    kill_fired: AtomicBool,
+}
+
+impl CkptRuntime {
+    fn new(policy: CheckpointPolicy, batches_per_epoch: usize, start_cursor: usize) -> Self {
+        let cadence = policy.batch_cadence(batches_per_epoch);
+        let next_due = cadence.map_or(usize::MAX, |n| start_cursor + n);
+        CkptRuntime {
+            policy,
+            gate: Mutex::new(GateState {
+                participants: 0,
+                parked: 0,
+                round: 0,
+                closing: false,
+            }),
+            cv: Condvar::new(),
+            requested: AtomicBool::new(false),
+            next_due: AtomicUsize::new(next_due),
+            generation: AtomicU64::new(0),
+            writes: AtomicUsize::new(0),
+            last_write: Mutex::new(Instant::now()),
+            kill_fired: AtomicBool::new(false),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Shared run state.
 // ---------------------------------------------------------------------------
 
@@ -647,6 +811,12 @@ struct Shared<'a> {
     produced: AtomicUsize,
     trained: AtomicUsize,
     switches: AtomicUsize,
+    /// Per-batch training history, pushed by every consumer as batches
+    /// train (preloaded with the checkpointed prefix on resume).
+    history: Mutex<Vec<BatchRecord>>,
+    /// Checkpoint runtime; `None` when the policy is disabled (executors
+    /// then run the exact pre-checkpoint code paths).
+    ckpt: Option<CkptRuntime>,
     // Recovery accounting.
     respawns_used: AtomicUsize,
     faults_injected: AtomicUsize,
@@ -669,12 +839,16 @@ impl Shared<'_> {
         self.queue.poison(&err.to_string());
     }
 
-    /// [`Shared::fail_fatal`] from a caught panic payload.
+    /// [`Shared::fail_fatal`] from a caught panic payload. A panic is
+    /// fatal either because the run has no respawn budget at all, or
+    /// because the budget ran out — the kinds (and exit codes) differ.
     fn fail(&self, who: String, payload: Box<dyn std::any::Any + Send>) {
-        self.fail_fatal(ThreadedError {
-            executor: who,
-            message: panic_text(payload),
-        });
+        let kind = if self.cfg.faults.max_respawns > 0 {
+            ThreadedErrorKind::RespawnBudgetExhausted
+        } else {
+            ThreadedErrorKind::ExecutorPanic
+        };
+        self.fail_fatal(ThreadedError::new(kind, who, panic_text(payload)));
     }
 
     /// Counts one injected fault.
@@ -751,6 +925,320 @@ impl Shared<'_> {
         let t_s = self.stats.t_sample.get().unwrap_or(1e-3).max(1e-9);
         let t_t = self.stats.t_train.get().unwrap_or(t_s).max(1e-9);
         n_g - num_samplers(n_g, t_s, t_t)
+    }
+
+    // -- Checkpointing ------------------------------------------------------
+
+    /// Registers the calling executor thread with the quiesce gate.
+    fn ckpt_enter(&self) {
+        if let Some(c) = &self.ckpt {
+            c.gate.lock().participants += 1;
+        }
+    }
+
+    /// Deregisters an executor thread (normal exit and crash paths both).
+    /// Wakes parked peers so a pending round can close without the
+    /// departed participant.
+    fn ckpt_exit(&self) {
+        if let Some(c) = &self.ckpt {
+            let mut g = c.gate.lock();
+            g.participants -= 1;
+            drop(g);
+            c.cv.notify_all();
+        }
+    }
+
+    /// Cadence check, called by consumers after completing a batch:
+    /// requests a quiesce round once enough batches trained or enough
+    /// wall-clock passed since the last successful write.
+    fn ckpt_request_if_due(&self) {
+        let Some(c) = &self.ckpt else { return };
+        if c.requested.load(Ordering::Relaxed) {
+            return;
+        }
+        let due_batches =
+            self.trained.load(Ordering::Relaxed) >= c.next_due.load(Ordering::Relaxed);
+        let due_secs = c
+            .policy
+            .every_secs
+            .is_some_and(|t| c.last_write.lock().elapsed().as_secs_f64() >= t);
+        if due_batches || due_secs {
+            c.requested.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Parks the calling executor for a requested quiesce round. The last
+    /// participant to park validates that the pipeline is fully drained
+    /// (queue empty, zero leases, no open sampler claims or orphans) and
+    /// writes the checkpoint; if something is still in flight the round
+    /// aborts and retries at the next park opportunity. Returns promptly
+    /// when no round is pending.
+    fn ckpt_park(&self, c: &CkptRuntime, producer: bool) {
+        let mut g = c.gate.lock();
+        if !c.requested.load(Ordering::Relaxed) {
+            return;
+        }
+        g.parked += 1;
+        let my_round = g.round;
+        loop {
+            if g.round != my_round
+                || !c.requested.load(Ordering::Relaxed)
+                || self.queue.poison_reason().is_some()
+            {
+                break;
+            }
+            if !producer && self.queue.remaining() > 0 {
+                // A producer slipped a sample in before reaching its own
+                // park check — it may even be blocked on a full queue,
+                // unable to ever park. Leave the gate and drain; the
+                // round stays pending and this consumer re-parks once
+                // the queue is empty again. Producers stay parked for
+                // the whole round, so this converges.
+                break;
+            }
+            if g.parked == g.participants && !g.closing {
+                let queue_busy = self.queue.remaining() > 0 || self.queue.leased_count() > 0;
+                let book_busy = {
+                    let book = self.book.lock();
+                    !book.claims.is_empty() || !book.orphans.is_empty()
+                };
+                if !queue_busy && !book_busy {
+                    // This thread closes the round: write with the gate
+                    // lock released (peers stay parked — the round hasn't
+                    // ended and `closing` blocks a second writer).
+                    g.closing = true;
+                    drop(g);
+                    self.write_checkpoint_now(c);
+                    g = c.gate.lock();
+                    g.closing = false;
+                    c.requested.store(false, Ordering::Relaxed);
+                    g.round = g.round.wrapping_add(1);
+                    break;
+                }
+                if book_busy {
+                    // Un-drainable while everyone is parked: an open claim
+                    // or orphan needs a live peer to re-sample it. Abort
+                    // the round; the cadence re-requests one once recovery
+                    // has made progress.
+                    c.requested.store(false, Ordering::Relaxed);
+                    g.round = g.round.wrapping_add(1);
+                    break;
+                }
+                // Only the queue is busy: a producer slipped its in-hand
+                // sample in just before parking. A parked consumer's
+                // drain-escape above will wake within the poll interval,
+                // drain it, and re-park on an empty queue — keep the
+                // round pending rather than aborting, otherwise a fast
+                // consumer that always out-drains the producer would
+                // abort every round and never write a checkpoint.
+            }
+            c.cv.wait_for(&mut g, CKPT_POLL);
+        }
+        g.parked -= 1;
+        drop(g);
+        c.cv.notify_all();
+    }
+
+    /// Assembles and durably writes the next checkpoint generation. Called
+    /// only from the quiesce round's closer, with every participant
+    /// parked, so the locks it takes see a consistent frozen pipeline.
+    fn write_checkpoint_now(&self, c: &CkptRuntime) {
+        let started = Instant::now();
+        let state = self.assemble_checkpoint();
+        let cursor = state.cursor as usize;
+        let generation = c.generation.load(Ordering::Relaxed);
+        let dir = c.policy.dir.as_deref().expect("enabled policy has a dir");
+        match checkpoint::write_generation(
+            dir,
+            generation,
+            &state,
+            c.policy.effective_keep(),
+            &c.policy.chaos,
+        ) {
+            Ok(bytes) => {
+                let ns = started.elapsed().as_nanos() as f64;
+                let m = &self.obs.metrics;
+                m.observe(names::CKPT_WRITE_NS, ns);
+                m.gauge_set(names::CKPT_LAST_WRITE_NS, ns);
+                m.counter_add(names::CKPT_BYTES, bytes as f64);
+                m.gauge_set(names::CKPT_GENERATION, generation as f64);
+                c.generation.fetch_add(1, Ordering::Relaxed);
+                c.writes.fetch_add(1, Ordering::Relaxed);
+                *c.last_write.lock() = Instant::now();
+                if let Some(n) = c.policy.batch_cadence(self.batches_per_epoch) {
+                    c.next_due.store(cursor + n, Ordering::Relaxed);
+                }
+            }
+            Err(CheckpointError::KilledMidWrite) => {
+                self.fail_fatal(ThreadedError::new(
+                    ThreadedErrorKind::Killed,
+                    "Checkpointer",
+                    format!("simulated process kill during write of generation {generation}"),
+                ));
+            }
+            Err(e) => {
+                self.fail_fatal(ThreadedError::new(
+                    ThreadedErrorKind::Checkpoint,
+                    "Checkpointer",
+                    e.to_string(),
+                ));
+            }
+        }
+    }
+
+    /// Snapshots every piece of live run state the checkpoint format
+    /// persists. Only sound at a quiesce point (queue drained, no leases,
+    /// no open claims): then `book.cursor` is exactly the count of batches
+    /// trained and the history holds one record per trained batch.
+    fn assemble_checkpoint(&self) -> CheckpointState {
+        let cursor = self.book.lock().cursor as u64;
+        let (params, opt) = {
+            let mut guard = self.server.lock();
+            let params: Vec<Matrix> = guard
+                .master
+                .params_mut()
+                .iter()
+                .map(|p| p.value.clone())
+                .collect();
+            (params, guard.opt.export_state())
+        };
+        let mut history = self.history.lock().clone();
+        history.sort_by_key(|r| r.id);
+        let bpe = self.batches_per_epoch.max(1) as u64;
+        CheckpointState {
+            meta: self.checkpoint_meta(),
+            params,
+            opt,
+            sched: SchedSnapshot {
+                t_sample: self.stats.t_sample.get(),
+                t_train: self.stats.t_train.get(),
+                t_standby: self.stats.t_standby.get(),
+                refresh_secs: self.refresh_secs.get(),
+                switches: self.switches.load(Ordering::Relaxed) as u64,
+            },
+            rng: RngCursor {
+                seed: self.cfg.seed,
+                next_epoch: cursor / bpe,
+                next_batch: cursor % bpe,
+            },
+            cursor,
+            recovery: self.recovery_snapshot(),
+            history,
+        }
+    }
+
+    /// The cumulative recovery report as of now (also the end-of-run
+    /// report).
+    fn recovery_snapshot(&self) -> RecoveryReport {
+        RecoveryReport {
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            replayed_batches: self.replayed.load(Ordering::Relaxed),
+            respawns: self.respawns.load(Ordering::Relaxed),
+            reassignments: self.reassignments.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            downtime_ns: self.downtime_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The live run's identity card, compared against a checkpoint's
+    /// stored meta before resuming (mismatch = refuse, not reinterpret).
+    fn checkpoint_meta(&self) -> CheckpointMeta {
+        CheckpointMeta {
+            seed: self.cfg.seed,
+            epochs: self.cfg.epochs as u64,
+            batch_size: self.cfg.batch_size as u64,
+            hidden_dim: self.cfg.hidden_dim as u64,
+            lr_bits: self.cfg.lr.to_bits(),
+            model_kind: self.kind,
+            num_vertices: self.graph.csr.num_vertices() as u64,
+            num_edges: self.graph.csr.num_edges() as u64,
+            feat_dim: self.graph.feat_dim as u64,
+            num_classes: self.graph.num_classes as u64,
+            batches_per_epoch: self.batches_per_epoch as u64,
+            total_batches: (self.batches_per_epoch * self.cfg.epochs) as u64,
+            num_samplers: self.cfg.num_samplers as u64,
+            num_trainers: self.cfg.num_trainers as u64,
+            dynamic_switching: self.cfg.dynamic_switching,
+            trainer_rows: self.plan.trainer_rows as u64,
+            standby_rows: self.plan.standby_rows as u64,
+        }
+    }
+
+    /// Restores a loaded checkpoint into the freshly-built shared state,
+    /// before any executor spawns. Refuses (typed error) when the stored
+    /// meta doesn't match the live run.
+    fn apply_resume(&self, generation: u64, state: CheckpointState) -> Result<(), ThreadedError> {
+        let refuse = |why: String| {
+            Err(ThreadedError::new(
+                ThreadedErrorKind::Checkpoint,
+                "resume",
+                why,
+            ))
+        };
+        let expect = self.checkpoint_meta();
+        if state.meta != expect {
+            return refuse(format!(
+                "checkpoint generation {generation} belongs to a different run \
+                 configuration (seed/model/graph/topology mismatch)"
+            ));
+        }
+        {
+            let mut guard = self.server.lock();
+            let ParamServer { master, opt } = &mut *guard;
+            let mut params = master.params_mut();
+            if params.len() != state.params.len() {
+                return refuse(format!(
+                    "checkpoint generation {generation} holds {} parameter \
+                     tensors, the live model has {}",
+                    state.params.len(),
+                    params.len()
+                ));
+            }
+            for (p, saved) in params.iter_mut().zip(&state.params) {
+                if (p.value.rows(), p.value.cols()) != (saved.rows(), saved.cols()) {
+                    return refuse(format!(
+                        "checkpoint generation {generation} has a parameter \
+                         shape mismatch"
+                    ));
+                }
+                p.value = saved.clone();
+            }
+            drop(params);
+            *opt = Adam::from_state(state.opt);
+        }
+        let cursor = state.cursor as usize;
+        self.book.lock().cursor = cursor;
+        self.trained.store(cursor, Ordering::Relaxed);
+        self.produced.store(cursor, Ordering::Relaxed);
+        self.switches
+            .store(state.sched.switches as usize, Ordering::Relaxed);
+        self.stats.t_sample.set(state.sched.t_sample);
+        self.stats.t_train.set(state.sched.t_train);
+        self.stats.t_standby.set(state.sched.t_standby);
+        self.refresh_secs.set(state.sched.refresh_secs);
+        self.faults_injected
+            .store(state.recovery.faults_injected, Ordering::Relaxed);
+        self.replayed
+            .store(state.recovery.replayed_batches, Ordering::Relaxed);
+        self.respawns
+            .store(state.recovery.respawns, Ordering::Relaxed);
+        self.reassignments
+            .store(state.recovery.reassignments, Ordering::Relaxed);
+        self.retries
+            .store(state.recovery.retries, Ordering::Relaxed);
+        self.downtime_ns
+            .store(state.recovery.downtime_ns, Ordering::Relaxed);
+        *self.history.lock() = state.history;
+        if let Some(c) = &self.ckpt {
+            c.generation.store(generation + 1, Ordering::Relaxed);
+            if let Some(n) = c.policy.batch_cadence(self.batches_per_epoch) {
+                c.next_due.store(cursor + n, Ordering::Relaxed);
+            }
+            self.obs
+                .metrics
+                .gauge_set(names::CKPT_GENERATION, generation as f64);
+        }
+        Ok(())
     }
 }
 
@@ -909,6 +1397,11 @@ pub fn run_threaded_obs(
         produced: AtomicUsize::new(0),
         trained: AtomicUsize::new(0),
         switches: AtomicUsize::new(0),
+        history: Mutex::new(Vec::new()),
+        ckpt: cfg
+            .checkpoint
+            .enabled()
+            .then(|| CkptRuntime::new(cfg.checkpoint.clone(), batches_per_epoch, 0)),
         respawns_used: AtomicUsize::new(0),
         faults_injected: AtomicUsize::new(0),
         replayed: AtomicUsize::new(0),
@@ -917,6 +1410,30 @@ pub fn run_threaded_obs(
         retries: AtomicUsize::new(0),
         downtime_ns: AtomicU64::new(0),
     };
+
+    // Resume before any executor exists: pick the latest valid generation
+    // (torn or corrupted files are skipped with fallback to the previous
+    // one) and splice its state into the freshly-built run.
+    let mut resumed_from = None;
+    if cfg.checkpoint.resume && cfg.checkpoint.enabled() {
+        let dir = cfg
+            .checkpoint
+            .dir
+            .as_deref()
+            .expect("enabled policy has a dir");
+        let started = Instant::now();
+        let outcome = checkpoint::load_latest(dir);
+        if outcome.torn_detected > 0 {
+            obs.metrics
+                .counter_add(names::CKPT_TORN_DETECTED, outcome.torn_detected as f64);
+        }
+        if let Some((generation, state)) = outcome.loaded {
+            shared.apply_resume(generation, state)?;
+            obs.metrics
+                .observe(names::CKPT_RESUME_NS, started.elapsed().as_nanos() as f64);
+            resumed_from = Some(generation);
+        }
+    }
 
     std::thread::scope(|scope| {
         let sh = &shared;
@@ -958,6 +1475,19 @@ pub fn run_threaded_obs(
     }
     cache_stats.publish(&obs.metrics);
     telemetry.stop();
+    let mut history = std::mem::take(&mut *shared.history.lock());
+    history.sort_by_key(|r| r.id);
+    // The master's flattened parameters, in stable layer order — the
+    // chaos harness compares these bit-for-bit across kill–resume runs.
+    let final_params: Vec<f32> = {
+        let mut guard = shared.server.lock();
+        guard
+            .master
+            .params_mut()
+            .iter()
+            .flat_map(|p| p.value.data().iter().copied())
+            .collect()
+    };
     Ok(ThreadedResult {
         batches_trained: shared.trained.load(Ordering::Relaxed),
         samples_produced: shared.produced.load(Ordering::Relaxed),
@@ -971,14 +1501,14 @@ pub fn run_threaded_obs(
         caches,
         switches: shared.switches.load(Ordering::Relaxed),
         queue_blocked_ns: shared.queue.blocked_ns(),
-        recovery: RecoveryReport {
-            faults_injected: shared.faults_injected.load(Ordering::Relaxed),
-            replayed_batches: shared.replayed.load(Ordering::Relaxed),
-            respawns: shared.respawns.load(Ordering::Relaxed),
-            reassignments: shared.reassignments.load(Ordering::Relaxed),
-            retries: shared.retries.load(Ordering::Relaxed),
-            downtime_ns: shared.downtime_ns.load(Ordering::Relaxed),
-        },
+        recovery: shared.recovery_snapshot(),
+        history,
+        final_params,
+        checkpoints_written: shared
+            .ckpt
+            .as_ref()
+            .map_or(0, |c| c.writes.load(Ordering::Relaxed)),
+        resumed_from,
     })
 }
 
@@ -996,9 +1526,14 @@ fn spawn_sampler<'scope, 'env>(
 ) {
     let exec = sh.next_exec.fetch_add(1, Ordering::Relaxed);
     sh.book.lock().sampling.insert(exec);
+    // Register with the quiesce gate before the thread exists, so a
+    // pending round can never close in the window between spawn and the
+    // first park check.
+    sh.ckpt_enter();
     scope.spawn(move || {
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| sampler_phase(sh, slot, exec))) {
             on_sampler_crash(scope, sh, slot, exec, payload);
+            sh.ckpt_exit();
             return;
         }
         if sh.cfg.dynamic_switching {
@@ -1013,6 +1548,7 @@ fn spawn_sampler<'scope, 'env>(
                 Err(payload) => on_consumer_crash(scope, sh, slot, exec, payload, true),
             }
         }
+        sh.ckpt_exit();
     });
 }
 
@@ -1025,8 +1561,9 @@ fn spawn_trainer<'scope, 'env>(
 ) {
     let exec = sh.next_exec.fetch_add(1, Ordering::Relaxed);
     sh.consuming.lock().insert(exec);
-    scope.spawn(
-        move || match catch_unwind(AssertUnwindSafe(|| trainer_phase(sh, slot, exec))) {
+    sh.ckpt_enter();
+    scope.spawn(move || {
+        match catch_unwind(AssertUnwindSafe(|| trainer_phase(sh, slot, exec))) {
             Ok(Ok(())) => {
                 sh.consuming.lock().remove(&exec);
             }
@@ -1035,8 +1572,9 @@ fn spawn_trainer<'scope, 'env>(
                 sh.fail_fatal(fatal);
             }
             Err(payload) => on_consumer_crash(scope, sh, slot, exec, payload, false),
-        },
-    );
+        }
+        sh.ckpt_exit();
+    });
 }
 
 /// The supervisor's handler for a dead Sampler: orphan its in-flight
@@ -1144,10 +1682,6 @@ fn on_consumer_crash<'scope, 'env>(
 fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
     let cfg = sh.cfg;
     let algo = sampler_for(sh.kind);
-    // Respawns get a fresh stream (exec is unique), so a replacement
-    // never replays its predecessor's random choices.
-    let mut rng =
-        ChaCha8Rng::seed_from_u64(stream_seed(cfg.seed, StreamRole::Sampler, exec as u64));
     let device = slot as u32;
     let crash = cfg.faults.crash_for(ExecutorRole::Sampler, slot);
     let slowdown = cfg.faults.slowdown(ExecutorRole::Sampler, slot);
@@ -1163,6 +1697,13 @@ fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
     // loop allocates no per-batch intermediates.
     let mut bufs = SampleBuffers::new();
     loop {
+        // Quiesce before claiming: a parked Sampler holds no claim, so
+        // the checkpoint's cursor is exact.
+        if let Some(c) = &sh.ckpt {
+            if c.requested.load(Ordering::Relaxed) {
+                sh.ckpt_park(c, true);
+            }
+        }
         let claim = sh.book.lock().next_claim(exec);
         let Some(i) = claim else { break };
         if let Some((ci, after)) = crash {
@@ -1184,6 +1725,11 @@ fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
         }
         let batch = &batches[i % sh.batches_per_epoch];
         let id = i as u64;
+        // Per-batch domain-tagged RNG: the sampler's random state is a
+        // pure function of (seed, epoch, batch), so the batch cursor IS
+        // the RNG position — resume replays nothing and skips nothing,
+        // and it doesn't matter which executor samples which batch.
+        let mut rng = presample_rng(cfg.seed, epoch as u64, (i % sh.batches_per_epoch) as u64);
         let work_started = Instant::now();
         let mut sample = {
             let _g = obs.start_span(device, Executor::Sampler, Stage::SampleG, id);
@@ -1399,6 +1945,7 @@ fn consume_loop(
         store,
         graph: sh.graph,
         trained: &sh.trained,
+        history: &sh.history,
         delay: cfg.trainer_delay,
     };
     let (cell, series) = if standby {
@@ -1426,8 +1973,25 @@ fn consume_loop(
     };
     loop {
         // Blocking leased dequeue: wakes on enqueue, reclaim, close or
-        // poison — idle consumers cost no CPU.
-        match sh.queue.dequeue_leased(exec as u32) {
+        // poison — idle consumers cost no CPU. With checkpointing on,
+        // the dequeue is bounded by a short poll instead so the consumer
+        // can park at the quiesce gate once the pipeline drains.
+        let dequeued = if let Some(c) = &sh.ckpt {
+            if c.requested.load(Ordering::Relaxed)
+                && sh.queue.remaining() == 0
+                && sh.queue.leased_count() == 0
+            {
+                sh.ckpt_park(c, false);
+            }
+            match sh.queue.dequeue_leased_timeout(exec as u32, CKPT_POLL) {
+                Ok(None) => continue,
+                Ok(Some(lease)) => Ok(lease),
+                Err(e) => Err(e),
+            }
+        } else {
+            sh.queue.dequeue_leased(exec as u32)
+        };
+        match dequeued {
             Ok(lease) => {
                 if let Some((ci, after)) = crash {
                     if done >= after && !sh.crash_fired[ci].swap(true, Ordering::AcqRel) {
@@ -1448,13 +2012,14 @@ fn consume_loop(
                         // path (no respawn would help a deterministic
                         // fault).
                         file_report(store.stats());
-                        return Err(ThreadedError {
-                            executor: who.clone(),
-                            message: format!(
+                        return Err(ThreadedError::new(
+                            ThreadedErrorKind::UnrecoverableFault,
+                            who.clone(),
+                            format!(
                                 "unrecoverable transient fault on batch {} after {attempt} retries",
                                 lease.task.id
                             ),
-                        });
+                        ));
                     }
                     sh.note_fault();
                     sh.retries.fetch_add(1, Ordering::Relaxed);
@@ -1489,6 +2054,25 @@ fn consume_loop(
                 last_cache = snap;
                 sh.queue.complete(lease.id);
                 done += 1;
+                if let Some(c) = &sh.ckpt {
+                    sh.ckpt_request_if_due();
+                    // The chaos kill-point: after `k` batches trained this
+                    // run, one consumer dies abruptly — from the outside
+                    // this is SIGKILL; the run fails and only durable
+                    // checkpoints survive.
+                    if let Some(k) = c.policy.chaos.kill_after_batches {
+                        if sh.trained.load(Ordering::Relaxed) >= k
+                            && !c.kill_fired.swap(true, Ordering::AcqRel)
+                        {
+                            file_report(store.stats());
+                            return Err(ThreadedError::new(
+                                ThreadedErrorKind::Killed,
+                                who.clone(),
+                                format!("simulated process kill after {k} trained batches"),
+                            ));
+                        }
+                    }
+                }
             }
             Err(DequeueError::Drained) => break,
             // Another executor crashed beyond recovery; its thread records
@@ -1721,7 +2305,6 @@ mod tests {
             seen.insert(seed);
             for role in [
                 StreamRole::Model,
-                StreamRole::Sampler,
                 StreamRole::Trainer,
                 StreamRole::Standby,
                 StreamRole::Eval,
@@ -1732,6 +2315,18 @@ mod tests {
                     assert!(
                         seen.insert(stream_seed(seed, role, index)),
                         "stream collision at seed={seed} role={role:?} index={index}"
+                    );
+                }
+            }
+            // Per-batch sampling streams live in their own domain: none
+            // may collide with any executor stream or the raw seed.
+            for epoch in 0..4u64 {
+                for batch in 0..4u64 {
+                    let mut rng = presample_rng(seed, epoch, batch);
+                    let draw: u64 = rand::Rng::r#gen(&mut rng);
+                    assert!(
+                        seen.insert(draw),
+                        "sampling stream collision at seed={seed} epoch={epoch} batch={batch}"
                     );
                 }
             }

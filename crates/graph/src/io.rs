@@ -177,9 +177,27 @@ fn binary_file_size(n: u64, m: u64, weighted: bool) -> Option<u64> {
         .checked_add(weights)
 }
 
-fn read_exact_u64(r: &mut impl Read) -> std::result::Result<u64, IoError> {
+/// Reads exactly `buf.len()` bytes of `section`. An early EOF becomes a
+/// section-named [`IoError::Format`] ("truncated <section> section") so
+/// callers learn *where* a torn file ends, not just that a read failed;
+/// every other I/O failure stays an [`IoError::Io`].
+fn read_section(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    section: &str,
+) -> std::result::Result<(), IoError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            IoError::Format(format!("truncated {section} section"))
+        } else {
+            IoError::Io(e)
+        }
+    })
+}
+
+fn read_exact_u64(r: &mut impl Read, section: &str) -> std::result::Result<u64, IoError> {
     let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
+    read_section(r, &mut buf, section)?;
     Ok(u64::from_le_bytes(buf))
 }
 
@@ -194,16 +212,16 @@ pub fn read_binary(path: &Path) -> std::result::Result<Csr, IoError> {
     let file_len = file.metadata()?.len();
     let mut r = BufReader::new(file);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    read_section(&mut r, &mut magic, "magic")?;
     if &magic != MAGIC {
         return Err(IoError::Format(
             "bad magic; not a gnnlab binary CSR".to_string(),
         ));
     }
-    let n64 = read_exact_u64(&mut r)?;
-    let m64 = read_exact_u64(&mut r)?;
+    let n64 = read_exact_u64(&mut r, "header")?;
+    let m64 = read_exact_u64(&mut r, "header")?;
     let mut flag = [0u8; 1];
-    r.read_exact(&mut flag)?;
+    read_section(&mut r, &mut flag, "header")?;
     if flag[0] > 1 {
         return Err(IoError::Format(format!(
             "bad weighted flag {} (want 0 or 1)",
@@ -226,19 +244,19 @@ pub fn read_binary(path: &Path) -> std::result::Result<Csr, IoError> {
     let m = m64 as usize;
     let mut indptr = Vec::with_capacity(n + 1);
     for _ in 0..=n {
-        indptr.push(read_exact_u64(&mut r)?);
+        indptr.push(read_exact_u64(&mut r, "indptr")?);
     }
     let mut indices = Vec::with_capacity(m);
     let mut buf4 = [0u8; 4];
     for _ in 0..m {
-        r.read_exact(&mut buf4)?;
+        read_section(&mut r, &mut buf4, "indices")?;
         indices.push(u32::from_le_bytes(buf4));
     }
     let csr = Csr::from_parts(indptr, indices)?;
     if weighted {
         let mut weights = Vec::with_capacity(m);
         for _ in 0..m {
-            r.read_exact(&mut buf4)?;
+            read_section(&mut r, &mut buf4, "weights")?;
             weights.push(f32::from_le_bytes(buf4));
         }
         Ok(csr.with_weights(weights)?)
@@ -388,11 +406,24 @@ mod tests {
     }
 
     #[test]
-    fn truncated_header_is_an_io_error() {
-        // Not even a full header: read_exact fails before validation.
+    fn truncated_header_names_the_section() {
+        // Not even a full magic: the early EOF surfaces as a typed format
+        // error naming the section the file tore in, not a bare Io error.
         let path = tmp("trunc_hdr.bin");
         std::fs::write(&path, &MAGIC[..6]).unwrap();
-        assert!(matches!(read_binary(&path), Err(IoError::Io(_))));
+        match read_binary(&path).unwrap_err() {
+            IoError::Format(m) => assert!(m.contains("truncated magic"), "{m}"),
+            other => panic!("expected Format, got {other:?}"),
+        }
+        // Magic intact but the counts cut short: the header section.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&7u64.to_le_bytes()[..4]);
+        std::fs::write(&path, &bytes).unwrap();
+        match read_binary(&path).unwrap_err() {
+            IoError::Format(m) => assert!(m.contains("truncated header"), "{m}"),
+            other => panic!("expected Format, got {other:?}"),
+        }
         std::fs::remove_file(&path).ok();
     }
 

@@ -22,6 +22,10 @@
 //!   consume at least [`AlertRules::respawn_burn_fraction`] of the
 //!   fault supervisor's respawn budget (`faults.respawn_budget` gauge):
 //!   the run is about to stop tolerating crashes.
+//! * **checkpoint_stall** — the most recent durable checkpoint write
+//!   (`ckpt.last_write_ns` gauge) took longer than
+//!   [`AlertRules::ckpt_stall_secs`]: the checkpoint disk is slow or
+//!   failing and quiesce pauses are eating throughput.
 //!
 //! Alerts are edge-triggered: a rule fires once per subject when its
 //! condition becomes true and re-arms when the condition clears, so a
@@ -69,6 +73,9 @@ pub struct AlertRules {
     pub cache_min_lookups: f64,
     /// Respawn burn: fraction of the respawn budget consumed.
     pub respawn_burn_fraction: f64,
+    /// Checkpoint stall: the latest checkpoint write exceeded this many
+    /// wall seconds.
+    pub ckpt_stall_secs: f64,
 }
 
 impl Default for AlertRules {
@@ -79,6 +86,7 @@ impl Default for AlertRules {
             cache_collapse_hit_rate: 0.1,
             cache_min_lookups: 500.0,
             respawn_burn_fraction: 0.75,
+            ckpt_stall_secs: 1.0,
         }
     }
 }
@@ -115,6 +123,7 @@ impl AlertEngine {
         self.eval_saturation(obs, t_ns);
         self.eval_cache(obs, t_ns);
         self.eval_respawn_burn(obs, &gauges, t_ns);
+        self.eval_checkpoint_stall(obs, &gauges, t_ns);
     }
 
     /// Fires `rule` on `subject` on the rising edge of `firing`; clears
@@ -300,6 +309,33 @@ impl AlertEngine {
             t_ns,
         );
     }
+
+    fn eval_checkpoint_stall(
+        &mut self,
+        obs: &Obs,
+        gauges: &BTreeMap<String, crate::Gauge>,
+        t_ns: u64,
+    ) {
+        // The gauge only exists once a checkpoint write has completed;
+        // runs without checkpointing never evaluate the rule.
+        let Some(last_write_ns) = gauges.get(names::CKPT_LAST_WRITE_NS).map(|g| g.last) else {
+            return;
+        };
+        let secs = last_write_ns / 1e9;
+        let threshold = self.rules.ckpt_stall_secs;
+        let message =
+            format!("latest checkpoint write took {secs:.2}s (threshold {threshold:.2}s)");
+        self.edge(
+            obs,
+            secs > threshold,
+            names::RULE_CHECKPOINT_STALL,
+            "checkpoint",
+            message,
+            secs,
+            threshold,
+            t_ns,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -408,6 +444,39 @@ mod tests {
             .collect();
         assert_eq!(collapsed.len(), 1, "{alerts:?}");
         assert_eq!(collapsed[0].subject, "cache.standby.1");
+    }
+
+    #[test]
+    fn checkpoint_stall_fires_on_a_slow_write_and_rearms() {
+        let obs = Obs::wall();
+        let mut engine = AlertEngine::new(AlertRules::default());
+        // No checkpoint gauge → rule never evaluates.
+        engine.evaluate(&obs);
+        assert_eq!(obs.metrics.counter("alerts.checkpoint_stall"), 0.0);
+        // A healthy fast write stays quiet.
+        obs.metrics.gauge_set(names::CKPT_LAST_WRITE_NS, 5e6);
+        engine.evaluate(&obs);
+        assert_eq!(obs.metrics.counter("alerts.checkpoint_stall"), 0.0);
+        // A slow-disk write crosses the 1s default threshold; the edge
+        // trigger fires once even across repeated evaluations.
+        obs.metrics.gauge_set(names::CKPT_LAST_WRITE_NS, 2.5e9);
+        engine.evaluate(&obs);
+        engine.evaluate(&obs);
+        assert_eq!(obs.metrics.counter("alerts.checkpoint_stall"), 1.0);
+        let alert = obs
+            .metrics
+            .alerts()
+            .into_iter()
+            .find(|a| a.rule == names::RULE_CHECKPOINT_STALL)
+            .unwrap();
+        assert_eq!(alert.subject, "checkpoint");
+        assert!(alert.value > alert.threshold);
+        // Recovery re-arms the rule.
+        obs.metrics.gauge_set(names::CKPT_LAST_WRITE_NS, 1e6);
+        engine.evaluate(&obs);
+        obs.metrics.gauge_set(names::CKPT_LAST_WRITE_NS, 3e9);
+        engine.evaluate(&obs);
+        assert_eq!(obs.metrics.counter("alerts.checkpoint_stall"), 2.0);
     }
 
     #[test]

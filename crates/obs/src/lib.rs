@@ -40,7 +40,7 @@ pub use metrics::{
     DEFAULT_SERIES_CAP,
 };
 pub use prom::{render_prometheus, sanitize_name, PROMETHEUS_CONTENT_TYPE};
-pub use server::MetricsServer;
+pub use server::{MetricsServer, ServerError};
 pub use span::{Executor, Span, SpanRecorder, Stage, HOST_DEVICE};
 pub use telemetry::{Telemetry, TelemetryConfig};
 

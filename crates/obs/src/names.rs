@@ -117,6 +117,24 @@ pub fn executor_ewma(role: &str, slot: usize) -> String {
     format!("{EXECUTOR_EWMA_PREFIX}{role}.{slot}")
 }
 
+/// Histogram: wall nanoseconds of one durable checkpoint write (assemble
+/// + encode + temp-write + fsync + rename + manifest update).
+pub const CKPT_WRITE_NS: &str = "ckpt.write_ns";
+/// Gauge: nanoseconds the most recent successful checkpoint write took;
+/// the `checkpoint_stall` alert fires when this exceeds its threshold
+/// (e.g. under an injected slow-disk fault).
+pub const CKPT_LAST_WRITE_NS: &str = "ckpt.last_write_ns";
+/// Counter: bytes durably written across all checkpoint generations.
+pub const CKPT_BYTES: &str = "ckpt.bytes";
+/// Histogram: wall nanoseconds spent loading + applying a resume.
+pub const CKPT_RESUME_NS: &str = "ckpt.resume_ns";
+/// Counter: torn or corrupted checkpoint files detected (and skipped)
+/// while selecting the latest valid generation.
+pub const CKPT_TORN_DETECTED: &str = "ckpt.torn_detected";
+/// Gauge: the last checkpoint generation successfully written (or the
+/// generation a resume loaded, until the first write of the new run).
+pub const CKPT_GENERATION: &str = "ckpt.generation";
+
 /// Prefix of per-stage latency histograms fed by span recording:
 /// `stage.<stage>.ns` (e.g. `stage.train.ns`), one observation per
 /// completed span. These carry the streaming p50/p90/p99 estimates the
@@ -137,3 +155,6 @@ pub const RULE_QUEUE_SATURATION: &str = "queue_saturation";
 pub const RULE_CACHE_COLLAPSE: &str = "cache_collapse";
 /// Alert rule name: fault-recovery respawn budget nearly exhausted.
 pub const RULE_RESPAWN_BURN: &str = "respawn_burn";
+/// Alert rule name: the latest durable checkpoint write took longer than
+/// the configured stall threshold (slow or failing disk).
+pub const RULE_CHECKPOINT_STALL: &str = "checkpoint_stall";

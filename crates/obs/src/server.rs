@@ -21,6 +21,44 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Why a scrape endpoint failed to start. Callers can report the precise
+/// failure (and pick the right exit code) without parsing an
+/// [`std::io::Error`]'s text.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The listen address could not be bound (bad address, port taken,
+    /// insufficient privileges, …).
+    Bind {
+        /// The address as the caller spelled it.
+        addr: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// The acceptor thread could not be spawned.
+    Spawn(std::io::Error),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Bind { addr, source } => {
+                write!(f, "cannot bind metrics endpoint on {addr}: {source}")
+            }
+            ServerError::Spawn(source) => {
+                write!(f, "cannot spawn metrics acceptor thread: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Bind { source, .. } | ServerError::Spawn(source) => Some(source),
+        }
+    }
+}
+
 /// A running scrape endpoint. Shuts down (and joins its acceptor) on
 /// [`MetricsServer::shutdown`] or drop.
 #[derive(Debug)]
@@ -33,9 +71,21 @@ pub struct MetricsServer {
 impl MetricsServer {
     /// Binds `addr` (e.g. `127.0.0.1:9464`; port 0 for an ephemeral
     /// port) and starts serving `obs` immediately.
-    pub fn bind(addr: &str, obs: Arc<Obs>) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Bind`] when the listener cannot be created on
+    /// `addr`; [`ServerError::Spawn`] when the acceptor thread fails to
+    /// start.
+    pub fn bind(addr: &str, obs: Arc<Obs>) -> Result<Self, ServerError> {
+        let listener = TcpListener::bind(addr).map_err(|source| ServerError::Bind {
+            addr: addr.to_string(),
+            source,
+        })?;
+        let local = listener.local_addr().map_err(|source| ServerError::Bind {
+            addr: addr.to_string(),
+            source,
+        })?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop_in = Arc::clone(&stop);
         let acceptor = std::thread::Builder::new()
@@ -55,7 +105,8 @@ impl MetricsServer {
                             let _ = handle_connection(stream, &obs);
                         });
                 }
-            })?;
+            })
+            .map_err(ServerError::Spawn)?;
         Ok(MetricsServer {
             addr: local,
             stop,
@@ -207,6 +258,21 @@ mod tests {
         // The port is released: a scrape now fails to connect or hits a
         // dead socket.
         assert!(TcpListener::bind(addr).is_ok());
+    }
+
+    #[test]
+    fn bind_failure_is_a_typed_error() {
+        let obs = Arc::new(Obs::wall());
+        // A hopeless address: port 1 without privileges, or an unparsable
+        // one — either way the error is `Bind` and names the address.
+        let err = MetricsServer::bind("definitely-not-an-address", obs).unwrap_err();
+        match &err {
+            ServerError::Bind { addr, .. } => assert_eq!(addr, "definitely-not-an-address"),
+            other => panic!("expected Bind, got {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(text.contains("cannot bind metrics endpoint"), "{text}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub mod optim;
 
 pub use matrix::Matrix;
 pub use model::{GnnModel, ModelConfig, ModelKind};
-pub use optim::{average_gradients, Adam, Optimizer, Sgd};
+pub use optim::{average_gradients, Adam, AdamState, Optimizer, Sgd};

@@ -23,12 +23,33 @@
 //!                             (GET /metrics = Prometheus text, /metrics.json)
 //! --metrics-out PATH          write the final metrics JSON (incl. alerts)
 //! --series-cap N              per-series retention cap (default 8192)
+//! --checkpoint-dir PATH       durable checkpoint directory (enables checkpointing)
+//! --checkpoint-every N        checkpoint every N trained batches
+//!                             (default: every epoch boundary)
+//! --checkpoint-secs T         also checkpoint every T wall seconds
+//! --resume                    resume from the latest valid generation in
+//!                             --checkpoint-dir (torn files are skipped)
 //! ```
 //!
 //! A telemetry thread samples gauges (queue depth, per-executor EWMAs)
 //! into bounded series and evaluates alert rules (straggler, queue
-//! saturation, cache collapse, respawn-budget burn); fired alerts print
-//! after the recovery report and land in `--metrics-out`.
+//! saturation, cache collapse, respawn-budget burn, checkpoint stall);
+//! fired alerts print after the recovery report and land in
+//! `--metrics-out`.
+//!
+//! `gnnlab threaded` exit codes:
+//!
+//! ```text
+//!  0  success
+//!  1  generic failure (graph generation, metrics-out write)
+//!  2  usage error
+//!  3  metrics endpoint could not be bound
+//! 10  executor panic with no respawn budget
+//! 11  respawn budget exhausted
+//! 12  unrecoverable transient fault
+//! 13  checkpoint write/resume failure
+//! 14  chaos kill-point terminated the run
+//! ```
 
 use gnnlab::cache::PolicyKind;
 use gnnlab::core::driver::run_job;
@@ -76,7 +97,8 @@ fn usage() -> ExitCode {
          [--capacity N] [--seed S] [--threads N] [--crash-trainer IDX@BATCH]\n           \
          [--crash-sampler IDX@BATCH] [--straggler ROLE:IDX:FACTOR] [--transient P]\n           \
          [--max-respawns N] [--metrics-addr HOST:PORT] [--metrics-out PATH]\n           \
-         [--series-cap N]"
+         [--series-cap N] [--checkpoint-dir PATH] [--checkpoint-every N]\n           \
+         [--checkpoint-secs T] [--resume]"
     );
     ExitCode::from(2)
 }
@@ -283,6 +305,12 @@ fn cmd_threaded(args: &[String]) -> ExitCode {
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        // Boolean flags take no value.
+        if flag == "--resume" {
+            cfg.checkpoint.resume = true;
+            i += 1;
+            continue;
+        }
         let Some(value) = args.get(i + 1) else {
             eprintln!("{flag} requires a value");
             return usage();
@@ -337,6 +365,20 @@ fn cmd_threaded(args: &[String]) -> ExitCode {
             "--metrics-addr" => metrics_addr = Some(value.clone()),
             "--metrics-out" => metrics_out = Some(value.clone()),
             "--series-cap" => ok = value.parse().map(|v| series_cap = Some(v)).is_ok(),
+            "--checkpoint-dir" => {
+                cfg.checkpoint.dir = Some(std::path::PathBuf::from(value));
+                cfg.checkpoint.epoch_boundaries = true;
+            }
+            "--checkpoint-every" => {
+                ok = value
+                    .parse()
+                    .map(|v: usize| cfg.checkpoint.every_batches = Some(v.max(1)))
+                    .is_ok()
+            }
+            "--checkpoint-secs" => match value.parse::<f64>() {
+                Ok(t) if t > 0.0 => cfg.checkpoint.every_secs = Some(t),
+                _ => ok = false,
+            },
             _ => {
                 eprintln!("unknown flag {flag}");
                 return usage();
@@ -349,6 +391,14 @@ fn cmd_threaded(args: &[String]) -> ExitCode {
         i += 2;
     }
     cfg.faults = plan.with_seed(cfg.seed);
+    if (cfg.checkpoint.resume
+        || cfg.checkpoint.every_batches.is_some()
+        || cfg.checkpoint.every_secs.is_some())
+        && cfg.checkpoint.dir.is_none()
+    {
+        eprintln!("checkpoint flags require --checkpoint-dir");
+        return usage();
+    }
 
     let g = match sbm(&SbmParams {
         num_vertices: 600,
@@ -373,22 +423,24 @@ fn cmd_threaded(args: &[String]) -> ExitCode {
     if let Some(cap) = series_cap {
         obs.metrics.set_series_cap(cap);
     }
-    let server =
-        metrics_addr
-            .as_ref()
-            .map(|addr| match MetricsServer::bind(addr, Arc::clone(&obs)) {
-                Ok(server) => {
-                    eprintln!(
-                        "[serving live metrics on http://{}/metrics (and /metrics.json)]",
-                        server.local_addr()
-                    );
-                    server
-                }
-                Err(e) => {
-                    eprintln!("failed to bind metrics endpoint {addr}: {e}");
-                    std::process::exit(1);
-                }
-            });
+    let server = match metrics_addr.as_ref() {
+        Some(addr) => match MetricsServer::bind(addr, Arc::clone(&obs)) {
+            Ok(server) => {
+                eprintln!(
+                    "[serving live metrics on http://{}/metrics (and /metrics.json)]",
+                    server.local_addr()
+                );
+                Some(server)
+            }
+            // Typed endpoint failure: report and exit 3 through the
+            // normal return path (no process::exit, so Drop impls run).
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(3);
+            }
+        },
+        None => None,
+    };
     let outcome = run_threaded_obs(&g, ModelKind::GraphSage, &cfg, &obs);
     let code = match outcome {
         Ok(res) => {
@@ -397,6 +449,15 @@ fn cmd_threaded(args: &[String]) -> ExitCode {
             println!("  accuracy:      {:>8.3}", res.final_accuracy);
             println!("  peak depth:    {:>8}", res.peak_queue_depth);
             println!("  switches:      {:>8}", res.switches);
+            if cfg.checkpoint.enabled() {
+                println!("  checkpoints:   {:>8} written", res.checkpoints_written);
+                match res.resumed_from {
+                    Some(generation) => {
+                        println!("  resumed from:  {:>8}", format!("gen {generation}"))
+                    }
+                    None => println!("  resumed from:  {:>8}", "fresh"),
+                }
+            }
             let r = &res.recovery;
             println!("recovery report:");
             println!("  faults:        {:>8}", r.faults_injected);
@@ -421,7 +482,9 @@ fn cmd_threaded(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("run failed: {e}");
-            ExitCode::FAILURE
+            // Each failure class has its own documented exit code (see
+            // the module docs), so wrappers and CI can react precisely.
+            ExitCode::from(e.kind.exit_code())
         }
     };
     if let Some(path) = &metrics_out {

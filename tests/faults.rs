@@ -9,11 +9,12 @@
 use gnnlab::core::runtime::{run_factored_epoch_opts, FactoredOptions, SimContext};
 use gnnlab::core::threaded::{run_threaded, run_threaded_obs, ThreadedConfig};
 use gnnlab::core::trace::EpochTrace;
-use gnnlab::core::{FaultPlan, SystemKind, Workload};
+use gnnlab::core::{ExecutorRole, FaultPlan, SystemKind, Workload};
 use gnnlab::graph::gen::{sbm, SbmGraph, SbmParams};
 use gnnlab::graph::Scale;
 use gnnlab::obs::{names, Obs};
 use gnnlab::tensor::ModelKind;
+use proptest::prelude::*;
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -170,6 +171,55 @@ fn transient_faults_retry_with_backoff() {
     assert_eq!(res.recovery.respawns + res.recovery.reassignments, 0);
     assert!(obs.metrics.counter(names::RETRY_ATTEMPTS) >= 1.0);
     assert!(obs.metrics.counter(names::RETRY_BACKOFF_NS) > 0.0);
+}
+
+proptest! {
+    // Each threaded run trains a real model, so keep the case count low;
+    // the draws still cover producer/consumer crashes at varied timings.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every crash the supervisor absorbs replays exactly the batches the
+    /// dead executor held: a consumer dies with one lease, a producer with
+    /// one claim. Over arbitrary crash draws `replayed_batches` equals the
+    /// faults that actually fired, and exactly-once training still holds.
+    #[test]
+    fn replayed_batches_track_injected_crashes(
+        seed in 0u64..1_000,
+        crashes in prop::collection::vec(
+            (any::<bool>(), 0usize..2, 1usize..8),
+            1..3,
+        ),
+    ) {
+        let mut faults = FaultPlan::none()
+            .with_seed(seed)
+            .with_max_respawns(crashes.len());
+        for &(trainer, slot, after) in &crashes {
+            let role = if trainer { ExecutorRole::Trainer } else { ExecutorRole::Sampler };
+            faults = faults.with_crash(role, slot, after);
+        }
+        let cfg = ThreadedConfig {
+            num_samplers: 2,
+            num_trainers: 2,
+            epochs: 2,
+            batch_size: 20,
+            queue_capacity: 4,
+            faults,
+            seed,
+            ..Default::default()
+        };
+        let res = run_threaded(graph(), ModelKind::GraphSage, &cfg)
+            .expect("crashes within budget must recover");
+        let expected = (120usize).div_ceil(20) * 2;
+        prop_assert_eq!(res.batches_trained, expected);
+        prop_assert_eq!(res.samples_produced, expected);
+        // Crashes scheduled past the run's end never fire; the report
+        // pairs one replayed batch with each crash that did.
+        prop_assert!(res.recovery.faults_injected <= crashes.len());
+        prop_assert_eq!(res.recovery.replayed_batches, res.recovery.faults_injected);
+        prop_assert!(
+            res.recovery.respawns + res.recovery.reassignments >= res.recovery.faults_injected
+        );
+    }
 }
 
 /// The co-simulator's device failures: killing a Trainer GPU mid-epoch
