@@ -164,6 +164,21 @@ impl CachedFeatureStore {
         });
     }
 
+    /// [`CachedFeatureStore::extract_into`] through a reusable `Vec`: the
+    /// buffer is resized to `ids.len() * dim` (reusing its capacity — no
+    /// allocation once it has grown to the steady-state batch size) and
+    /// filled. This is the double-buffered prefetch path's entry point:
+    /// two recycled buffers alternate between "being extracted into" and
+    /// "being trained on".
+    pub fn extract_to_buffer(&self, ids: &[VertexId], buf: &mut Vec<f32>) {
+        let want = ids.len() * self.dim;
+        // Dropping stale contents before resize keeps the grow path a
+        // plain fill (no copy of old data into a larger allocation).
+        buf.clear();
+        buf.resize(want, 0.0);
+        self.extract_into(ids, buf);
+    }
+
     /// Cumulative extraction statistics.
     pub fn stats(&self) -> CacheStats {
         self.stats.snapshot()
@@ -234,6 +249,26 @@ mod tests {
         let mut buf = vec![0.0f32; ids.len() * s.dim()];
         s.extract_into(&ids, &mut buf);
         assert_eq!(owned, buf);
+    }
+
+    #[test]
+    fn extract_to_buffer_resizes_and_reuses_capacity() {
+        let s = store(0.5);
+        let ids = vec![0, 5, 2, 4];
+        let owned = s.extract(&ids);
+        let mut buf: Vec<f32> = Vec::new();
+        s.extract_to_buffer(&ids, &mut buf);
+        assert_eq!(owned, buf);
+        // A second extract of the same batch size reuses the allocation.
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        s.extract_to_buffer(&ids, &mut buf);
+        assert_eq!(owned, buf);
+        assert_eq!((buf.capacity(), buf.as_ptr()), (cap, ptr), "reallocated");
+        // A smaller batch shrinks the length, not the capacity.
+        s.extract_to_buffer(&ids[..2], &mut buf);
+        assert_eq!(buf.len(), 2 * s.dim());
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

@@ -216,44 +216,88 @@ impl<T> GlobalQueue<T> {
     /// capacity. Returns an error — with the task long dropped — once the
     /// queue is closed or poisoned.
     pub fn enqueue(&self, item: T) -> Result<(), EnqueueError> {
-        let item = Arc::new(item);
-        let mut state = self.state.lock();
+        self.enqueue_many(std::iter::once(item))
+    }
+
+    /// Enqueues a burst of tasks in iteration order, blocking while the
+    /// queue is at capacity. One lock acquisition admits as many tasks as
+    /// fit, and consumers are woken once per flush rather than once per
+    /// task — the amortized handoff the pipelined samplers use. Capacity
+    /// and poison semantics match [`GlobalQueue::enqueue`] exactly; if the
+    /// queue closes or poisons mid-burst, tasks admitted before the error
+    /// stay admitted and the remainder is dropped with the error.
+    pub fn enqueue_many<I>(&self, items: I) -> Result<(), EnqueueError>
+    where
+        I: IntoIterator<Item = T>,
+    {
+        let mut pending = items.into_iter();
+        let mut next = match pending.next() {
+            Some(item) => Arc::new(item),
+            None => return Ok(()),
+        };
         let mut blocked_since: Option<u64> = None;
+        let finish_blocked = |blocked_since: Option<u64>| {
+            if let Some(t0) = blocked_since {
+                self.note_blocked(
+                    names::QUEUE_ENQUEUE_BLOCK_NS,
+                    self.obs.now_ns().saturating_sub(t0),
+                );
+            }
+        };
+        let mut state = self.state.lock();
         loop {
             if let Some(reason) = &state.poison {
                 let reason = reason.clone();
                 drop(state);
-                if let Some(t0) = blocked_since {
-                    self.note_blocked(
-                        names::QUEUE_ENQUEUE_BLOCK_NS,
-                        self.obs.now_ns().saturating_sub(t0),
-                    );
-                }
+                finish_blocked(blocked_since);
                 return Err(EnqueueError::Poisoned(reason));
             }
             if state.closed {
                 return Err(EnqueueError::Closed);
             }
-            if state.items.len() < self.capacity {
+            // Admit as many tasks as the capacity allows in one critical
+            // section, then wake every waiting consumer once.
+            let mut admitted = 0u64;
+            while state.items.len() < self.capacity {
                 let id = state.next_id;
                 state.next_id += 1;
-                state.items.push_back((id, item));
+                state.items.push_back((id, next));
+                admitted += 1;
+                match pending.next() {
+                    Some(item) => next = Arc::new(item),
+                    None => {
+                        let depth = state.items.len();
+                        drop(state);
+                        self.flush_enqueued(admitted, depth);
+                        finish_blocked(blocked_since);
+                        return Ok(());
+                    }
+                }
+            }
+            if admitted > 0 {
                 let depth = state.items.len();
                 drop(state);
-                self.totals.enqueued.fetch_add(1, Ordering::Relaxed);
-                self.obs.metrics.counter_inc(names::QUEUE_ENQUEUED);
-                self.note_depth(depth);
-                if let Some(t0) = blocked_since {
-                    self.note_blocked(
-                        names::QUEUE_ENQUEUE_BLOCK_NS,
-                        self.obs.now_ns().saturating_sub(t0),
-                    );
-                }
-                self.not_empty.notify_one();
-                return Ok(());
+                self.flush_enqueued(admitted, depth);
+                state = self.state.lock();
+                continue;
             }
             blocked_since.get_or_insert_with(|| self.obs.now_ns());
             self.not_full.wait_for(&mut state, WAIT_SLICE);
+        }
+    }
+
+    /// Publishes counters for one enqueue flush of `n` tasks and wakes
+    /// consumers (one per task admitted; a full `notify_all` for bursts).
+    fn flush_enqueued(&self, n: u64, depth: usize) {
+        self.totals.enqueued.fetch_add(n, Ordering::Relaxed);
+        self.obs
+            .metrics
+            .counter_add(names::QUEUE_ENQUEUED, n as f64);
+        self.note_depth(depth);
+        if n == 1 {
+            self.not_empty.notify_one();
+        } else {
+            self.not_empty.notify_all();
         }
     }
 
@@ -296,12 +340,77 @@ impl<T> GlobalQueue<T> {
         self.dequeue_deadline(Some(timeout), Some(owner))
     }
 
+    /// Dequeues up to `max` tasks under lease for `owner` with **one**
+    /// lock/condvar round-trip: blocks like [`GlobalQueue::dequeue_leased`]
+    /// until at least one task (or a terminal state) is available, then
+    /// drains up to `max` in FIFO order. The pipelined consumer uses this
+    /// to fill its train slot and prefetch slot together.
+    pub fn dequeue_leased_many(
+        &self,
+        owner: u32,
+        max: usize,
+    ) -> Result<Vec<Lease<T>>, DequeueError> {
+        assert!(max > 0, "dequeue_leased_many needs a positive max");
+        let mut state = self.state.lock();
+        let mut blocked_since: Option<u64> = None;
+        let finish_blocked = |blocked_since: Option<u64>| {
+            if let Some(t0) = blocked_since {
+                self.note_blocked(names::QUEUE_WAIT_NS, self.obs.now_ns().saturating_sub(t0));
+            }
+        };
+        loop {
+            if let Some(reason) = &state.poison {
+                let reason = reason.clone();
+                drop(state);
+                finish_blocked(blocked_since);
+                return Err(DequeueError::Poisoned(reason));
+            }
+            if !state.items.is_empty() {
+                let mut leases = Vec::with_capacity(max.min(state.items.len()));
+                while leases.len() < max {
+                    let Some((id, task)) = state.items.pop_front() else {
+                        break;
+                    };
+                    state.leased.insert(id, (owner, Arc::clone(&task)));
+                    leases.push(Lease { id, task });
+                }
+                let depth = state.items.len();
+                drop(state);
+                let n = leases.len() as u64;
+                self.totals.dequeued.fetch_add(n, Ordering::Relaxed);
+                self.obs
+                    .metrics
+                    .counter_add(names::QUEUE_DEQUEUED, n as f64);
+                self.note_depth(depth);
+                finish_blocked(blocked_since);
+                if n == 1 {
+                    self.not_full.notify_one();
+                } else {
+                    self.not_full.notify_all();
+                }
+                return Ok(leases);
+            }
+            if state.closed && state.leased.is_empty() {
+                drop(state);
+                finish_blocked(blocked_since);
+                return Err(DequeueError::Drained);
+            }
+            blocked_since.get_or_insert_with(|| self.obs.now_ns());
+            self.not_empty.wait_for(&mut state, WAIT_SLICE);
+        }
+    }
+
     fn dequeue_deadline(
         &self,
         timeout: Option<Duration>,
         lease_to: Option<u32>,
     ) -> Result<Option<Lease<T>>, DequeueError> {
-        let start = std::time::Instant::now();
+        // The deadline is computed once, before the first wait: every
+        // wakeup (including spurious ones) re-checks against this fixed
+        // instant, so no amount of condvar churn can extend the total
+        // wait past `timeout`. An unrepresentable deadline (overflow)
+        // degrades to "no timeout".
+        let deadline = timeout.and_then(|t| std::time::Instant::now().checked_add(t));
         let mut state = self.state.lock();
         let mut blocked_since: Option<u64> = None;
         let finish_blocked = |blocked_since: Option<u64>| {
@@ -336,9 +445,9 @@ impl<T> GlobalQueue<T> {
                 finish_blocked(blocked_since);
                 return Err(DequeueError::Drained);
             }
-            let slice = match timeout {
-                Some(t) => {
-                    let left = t.saturating_sub(start.elapsed());
+            let slice = match deadline {
+                Some(d) => {
+                    let left = d.saturating_duration_since(std::time::Instant::now());
                     if left.is_zero() {
                         drop(state);
                         finish_blocked(blocked_since);
@@ -373,12 +482,18 @@ impl<T> GlobalQueue<T> {
     /// number of consumers) and are accepted even on a closed queue.
     pub fn reclaim(&self, owner: u32) -> usize {
         let mut state = self.state.lock();
-        let ids: Vec<u64> = state
+        let mut ids: Vec<u64> = state
             .leased
             .iter()
             .filter(|(_, (o, _))| *o == owner)
             .map(|(&id, _)| id)
             .collect();
+        // Replay in the original enqueue order: pushing the highest lease
+        // id first leaves the lowest at the very front. A pipelined
+        // consumer dies holding *two* leases; iterating the lease map in
+        // hash order here would let a replay reorder those batches and
+        // break the bit-identical-history guarantee.
+        ids.sort_unstable_by(|a, b| b.cmp(a));
         for id in &ids {
             if let Some((_, task)) = state.leased.remove(id) {
                 state.items.push_front((*id, task));
@@ -744,6 +859,129 @@ mod tests {
         let _ = GlobalQueue::<u8>::bounded(0);
     }
 
+    // --- Bursts -----------------------------------------------------------
+
+    #[test]
+    fn enqueue_many_preserves_fifo_and_counts_one_flush() {
+        let q = GlobalQueue::bounded(16);
+        q.enqueue_many(0..10).unwrap();
+        assert_eq!(q.total_enqueued(), 10);
+        assert_eq!(q.remaining(), 10);
+        for i in 0..10 {
+            assert_eq!(deq(&q), Ok(i));
+        }
+        // An empty burst is a no-op, even on a closed queue.
+        q.close();
+        assert_eq!(q.enqueue_many(std::iter::empty::<i32>()), Ok(()));
+        assert_eq!(q.enqueue_many(0..3), Err(EnqueueError::Closed));
+    }
+
+    #[test]
+    fn enqueue_many_blocks_at_capacity_until_consumers_drain() {
+        let q = Arc::new(GlobalQueue::bounded(4));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.enqueue_many(0..12))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.remaining(), 4, "burst must respect the capacity bound");
+        let got: Vec<i32> = (0..12).map(|_| deq(&q).unwrap()).collect();
+        producer.join().unwrap().unwrap();
+        assert_eq!(got, (0..12).collect::<Vec<_>>(), "burst broke FIFO order");
+        assert!(q.peak_depth() <= 4);
+        assert!(q.blocked_ns() > 0, "the full-side block went unaccounted");
+    }
+
+    #[test]
+    fn enqueue_many_poisoned_mid_burst_keeps_admitted_tasks() {
+        let q = Arc::new(GlobalQueue::bounded(2));
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.enqueue_many(0..8))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.poison("trainer died");
+        assert_eq!(
+            producer.join().unwrap(),
+            Err(EnqueueError::Poisoned("trainer died".into()))
+        );
+        // The first two fit before the poison; they stay admitted.
+        assert_eq!(q.remaining(), 2);
+    }
+
+    #[test]
+    fn dequeue_leased_many_drains_up_to_max_in_one_trip() {
+        let q = GlobalQueue::bounded(8);
+        q.enqueue_many(0..5).unwrap();
+        let leases = q.dequeue_leased_many(3, 2).unwrap();
+        assert_eq!(leases.len(), 2);
+        assert_eq!((*leases[0].task, *leases[1].task), (0, 1));
+        assert_eq!(q.leased_count(), 2);
+        // max above availability drains what exists without blocking.
+        let rest = q.dequeue_leased_many(3, 10).unwrap();
+        assert_eq!(rest.len(), 3);
+        assert_eq!(q.reclaim(3), 5);
+    }
+
+    #[test]
+    fn dequeue_leased_many_blocks_until_a_task_or_drain() {
+        let q: Arc<GlobalQueue<i32>> = Arc::new(GlobalQueue::bounded(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.dequeue_leased_many(1, 4).map(|v| v.len()))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        q.enqueue(9).unwrap();
+        assert_eq!(consumer.join().unwrap(), Ok(1));
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.dequeue_leased_many(2, 4))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "saw Drained with a lease open");
+        q.close();
+        q.reclaim(1);
+        assert_eq!(waiter.join().unwrap().map(|v| v.len()), Ok(1));
+    }
+
+    /// Regression for the deadline hoist: the timeout is measured against
+    /// one fixed deadline, so wakeup churn (enqueues racing with other
+    /// consumers, i.e. wakeups that find the queue empty again) cannot
+    /// extend the total wait.
+    #[test]
+    fn timeout_is_bounded_under_wakeup_churn() {
+        let q: Arc<GlobalQueue<u64>> = Arc::new(GlobalQueue::bounded(8));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        // Churners enqueue and instantly steal back, waking the timed
+        // waiter over and over without (usually) leaving it anything.
+        let churners: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        q.enqueue(1).unwrap();
+                        let _ = q.dequeue_timeout(Duration::ZERO);
+                    }
+                })
+            })
+            .collect();
+        let started = Instant::now();
+        // 130ms crosses several WAIT_SLICE windows; whatever the waiter
+        // observes (a stolen task or None), it must be back by then plus
+        // scheduling slack.
+        let _ = q.dequeue_timeout(Duration::from_millis(130));
+        let elapsed = started.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        for t in churners {
+            t.join().unwrap();
+        }
+        assert!(
+            elapsed < Duration::from_millis(400),
+            "timed dequeue overstayed: {elapsed:?}"
+        );
+    }
+
     // --- Leases -----------------------------------------------------------
 
     #[test]
@@ -803,6 +1041,22 @@ mod tests {
         q.complete(kept.id);
         // Reclaiming an owner with no leases is a no-op.
         assert_eq!(q.reclaim(1), 0);
+    }
+
+    /// A dead pipelined consumer holds two leases (train slot + prefetch
+    /// slot); the replay must come back in the original batch order or
+    /// the bit-identical-history guarantee breaks.
+    #[test]
+    fn reclaim_replays_in_original_enqueue_order() {
+        let q = GlobalQueue::bounded(8);
+        for i in 0..6 {
+            q.enqueue(i).unwrap();
+        }
+        let leases = q.dequeue_leased_many(4, 3).unwrap(); // tasks 0, 1, 2
+        assert_eq!(leases.len(), 3);
+        assert_eq!(q.reclaim(4), 3);
+        let replayed: Vec<i32> = (0..6).map(|_| *q.dequeue().unwrap()).collect();
+        assert_eq!(replayed, vec![0, 1, 2, 3, 4, 5], "replay broke FIFO order");
     }
 
     #[test]

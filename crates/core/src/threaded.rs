@@ -59,16 +59,16 @@ use crate::memory::{
     live_sample_workspace_bytes, live_train_workspace_bytes, plan_live_run, LiveCachePlan,
     LiveGraphBytes,
 };
-use crate::queue::{DequeueError, GlobalQueue, DEFAULT_CAPACITY};
+use crate::queue::{DequeueError, GlobalQueue, Lease, DEFAULT_CAPACITY};
 use crate::schedule::{num_samplers, seed_standby_estimate, switch_profit};
-use crate::train_real::{gather_features, sampler_for};
+use crate::train_real::sampler_for;
 use gnnlab_cache::{
     load_cache_topk, CachePolicy, CacheStats, CacheTable, CachedFeatureStore, PolicyKind,
 };
 use gnnlab_graph::gen::SbmGraph;
 use gnnlab_graph::{FeatureStore, VertexId};
 use gnnlab_obs::{names, Executor, Obs, Stage, Telemetry, TelemetryConfig};
-use gnnlab_par::ThreadPool;
+use gnnlab_par::{ThreadPool, Worker};
 use gnnlab_sampling::{presample_rng, MinibatchIter, Sample, SampleBuffers};
 use gnnlab_tensor::loss::accuracy;
 use gnnlab_tensor::{Adam, GnnModel, Matrix, ModelConfig, ModelKind, Optimizer};
@@ -141,6 +141,18 @@ pub struct ThreadedConfig {
     /// whether to resume from the latest valid generation, and any chaos
     /// injection. The default is fully disabled.
     pub checkpoint: CheckpointPolicy,
+    /// Intra-trainer SET pipelining depth. `0` runs the serial reference
+    /// loop (dequeue → extract → train, one batch fully at a time);
+    /// `1` (the default) gives every consumer a one-deep prefetch slot
+    /// and a dedicated extract worker so the feature gather for batch
+    /// N+1 overlaps batch N's train, double-buffering two recycled
+    /// feature buffers so the steady state allocates nothing. Samplers
+    /// also push bursts through [`GlobalQueue::enqueue_many`] when the
+    /// depth is non-zero. Per-batch training history is bit-identical
+    /// across depths: extraction is pure with respect to model state, and
+    /// reclaim replays a dead pipelined consumer's two leases in their
+    /// original enqueue order.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ThreadedConfig {
@@ -163,6 +175,7 @@ impl Default for ThreadedConfig {
             threads: 1,
             telemetry: TelemetryConfig::default(),
             checkpoint: CheckpointPolicy::default(),
+            pipeline_depth: 1,
         }
     }
 }
@@ -269,11 +282,14 @@ impl RecoveryReport {
 }
 
 /// End-of-run accounting for one executor-owned feature cache: every
-/// dedicated Trainer and every switched standby contributes one report.
+/// dedicated Trainer and every switched standby contributes one report,
+/// plus one [`Executor::Host`] report for the end-of-run eval store.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutorCacheReport {
-    /// Consumer role that owned the store ([`Executor::Trainer`] or
-    /// [`Executor::Standby`]).
+    /// Role that owned the store: [`Executor::Trainer`],
+    /// [`Executor::Standby`], or [`Executor::Host`] for the held-out
+    /// evaluation pass (which routes through the same two-tier extraction
+    /// so eval traffic shows up in the cache statistics).
     pub role: Executor,
     /// Executor slot within its role.
     pub slot: usize,
@@ -300,8 +316,8 @@ pub struct ThreadedResult {
     pub peak_queue_depth: usize,
     /// Aggregate cache hit rate across every executor-owned store.
     pub cache_hit_rate: f64,
-    /// Per-executor cache reports, sorted Trainers first then standbys,
-    /// each by slot.
+    /// Per-executor cache reports, sorted Trainers first, then standbys,
+    /// then the host-side eval store, each by slot.
     pub caches: Vec<ExecutorCacheReport>,
     /// Standby-Trainer switches performed by finished Samplers (§5.3).
     pub switches: usize,
@@ -615,6 +631,43 @@ impl TrainerEnv<'_> {
         self.trained.fetch_add(1, Ordering::Relaxed);
         started.elapsed().as_secs_f64()
     }
+
+    /// The train half of the pipelined path: the features were already
+    /// gathered by the consumer's extract worker (under a
+    /// [`Stage::Prefetch`] span), so this only pulls, trains and pushes.
+    /// Returns the wall seconds of the pull + train work.
+    ///
+    /// Ordering note for bit-identity with [`TrainerEnv::process`]: the
+    /// serial path pulls parameters *before* extracting, the pipelined
+    /// path extracts first — extraction never reads or writes model
+    /// state, so the pull/extract commutation cannot change a single bit
+    /// of the training history.
+    fn train_with_feats(
+        &self,
+        device: u32,
+        role: Executor,
+        replica: &mut GnnModel,
+        task: &TrainTask,
+        feats: &Matrix,
+    ) -> f64 {
+        let started = Instant::now();
+        pull_params(replica, self.server);
+        {
+            let _g = self.obs.start_span(device, role, Stage::Train, task.id);
+            if let Some(d) = self.delay {
+                std::thread::sleep(d);
+            }
+            let (loss, acc) = replica.train_batch(&task.sample, feats, &task.labels);
+            push_grads(replica, self.server);
+            self.history.lock().push(BatchRecord {
+                id: task.id,
+                loss,
+                acc,
+            });
+        }
+        self.trained.fetch_add(1, Ordering::Relaxed);
+        started.elapsed().as_secs_f64()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -633,8 +686,11 @@ struct SamplerBook {
     /// Indices claimed by Samplers that died before enqueueing them;
     /// survivors (or a respawn) re-sample these first.
     orphans: Vec<usize>,
-    /// In-flight claims: executor id → batch index.
-    claims: HashMap<usize, usize>,
+    /// In-flight claims: executor id → batch indices of its current burst
+    /// (one entry at pipeline depth 0, up to [`SAMPLER_BURST`] otherwise).
+    /// Entries are removed — never left empty — so `work_remains` and the
+    /// checkpoint gate's `book_busy` check stay exact.
+    claims: HashMap<usize, Vec<usize>>,
     /// Executor ids currently in their sampling phase.
     sampling: HashSet<usize>,
 }
@@ -650,24 +706,28 @@ impl SamplerBook {
         }
     }
 
-    /// Claims the next batch for `exec`: orphaned work first, then the
-    /// fresh cursor. `None` when no work is left to claim.
-    fn next_claim(&mut self, exec: usize) -> Option<usize> {
-        let idx = if let Some(i) = self.orphans.pop() {
-            i
-        } else if self.cursor < self.total {
-            let i = self.cursor;
-            self.cursor += 1;
-            i
-        } else {
-            return None;
-        };
-        self.claims.insert(exec, idx);
-        Some(idx)
+    /// Claims up to `max` batches for `exec` under one lock: orphaned work
+    /// first, then the fresh cursor. Empty when no work is left to claim.
+    fn next_claims(&mut self, exec: usize, max: usize) -> Vec<usize> {
+        let mut taken = Vec::with_capacity(max);
+        for _ in 0..max {
+            if let Some(i) = self.orphans.pop() {
+                taken.push(i);
+            } else if self.cursor < self.total {
+                taken.push(self.cursor);
+                self.cursor += 1;
+            } else {
+                break;
+            }
+        }
+        if !taken.is_empty() {
+            self.claims.insert(exec, taken.clone());
+        }
+        taken
     }
 
-    /// Marks `exec`'s current claim delivered to the queue.
-    fn complete_claim(&mut self, exec: usize) {
+    /// Marks `exec`'s current burst of claims delivered to the queue.
+    fn complete_claims(&mut self, exec: usize) {
         self.claims.remove(&exec);
     }
 
@@ -1450,25 +1510,55 @@ pub fn run_threaded_obs(
     }
 
     // Evaluate the master model on the held-out half. The lock is held
-    // only for the clone; evaluation runs on the snapshot.
+    // only for the clone; evaluation runs on the snapshot. Eval feature
+    // gathers route through a two-tier store shaped like a dedicated
+    // Trainer's (same table, same host tier), so held-out traffic is
+    // counted in the `cache.*` stats instead of bypassing the cache via
+    // a raw host gather — the served bytes are identical either way, so
+    // accuracy is unchanged.
     let mut master = shared.server.lock().master.clone();
     let algo = sampler_for(kind);
+    let eval_fill_started = Instant::now();
+    let (eval_store, _) = CachedFeatureStore::shared_with_pool(
+        Arc::clone(&shared.host_store),
+        shared.plan_table(shared.plan.trainer_rows),
+        Arc::clone(&shared.pool),
+    );
+    let eval_refresh_ns = (eval_fill_started.elapsed().as_nanos() as u64).max(1);
     let mut rng = ChaCha8Rng::seed_from_u64(stream_seed(cfg.seed, StreamRole::Eval, 0));
     let mut correct = 0.0f64;
     let mut total = 0usize;
     for chunk in test_set.chunks(cfg.batch_size.max(1)) {
         let sample = algo.sample(&graph.csr, chunk, &mut rng);
-        let feats = gather_features(graph, sample.input_nodes());
+        let raw = eval_store.extract(sample.input_nodes());
+        let feats = Matrix::from_vec(sample.num_input_nodes(), graph.feat_dim, raw);
         let logits = master.forward(&sample, &feats);
         let labels: Vec<u32> = chunk.iter().map(|&v| graph.labels[v as usize]).collect();
         correct += accuracy(&logits, &labels) * chunk.len() as f64;
         total += chunk.len();
     }
+    shared.cache_reports.lock().push(ExecutorCacheReport {
+        role: Executor::Host,
+        slot: 0,
+        alpha: eval_store.table().alpha(),
+        rows: eval_store.table().len(),
+        refresh_ns: eval_refresh_ns,
+        stats: eval_store.stats(),
+    });
 
     // Per-executor stores already streamed `cache.<role>.<slot>.*`; here
     // their end states roll up into the aggregate `cache.*` totals.
     let mut caches = std::mem::take(&mut *shared.cache_reports.lock());
-    caches.sort_by_key(|c| (c.role == Executor::Standby, c.slot));
+    caches.sort_by_key(|c| {
+        let rank = match c.role {
+            Executor::Trainer => 0,
+            Executor::Standby => 1,
+            // The end-of-run eval store (and anything else host-side)
+            // sorts last.
+            _ => 2,
+        };
+        (rank, c.slot)
+    });
     let mut cache_stats = CacheStats::default();
     for c in &caches {
         cache_stats.add(&c.stats);
@@ -1590,19 +1680,25 @@ fn on_sampler_crash<'scope, 'env>(
     let started = Instant::now();
     let mut book = sh.book.lock();
     book.sampling.remove(&exec);
-    let orphaned = if let Some(i) = book.claims.remove(&exec) {
-        book.orphans.push(i);
-        true
-    } else {
-        false
+    // A Sampler dies holding its whole current burst (nothing from it was
+    // enqueued yet, so re-sampling each index keeps exactly-once).
+    let orphaned = match book.claims.remove(&exec) {
+        Some(burst) => {
+            let n = burst.len();
+            book.orphans.extend(burst);
+            n
+        }
+        None => 0,
     };
     let work_remains = book.work_remains();
     let peers_sampling = book.sampling.len();
     let close = book.should_close();
     drop(book);
-    if orphaned {
-        sh.replayed.fetch_add(1, Ordering::Relaxed);
-        sh.obs.metrics.counter_inc(names::RECOVERY_REPLAYED_BATCHES);
+    if orphaned > 0 {
+        sh.replayed.fetch_add(orphaned, Ordering::Relaxed);
+        sh.obs
+            .metrics
+            .counter_add(names::RECOVERY_REPLAYED_BATCHES, orphaned as f64);
     }
     if !sh.try_consume_budget() {
         sh.fail(format!("Sampler {slot}"), payload);
@@ -1676,9 +1772,18 @@ fn on_consumer_crash<'scope, 'env>(
 // Executor bodies.
 // ---------------------------------------------------------------------------
 
-/// One Sampler's main loop: claim the next batch index from the shared
-/// book, sample, mark, enqueue (blocking at the queue's capacity). Exits
-/// after closing the queue if it was the last producer out.
+/// How many batches a Sampler claims and enqueues per round when the run
+/// is pipelined (`pipeline_depth > 0`): one `enqueue_many` lock/condvar
+/// round-trip moves the whole burst. Small enough that a burst never
+/// outlives the default queue capacity, large enough to amortize the
+/// handoff.
+const SAMPLER_BURST: usize = 4;
+
+/// One Sampler's main loop: claim the next batch indices from the shared
+/// book (one at pipeline depth 0, a burst of [`SAMPLER_BURST`] otherwise),
+/// sample and mark each, then enqueue the burst in one round-trip
+/// (blocking at the queue's capacity). Exits after closing the queue if it
+/// was the last producer out.
 fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
     let cfg = sh.cfg;
     let algo = sampler_for(sh.kind);
@@ -1696,6 +1801,14 @@ fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
     // Reusable sampling scratch: one set per Sampler thread, so the hot
     // loop allocates no per-batch intermediates.
     let mut bufs = SampleBuffers::new();
+    // At pipeline depth 0 each round moves exactly one batch (the serial
+    // reference path); pipelined runs amortize the queue handoff into one
+    // enqueue_many round-trip per burst.
+    let burst = if cfg.pipeline_depth == 0 {
+        1
+    } else {
+        SAMPLER_BURST
+    };
     loop {
         // Quiesce before claiming: a parked Sampler holds no claim, so
         // the checkpoint's cursor is exact.
@@ -1704,78 +1817,93 @@ fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
                 sh.ckpt_park(c, true);
             }
         }
-        let claim = sh.book.lock().next_claim(exec);
-        let Some(i) = claim else { break };
-        if let Some((ci, after)) = crash {
-            if sampled >= after && !sh.crash_fired[ci].swap(true, Ordering::AcqRel) {
-                sh.note_fault();
-                // The claim stays registered: the supervisor orphans it
-                // and a survivor re-samples the batch.
-                panic!("injected fault: Sampler {slot} after {after} batches");
+        let claims = sh.book.lock().next_claims(exec, burst);
+        if claims.is_empty() {
+            break;
+        }
+        let mut tasks = Vec::with_capacity(claims.len());
+        for &i in &claims {
+            if let Some((ci, after)) = crash {
+                if sampled + tasks.len() >= after
+                    && !sh.crash_fired[ci].swap(true, Ordering::AcqRel)
+                {
+                    sh.note_fault();
+                    // The whole burst's claims stay registered: the
+                    // supervisor orphans them all and survivors re-sample
+                    // each batch (nothing sampled here was enqueued yet,
+                    // so exactly-once holds).
+                    panic!("injected fault: Sampler {slot} after {after} batches");
+                }
             }
+            let epoch = i / sh.batches_per_epoch;
+            if epoch != cached_epoch {
+                // Every Sampler derives the same shuffle for a given
+                // epoch, so the global index space is consistent across
+                // threads.
+                batches =
+                    MinibatchIter::new(sh.train_set, cfg.batch_size, sh.shuffle_seed, epoch as u64)
+                        .collect();
+                cached_epoch = epoch;
+            }
+            let batch = &batches[i % sh.batches_per_epoch];
+            let id = i as u64;
+            // Per-batch domain-tagged RNG: the sampler's random state is a
+            // pure function of (seed, epoch, batch), so the batch cursor
+            // IS the RNG position — resume replays nothing and skips
+            // nothing, and it doesn't matter which executor samples which
+            // batch (or in which burst).
+            let mut rng = presample_rng(cfg.seed, epoch as u64, (i % sh.batches_per_epoch) as u64);
+            let work_started = Instant::now();
+            let mut sample = {
+                let _g = obs.start_span(device, Executor::Sampler, Stage::SampleG, id);
+                algo.sample_with(&sh.graph.csr, batch, &mut rng, &mut bufs)
+            };
+            // The M step (§5.2): the Sampler marks which input vertices
+            // the Trainers' cache holds, so Trainers need no second
+            // membership pass.
+            {
+                let _g = obs.start_span(device, Executor::Sampler, Stage::SampleM, id);
+                sample.cache_mask = Some(sh.mark_table.mark(sample.input_nodes()));
+            }
+            let mut secs = work_started.elapsed().as_secs_f64();
+            if slowdown > 1.0 {
+                // A straggling device: stretch the batch to `slowdown`
+                // times its natural duration.
+                std::thread::sleep(Duration::from_secs_f64(secs * (slowdown - 1.0)));
+                secs *= slowdown;
+            }
+            // T_s counts sampling *work* (G + M, stretched by any
+            // straggler factor); the C step below may block on
+            // backpressure, which is waiting, not work.
+            sh.stats.update(
+                &sh.stats.t_sample,
+                names::SCHEDULER_EWMA_T_SAMPLE,
+                secs,
+                obs,
+            );
+            let est = my_ewma.map_or(secs, |prev| prev + EWMA_ALPHA * (secs - prev));
+            my_ewma = Some(est);
+            obs.metrics.gauge_set(&ewma_gauge, est);
+            let labels = batch.iter().map(|&v| sh.graph.labels[v as usize]).collect();
+            tasks.push(TrainTask { id, sample, labels });
         }
-        let epoch = i / sh.batches_per_epoch;
-        if epoch != cached_epoch {
-            // Every Sampler derives the same shuffle for a given epoch, so
-            // the global index space is consistent across threads.
-            batches =
-                MinibatchIter::new(sh.train_set, cfg.batch_size, sh.shuffle_seed, epoch as u64)
-                    .collect();
-            cached_epoch = epoch;
-        }
-        let batch = &batches[i % sh.batches_per_epoch];
-        let id = i as u64;
-        // Per-batch domain-tagged RNG: the sampler's random state is a
-        // pure function of (seed, epoch, batch), so the batch cursor IS
-        // the RNG position — resume replays nothing and skips nothing,
-        // and it doesn't matter which executor samples which batch.
-        let mut rng = presample_rng(cfg.seed, epoch as u64, (i % sh.batches_per_epoch) as u64);
-        let work_started = Instant::now();
-        let mut sample = {
-            let _g = obs.start_span(device, Executor::Sampler, Stage::SampleG, id);
-            algo.sample_with(&sh.graph.csr, batch, &mut rng, &mut bufs)
-        };
-        // The M step (§5.2): the Sampler marks which input vertices the
-        // Trainers' cache holds, so Trainers need no second membership
-        // pass.
-        {
-            let _g = obs.start_span(device, Executor::Sampler, Stage::SampleM, id);
-            sample.cache_mask = Some(sh.mark_table.mark(sample.input_nodes()));
-        }
-        let mut secs = work_started.elapsed().as_secs_f64();
-        if slowdown > 1.0 {
-            // A straggling device: stretch the batch to `slowdown` times
-            // its natural duration.
-            std::thread::sleep(Duration::from_secs_f64(secs * (slowdown - 1.0)));
-            secs *= slowdown;
-        }
-        // T_s counts sampling *work* (G + M, stretched by any straggler
-        // factor); the C step below may block on backpressure, which is
-        // waiting, not work.
-        sh.stats.update(
-            &sh.stats.t_sample,
-            names::SCHEDULER_EWMA_T_SAMPLE,
-            secs,
-            obs,
-        );
-        let est = my_ewma.map_or(secs, |prev| prev + EWMA_ALPHA * (secs - prev));
-        my_ewma = Some(est);
-        obs.metrics.gauge_set(&ewma_gauge, est);
-        let labels = batch.iter().map(|&v| sh.graph.labels[v as usize]).collect();
+        let n = tasks.len();
+        let first_id = tasks[0].id;
         let enqueued = {
-            let _g = obs.start_span(device, Executor::Sampler, Stage::SampleC, id);
-            sh.queue.enqueue(TrainTask { id, sample, labels })
+            let _g = obs.start_span(device, Executor::Sampler, Stage::SampleC, first_id);
+            sh.queue.enqueue_many(tasks)
         };
         match enqueued {
             Ok(()) => {
-                sh.book.lock().complete_claim(exec);
-                sh.produced.fetch_add(1, Ordering::Relaxed);
-                sampled += 1;
-                obs.metrics.counter_inc("threaded.samples_produced");
+                sh.book.lock().complete_claims(exec);
+                sh.produced.fetch_add(n, Ordering::Relaxed);
+                sampled += n;
+                obs.metrics
+                    .counter_add("threaded.samples_produced", n as f64);
             }
             // Poisoned (a peer crashed beyond recovery): stop producing.
             Err(_) => {
-                sh.book.lock().complete_claim(exec);
+                sh.book.lock().complete_claims(exec);
                 return;
             }
         }
@@ -1805,6 +1933,9 @@ fn trainer_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), Thread
         seed: stream_seed(cfg.seed, StreamRole::Trainer, exec as u64),
     });
     let (store, refresh_ns) = sh.build_store(sh.plan.trainer_rows, device, Executor::Trainer);
+    // Arc so the pipelined path can share the store with its extract
+    // worker; the serial path just borrows through it.
+    let store = Arc::new(store);
     let crash = cfg.faults.crash_for(ExecutorRole::Trainer, slot);
     let slowdown = cfg.faults.slowdown(ExecutorRole::Trainer, slot);
     consume_loop(
@@ -1868,6 +1999,7 @@ fn standby_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), Thread
         seed: stream_seed(cfg.seed, StreamRole::Standby, exec as u64),
     });
     let (store, refresh_ns) = sh.build_store(sh.plan.standby_rows, slot as u32, Executor::Standby);
+    let store = Arc::new(store);
     let remaining_now = sh.queue.remaining();
     let peers = sh
         .stats
@@ -1907,14 +2039,44 @@ fn standby_phase(sh: &Shared<'_>, slot: usize, exec: usize) -> Result<(), Thread
     res
 }
 
-/// The shared consumer loop of Trainers and standbys: lease, maybe crash
-/// (injected, at most once, while the lease is held so the replay trains
-/// the batch exactly once), retry transient faults with seeded backoff,
-/// process, confirm. Streams the executor's own `cache.<role>.<slot>.*`
-/// hit/miss counters per batch and files its [`ExecutorCacheReport`] on
-/// exit.
+/// The shared consumer loop of Trainers and standbys: dispatches on
+/// [`ThreadedConfig::pipeline_depth`] between the serial reference path
+/// (depth 0: dequeue → extract → train, one batch fully at a time) and
+/// the pipelined path (depth ≥ 1: a one-deep prefetch slot plus a
+/// dedicated extract worker overlap batch N+1's gather with batch N's
+/// train). Both paths lease, maybe crash (injected, at most once, while
+/// the lease is held so the replay trains the batch exactly once), retry
+/// transient faults with seeded backoff, process, confirm; both stream
+/// the executor's own `cache.<role>.<slot>.*` hit/miss counters per batch
+/// and file its [`ExecutorCacheReport`] on exit.
 #[allow(clippy::too_many_arguments)]
 fn consume_loop(
+    sh: &Shared<'_>,
+    exec: usize,
+    device: u32,
+    slot: usize,
+    replica: &mut GnnModel,
+    store: &Arc<CachedFeatureStore>,
+    refresh_ns: u64,
+    crash: Option<(usize, usize)>,
+    slowdown: f64,
+    standby: bool,
+) -> Result<(), ThreadedError> {
+    if sh.cfg.pipeline_depth == 0 {
+        consume_serial(
+            sh, exec, device, slot, replica, store, refresh_ns, crash, slowdown, standby,
+        )
+    } else {
+        consume_pipelined(
+            sh, exec, device, slot, replica, store, refresh_ns, crash, slowdown, standby,
+        )
+    }
+}
+
+/// The depth-0 serial consumer loop, kept as the bit-identity reference
+/// path for the pipelined one.
+#[allow(clippy::too_many_arguments)]
+fn consume_serial(
     sh: &Shared<'_>,
     exec: usize,
     device: u32,
@@ -2078,6 +2240,302 @@ fn consume_loop(
             // Another executor crashed beyond recovery; its thread records
             // the error — just unwind quietly.
             Err(DequeueError::Poisoned(_)) => break,
+        }
+    }
+    file_report(store.stats());
+    Ok(())
+}
+
+/// A batch whose feature extract is in flight (or already finished) on
+/// the consumer's dedicated prefetch worker. Its lease stays outstanding
+/// until the batch trains and confirms, so a consumer that dies holding
+/// both a current and a prefetched batch has *two* live leases — the
+/// supervisor reclaims and replays both, in original enqueue order.
+struct InFlight {
+    /// Lease to confirm with [`GlobalQueue::complete`] after training.
+    lease_id: u64,
+    /// The leased task, shared with the extract job.
+    task: Arc<TrainTask>,
+    /// The extract running (or queued) on the prefetch worker.
+    handle: gnnlab_par::JobHandle<PrefetchOut>,
+    /// Whether this batch was dequeued ahead of need (a true prefetch,
+    /// eligible for `pipeline.prefetch_hit`) rather than on demand.
+    prefetched: bool,
+}
+
+/// What the prefetch worker hands back: the filled feature buffer plus
+/// the obs-clock interval of the extract, for overlap accounting.
+struct PrefetchOut {
+    buf: Vec<f32>,
+    start_ns: u64,
+    end_ns: u64,
+}
+
+/// The depth-1 pipelined consumer loop. Each iteration (a) takes the
+/// prefetched batch N (or block-dequeues and submits it on the spot),
+/// (b) leases batch N+1 non-blocking and submits its extract to the
+/// dedicated worker, (c) joins batch N's extract — counting
+/// `pipeline.prefetch_hit` when it already finished, `pipeline.stall_ns`
+/// for the residual wait, and `pipeline.overlap_ns` for the interval its
+/// extract shared with batch N−1's train — and (d) trains batch N on two
+/// recycled feature buffers (`extract_to_buffer` + `Matrix::into_vec`),
+/// so the steady state allocates nothing.
+///
+/// Checkpoint interplay: while a quiesce round is requested the prefetch
+/// slot is not topped up, so the held leases drain to zero and the
+/// consumer parks exactly like the serial path.
+#[allow(clippy::too_many_arguments)]
+fn consume_pipelined(
+    sh: &Shared<'_>,
+    exec: usize,
+    device: u32,
+    slot: usize,
+    replica: &mut GnnModel,
+    store: &Arc<CachedFeatureStore>,
+    refresh_ns: u64,
+    crash: Option<(usize, usize)>,
+    slowdown: f64,
+    standby: bool,
+) -> Result<(), ThreadedError> {
+    let cfg = sh.cfg;
+    let obs = &*sh.obs;
+    let (role, role_name) = if standby {
+        (Executor::Standby, "standby")
+    } else {
+        (Executor::Trainer, "trainer")
+    };
+    let who = format!("{} {slot}", if standby { "Standby" } else { "Trainer" });
+    let ewma_gauge = names::executor_ewma(role_name, slot);
+    let lookups_name = names::executor_cache(role_name, slot, "lookups");
+    let hits_name = names::executor_cache(role_name, slot, "hits");
+    let misses_name = names::executor_cache(role_name, slot, "misses");
+    let hit_rate_name = names::executor_cache(role_name, slot, "hit_rate");
+    let env = TrainerEnv {
+        obs,
+        server: &sh.server,
+        store,
+        graph: sh.graph,
+        trained: &sh.trained,
+        history: &sh.history,
+        delay: cfg.trainer_delay,
+    };
+    let (cell, series) = if standby {
+        (&sh.stats.t_standby, names::SCHEDULER_EWMA_T_STANDBY)
+    } else {
+        (&sh.stats.t_train, names::SCHEDULER_EWMA_T_TRAIN)
+    };
+    let mut done = 0usize;
+    let mut my_ewma: Option<f64> = None;
+    let mut last_cache = CacheStats::default();
+    let file_report = |stats: CacheStats| {
+        sh.cache_reports.lock().push(ExecutorCacheReport {
+            role,
+            slot,
+            alpha: store.table().alpha(),
+            rows: store.table().len(),
+            refresh_ns,
+            stats,
+        });
+    };
+    // The dedicated extract worker: one FIFO thread per consumer, so a
+    // prefetch never steals the consumer's own CPU mid-train (the
+    // extract's data-parallel fan-out still goes through the shared
+    // pool inside `extract_into`).
+    let worker = Worker::new(&format!("gnnlab-pf-{role_name}-{slot}"));
+    // The two recycled feature buffers: one rides the in-flight extract,
+    // the freed one waits here for the next submit. `Vec::new()` never
+    // allocates, so the pair materializes lazily over the first two
+    // submits and is recycled forever after.
+    let mut free_buf: Vec<f32> = Vec::new();
+    let mut pending: Option<InFlight> = None;
+    // Obs-clock interval of the previous batch's pull + train, for the
+    // overlap intersection.
+    let mut last_train: Option<(u64, u64)> = None;
+    let feat_dim = sh.graph.feat_dim;
+    let submit = |lease: Lease<TrainTask>, buf: Vec<f32>, prefetched: bool| -> InFlight {
+        let task = Arc::clone(&lease.task);
+        let job_task = Arc::clone(&task);
+        let job_obs = Arc::clone(&sh.obs);
+        let job_store = Arc::clone(store);
+        let mut job_buf = buf;
+        let handle = worker.submit(move || {
+            let start_ns = job_obs.now_ns();
+            let rows = job_task.sample.num_input_nodes();
+            {
+                let _g = job_obs.start_span(device, role, Stage::Prefetch, job_task.id);
+                job_store.extract_to_buffer(job_task.sample.input_nodes(), &mut job_buf);
+            }
+            job_obs
+                .metrics
+                .counter_add(names::EXTRACT_PAR_ROWS, rows as f64);
+            job_obs.metrics.counter_add(
+                names::EXTRACT_PAR_CHUNKS,
+                job_store.pool().partitions(rows) as f64,
+            );
+            PrefetchOut {
+                buf: job_buf,
+                start_ns,
+                end_ns: job_obs.now_ns(),
+            }
+        });
+        InFlight {
+            lease_id: lease.id,
+            task,
+            handle,
+            prefetched,
+        }
+    };
+    'run: loop {
+        // (a) The current batch: the slot's in-flight prefetch, or a
+        // fresh blocking dequeue submitted on the spot (paying the full
+        // extract as stall — the cold path of the first batch and of any
+        // burst the prefetch couldn't get ahead of).
+        let cur = match pending.take() {
+            Some(p) => p,
+            None => {
+                let lease = loop {
+                    if let Some(c) = &sh.ckpt {
+                        // Park only while holding zero leases, so the
+                        // quiesce round sees a fully drained pipeline.
+                        if c.requested.load(Ordering::Relaxed)
+                            && sh.queue.remaining() == 0
+                            && sh.queue.leased_count() == 0
+                        {
+                            sh.ckpt_park(c, false);
+                        }
+                        match sh.queue.dequeue_leased_timeout(exec as u32, CKPT_POLL) {
+                            Ok(None) => continue,
+                            Ok(Some(lease)) => break lease,
+                            Err(_) => break 'run,
+                        }
+                    } else {
+                        match sh.queue.dequeue_leased(exec as u32) {
+                            Ok(lease) => break lease,
+                            // Drained, or poisoned by a fatal peer crash
+                            // (whose thread records the error) — exit.
+                            Err(_) => break 'run,
+                        }
+                    }
+                };
+                submit(lease, std::mem::take(&mut free_buf), false)
+            }
+        };
+        // (b) Top up the one-deep prefetch slot: lease batch N+1 now so
+        // its extract overlaps batch N's train. Skipped while a
+        // checkpoint round is pending so the held leases drain.
+        let ckpt_pending = sh
+            .ckpt
+            .as_ref()
+            .is_some_and(|c| c.requested.load(Ordering::Relaxed));
+        if !ckpt_pending {
+            if let Ok(Some(lease)) = sh.queue.dequeue_leased_timeout(exec as u32, Duration::ZERO) {
+                pending = Some(submit(lease, std::mem::take(&mut free_buf), true));
+            }
+        }
+        // Injected crash: fires here so both in-flight batches hold
+        // leases — the supervisor must reclaim and replay *both*, in
+        // original enqueue order, for the history to stay bit-identical.
+        if let Some((ci, after)) = crash {
+            if done >= after && !sh.crash_fired[ci].swap(true, Ordering::AcqRel) {
+                sh.note_fault();
+                panic!("injected fault: {who} after {after} batches");
+            }
+        }
+        // Transient faults retry before the join, mirroring the serial
+        // path's retry-before-process.
+        let failures = cfg.faults.transient_failures(cur.task.id);
+        for attempt in 0..failures {
+            if attempt >= cfg.faults.retry.max_attempts {
+                file_report(store.stats());
+                return Err(ThreadedError::new(
+                    ThreadedErrorKind::UnrecoverableFault,
+                    who.clone(),
+                    format!(
+                        "unrecoverable transient fault on batch {} after {attempt} retries",
+                        cur.task.id
+                    ),
+                ));
+            }
+            sh.note_fault();
+            sh.retries.fetch_add(1, Ordering::Relaxed);
+            obs.metrics.counter_inc(names::RETRY_ATTEMPTS);
+            let backoff = cfg.faults.backoff(attempt, cur.task.id);
+            obs.metrics
+                .counter_add(names::RETRY_BACKOFF_NS, backoff.as_nanos() as f64);
+            std::thread::sleep(backoff);
+        }
+        // (c) Join batch N's extract: already-done means the gather was
+        // fully hidden behind the previous train (a prefetch hit); any
+        // residual wait is the pipeline stall.
+        let hit = cur.prefetched && cur.handle.is_done();
+        let wait_started = Instant::now();
+        let out = cur.handle.join();
+        let stall = wait_started.elapsed();
+        if hit {
+            obs.metrics.counter_inc(names::PIPELINE_PREFETCH_HIT);
+        }
+        obs.metrics
+            .counter_add(names::PIPELINE_STALL_NS, stall.as_nanos() as f64);
+        if let Some((t0, t1)) = last_train {
+            // Interval intersection of this extract with the previous
+            // train: the serialized time the pipeline actually hid.
+            let overlap = t1.min(out.end_ns).saturating_sub(t0.max(out.start_ns));
+            if overlap > 0 {
+                obs.metrics
+                    .counter_add(names::PIPELINE_OVERLAP_NS, overlap as f64);
+            }
+        }
+        // (d) Train on the prefetched features and recycle the buffer.
+        let rows = cur.task.sample.num_input_nodes();
+        debug_assert_eq!(
+            cur.task.sample.cache_mask.as_deref().map(<[bool]>::len),
+            Some(rows),
+            "Sampler must mark every input vertex"
+        );
+        let feats = Matrix::from_vec(rows, feat_dim, out.buf);
+        let train_start = obs.now_ns();
+        let mut secs =
+            stall.as_secs_f64() + env.train_with_feats(device, role, replica, &cur.task, &feats);
+        last_train = Some((train_start, obs.now_ns()));
+        free_buf = feats.into_vec();
+        if slowdown > 1.0 {
+            std::thread::sleep(Duration::from_secs_f64(secs * (slowdown - 1.0)));
+            secs *= slowdown;
+        }
+        // The consumer's per-batch critical path is stall + train (the
+        // hidden part of the extract is exactly what the pipeline
+        // bought), so that is what the EWMAs track.
+        sh.stats.update(cell, series, secs, obs);
+        let est = my_ewma.map_or(secs, |prev| prev + EWMA_ALPHA * (secs - prev));
+        my_ewma = Some(est);
+        obs.metrics.gauge_set(&ewma_gauge, est);
+        let snap = store.stats();
+        obs.metrics
+            .counter_add(&lookups_name, (snap.lookups - last_cache.lookups) as f64);
+        obs.metrics
+            .counter_add(&hits_name, (snap.hits - last_cache.hits) as f64);
+        obs.metrics.counter_add(
+            &misses_name,
+            ((snap.lookups - snap.hits) - (last_cache.lookups - last_cache.hits)) as f64,
+        );
+        obs.metrics.gauge_set(&hit_rate_name, snap.hit_rate());
+        last_cache = snap;
+        sh.queue.complete(cur.lease_id);
+        done += 1;
+        if let Some(c) = &sh.ckpt {
+            sh.ckpt_request_if_due();
+            if let Some(k) = c.policy.chaos.kill_after_batches {
+                if sh.trained.load(Ordering::Relaxed) >= k
+                    && !c.kill_fired.swap(true, Ordering::AcqRel)
+                {
+                    file_report(store.stats());
+                    return Err(ThreadedError::new(
+                        ThreadedErrorKind::Killed,
+                        who.clone(),
+                        format!("simulated process kill after {k} trained batches"),
+                    ));
+                }
+            }
         }
     }
     file_report(store.stats());

@@ -3,7 +3,7 @@
 
 use crate::workload::Workload;
 use gnnlab_graph::VertexId;
-use gnnlab_sampling::{presample_rng, Kernel, MinibatchIter, SampleWork};
+use gnnlab_sampling::{presample_rng, Kernel, MinibatchIter, Sample, SampleBuffers, SampleWork};
 use gnnlab_tensor::flops::train_flops;
 
 /// Measured quantities of one mini-batch's sampling.
@@ -53,6 +53,12 @@ impl EpochTrace {
         let algo = workload.sampler(kernel);
         let csr = &workload.dataset.csr;
         let mut batches = Vec::new();
+        // One scratch set for the whole epoch: recording reuses sampling
+        // buffers batch to batch just like the executed runtime, so a
+        // trace costs no per-batch allocations (the draws are identical
+        // either way — buffer reuse preserves the exact RNG sequence).
+        let mut bufs = SampleBuffers::new();
+        let mut s = Sample::default();
         for (bi, seeds) in MinibatchIter::new(
             &workload.dataset.train_set,
             batch_size.max(1),
@@ -65,7 +71,7 @@ impl EpochTrace {
             // parallel pre-sampling uses, so a recorded epoch and a
             // pre-sampled epoch see identical draws batch for batch.
             let mut rng = presample_rng(workload.seed, epoch, bi as u64);
-            let s = algo.sample(csr, &seeds, &mut rng);
+            algo.sample_into(csr, &seeds, &mut rng, &mut bufs, &mut s);
             let flops = train_flops(
                 workload.model,
                 &s,

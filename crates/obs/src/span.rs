@@ -44,6 +44,9 @@ pub enum Stage {
     LoadCache,
     /// Preprocessing P3: PreSC pre-sampling epoch.
     Presample,
+    /// Pipelined feature prefetch: the Extract of batch N+1 running on a
+    /// Trainer's dedicated extract worker while batch N trains.
+    Prefetch,
 }
 
 impl Stage {
@@ -56,6 +59,7 @@ impl Stage {
             Stage::Extract => 1,
             Stage::Train => 2,
             Stage::DiskToDram | Stage::LoadTopology | Stage::LoadCache | Stage::Presample => 3,
+            Stage::Prefetch => 4,
         }
     }
 
@@ -65,6 +69,7 @@ impl Stage {
             0 => "Sample",
             1 => "Extract",
             2 => "Train",
+            4 => "Prefetch",
             _ => "Preprocess",
         }
     }
@@ -83,6 +88,7 @@ impl Stage {
             Stage::LoadTopology => "stage.load_topology.ns",
             Stage::LoadCache => "stage.load_cache.ns",
             Stage::Presample => "stage.presample.ns",
+            Stage::Prefetch => "stage.prefetch.ns",
         }
     }
 
@@ -98,6 +104,7 @@ impl Stage {
             Stage::LoadTopology => "Load topology",
             Stage::LoadCache => "Load cache",
             Stage::Presample => "Pre-sampling",
+            Stage::Prefetch => "Prefetch",
         }
     }
 }

@@ -28,10 +28,12 @@
 pub mod gather;
 pub mod global;
 pub mod pool;
+pub mod worker;
 
 pub use gather::{gather_rows_into, uninit_f32_vec};
 pub use global::{global_pool, global_threads, set_global_threads};
 pub use pool::ThreadPool;
+pub use worker::{JobHandle, Worker};
 
 /// SplitMix64: a strong 64-bit mixer, used to derive independent RNG
 /// stream seeds from `(seed, epoch, batch)` identities so work items can
