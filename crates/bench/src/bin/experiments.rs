@@ -26,8 +26,8 @@
 //! one-shot scrapers (CI smoke jobs) always find the final state.
 
 use gnnlab_bench::{exp, ExpConfig, Table};
+use gnnlab_core::sync::{AtomicBool, Ordering};
 use gnnlab_obs::{MetricsServer, Obs};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Set by the `--json` flag: emit one JSON object per table instead of

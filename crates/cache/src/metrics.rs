@@ -71,12 +71,13 @@ impl CacheStats {
     /// Publishes the accumulated totals into a metrics registry under the
     /// standard `cache.*` names.
     pub fn publish(&self, metrics: &gnnlab_obs::MetricsRegistry) {
-        metrics.counter_add("cache.lookups", self.lookups as f64);
-        metrics.counter_add("cache.hits", self.hits as f64);
-        metrics.counter_add("cache.misses", (self.lookups - self.hits) as f64);
-        metrics.counter_add("cache.hit_bytes", self.hit_bytes as f64);
-        metrics.counter_add("cache.miss_bytes", self.miss_bytes as f64);
-        metrics.gauge_set("cache.hit_rate", self.hit_rate());
+        use gnnlab_obs::names;
+        metrics.counter_add(names::CACHE_LOOKUPS, self.lookups as f64);
+        metrics.counter_add(names::CACHE_HITS, self.hits as f64);
+        metrics.counter_add(names::CACHE_MISSES, (self.lookups - self.hits) as f64);
+        metrics.counter_add(names::CACHE_HIT_BYTES, self.hit_bytes as f64);
+        metrics.counter_add(names::CACHE_MISS_BYTES, self.miss_bytes as f64);
+        metrics.gauge_set(names::CACHE_HIT_RATE, self.hit_rate());
     }
 }
 
@@ -89,10 +90,10 @@ impl CacheStats {
 /// still never loses or invents counts).
 #[derive(Debug, Default)]
 pub struct AtomicCacheStats {
-    lookups: std::sync::atomic::AtomicU64,
-    hits: std::sync::atomic::AtomicU64,
-    miss_bytes: std::sync::atomic::AtomicU64,
-    hit_bytes: std::sync::atomic::AtomicU64,
+    lookups: gnnlab_par::sync::AtomicU64,
+    hits: gnnlab_par::sync::AtomicU64,
+    miss_bytes: gnnlab_par::sync::AtomicU64,
+    hit_bytes: gnnlab_par::sync::AtomicU64,
 }
 
 impl AtomicCacheStats {
@@ -103,7 +104,7 @@ impl AtomicCacheStats {
 
     /// Adds a batch of locally accumulated stats.
     pub fn add(&self, batch: &CacheStats) {
-        use std::sync::atomic::Ordering::Relaxed;
+        use gnnlab_par::sync::Ordering::Relaxed;
         self.lookups.fetch_add(batch.lookups, Relaxed);
         self.hits.fetch_add(batch.hits, Relaxed);
         self.miss_bytes.fetch_add(batch.miss_bytes, Relaxed);
@@ -112,7 +113,7 @@ impl AtomicCacheStats {
 
     /// Current totals as a plain [`CacheStats`].
     pub fn snapshot(&self) -> CacheStats {
-        use std::sync::atomic::Ordering::Relaxed;
+        use gnnlab_par::sync::Ordering::Relaxed;
         CacheStats {
             lookups: self.lookups.load(Relaxed),
             hits: self.hits.load(Relaxed),
@@ -123,7 +124,7 @@ impl AtomicCacheStats {
 
     /// Zeroes every counter.
     pub fn reset(&self) {
-        use std::sync::atomic::Ordering::Relaxed;
+        use gnnlab_par::sync::Ordering::Relaxed;
         self.lookups.store(0, Relaxed);
         self.hits.store(0, Relaxed);
         self.miss_bytes.store(0, Relaxed);

@@ -92,8 +92,10 @@ impl CachedFeatureStore {
         let cached = table.cached_vertices();
         pool.par_chunks_mut(&mut device_rows, dim, |_, range, chunk| {
             gather_rows_into(&cached[range], dim, chunk, |_, v| {
-                host.row(v)
-                    .expect("CachedFeatureStore requires materialized host features")
+                gnnlab_par::invariant!(
+                    host.row(v),
+                    "CachedFeatureStore::new requires materialized host features"
+                )
             });
         });
         let fill = CacheFill {
@@ -156,7 +158,10 @@ impl CachedFeatureStore {
                     }
                     None => {
                         local.miss_bytes += row_bytes;
-                        self.host.row(v).expect("materialized")
+                        gnnlab_par::invariant!(
+                            self.host.row(v),
+                            "CachedFeatureStore::new requires materialized host features"
+                        )
                     }
                 }
             });

@@ -140,17 +140,19 @@ pub fn load_cache_topk(hotness: &[f64], k: usize, num_vertices: usize) -> CacheT
     let mut order: Vec<u32> = (0..num_vertices as u32).collect();
     // Partial selection of the top-k, then sort those for determinism.
     order.select_nth_unstable_by(k - 1, |&a, &b| {
-        hotness[b as usize]
-            .partial_cmp(&hotness[a as usize])
-            .expect("hotness must be finite")
-            .then(a.cmp(&b))
+        gnnlab_par::invariant!(
+            hotness[b as usize].partial_cmp(&hotness[a as usize]),
+            "hotness scores are finite counts, never NaN"
+        )
+        .then(a.cmp(&b))
     });
     let mut top: Vec<u32> = order[..k].to_vec();
     top.sort_unstable_by(|&a, &b| {
-        hotness[b as usize]
-            .partial_cmp(&hotness[a as usize])
-            .expect("hotness must be finite")
-            .then(a.cmp(&b))
+        gnnlab_par::invariant!(
+            hotness[b as usize].partial_cmp(&hotness[a as usize]),
+            "hotness scores are finite counts, never NaN"
+        )
+        .then(a.cmp(&b))
     });
     for (slot, &v) in top.iter().enumerate() {
         table.location[v as usize] = slot as u32;

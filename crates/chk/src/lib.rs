@@ -1,0 +1,318 @@
+//! gnnlab-chk — a loom-lite deterministic concurrency model checker.
+//!
+//! The checker runs a closure many times, each time under a cooperative
+//! scheduler that serializes the model threads and *chooses* the
+//! interleaving. [`Mode::Exhaustive`] enumerates schedules depth-first
+//! with a bounded preemption budget (CHESS-style: most concurrency bugs
+//! hide behind very few preemptions, so a small bound covers the
+//! interesting space at a fraction of the cost); [`Mode::RandomWalk`]
+//! samples deep schedules from a seed for defects past the bound.
+//!
+//! What counts as a defect:
+//! - **Deadlock** — no thread can run but some are unfinished. Model
+//!   condvar waits have *no timeout escape*, so a lost wakeup (a notify
+//!   that raced past its waiter) shows up as a hard deadlock instead of
+//!   a 50ms stutter like in production.
+//! - **Panic** — any model thread panicking (assertion failures in
+//!   model tests included).
+//! - **Step limit** — a schedule that refuses to terminate (livelock).
+//!
+//! The sync types in [`sync`] and the thread API in [`thread`] are
+//! passthroughs outside a model run: they behave exactly like
+//! `parking_lot`/`std` until [`check`] is driving the thread. That makes
+//! it safe for production crates to compile against them workspace-wide
+//! under a `chk` cargo feature — see `gnnlab-core`'s `core::sync`
+//! façade.
+//!
+//! ```
+//! use gnnlab_chk::{check, Config};
+//! use gnnlab_chk::sync::{Mutex, Ordering, AtomicU64};
+//! use std::sync::Arc;
+//!
+//! let report = check(Config::default(), || {
+//!     let n = Arc::new(AtomicU64::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let t = gnnlab_chk::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::Relaxed);
+//!     });
+//!     n.fetch_add(1, Ordering::Relaxed);
+//!     t.join();
+//!     assert_eq!(n.load(Ordering::Relaxed), 2);
+//! })
+//! .expect("no defect");
+//! assert!(report.exhausted);
+//! ```
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use sched::{check, model, Config, Mode, ModelError, Report, DEFAULT_PREEMPTION_BOUND};
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{AtomicU64, Condvar, Mutex, Ordering};
+    use super::thread;
+    use super::{check, Config, Mode, ModelError};
+    use std::sync::Arc;
+
+    fn exhaustive() -> Config {
+        Config::default()
+    }
+
+    #[test]
+    fn passthrough_outside_model_run() {
+        // No check() driving: the types must behave like plain
+        // parking_lot/std, including across real threads.
+        let m = Arc::new(Mutex::new(0u64));
+        let cv = Arc::new(Condvar::new());
+        let m2 = Arc::clone(&m);
+        let cv2 = Arc::clone(&cv);
+        let t = thread::spawn(move || {
+            let mut g = m2.lock();
+            *g = 7;
+            cv2.notify_all();
+        });
+        let mut g = m.lock();
+        while *g != 7 {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        t.join();
+        assert!(!thread::is_model_active());
+    }
+
+    #[test]
+    fn mutual_exclusion_holds() {
+        // A non-atomic read-modify-write under the model mutex: if the
+        // scheduler ever let two threads into the critical section the
+        // final count would fall short.
+        let report = check(exhaustive(), || {
+            let m = Arc::new(Mutex::new(0u64));
+            let hs: Vec<_> = (0..3)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        let mut g = m.lock();
+                        let v = *g;
+                        thread::yield_now();
+                        *g = v + 1;
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(*m.lock(), 3);
+        })
+        .expect("mutex must serialize the critical sections");
+        assert!(report.exhausted);
+        assert!(report.schedules > 1, "contended lock must branch");
+    }
+
+    #[test]
+    fn finds_atomic_race() {
+        // The classic lost-update: load, yield, store. Exhaustive mode
+        // must find an interleaving where one increment vanishes.
+        let err = check(exhaustive(), || {
+            let n = Arc::new(AtomicU64::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        let v = n.load(Ordering::Relaxed);
+                        n.store(v + 1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(n.load(Ordering::Relaxed), 2, "lost update");
+        })
+        .expect_err("the load/store race must be found");
+        assert!(matches!(*err, ModelError::Panic { .. }), "got {err}");
+    }
+
+    #[test]
+    fn finds_lost_wakeup_deadlock() {
+        // Toy lost wakeup: the notifier fires before the waiter checks
+        // the flag... but since the waiter re-checks the flag under the
+        // lock, the *real* bug needs a non-guarded wait. Model it
+        // directly: wait without a predicate loop.
+        let mut cfg = exhaustive();
+        cfg.spurious_wakeups = false; // make the lost wakeup fatal
+        let err = check(cfg, || {
+            let m = Arc::new(Mutex::new(()));
+            let cv = Arc::new(Condvar::new());
+            let m2 = Arc::clone(&m);
+            let cv2 = Arc::clone(&cv);
+            let t = thread::spawn(move || {
+                let mut g = m2.lock();
+                // BUG: unconditional wait — if the notify already fired,
+                // this sleeps forever.
+                cv2.wait(&mut g);
+            });
+            cv.notify_one();
+            t.join();
+        })
+        .expect_err("the unguarded wait must deadlock in some schedule");
+        assert!(matches!(*err, ModelError::Deadlock { .. }), "got {err}");
+    }
+
+    #[test]
+    fn guarded_wait_is_clean() {
+        // The corrected version of the pattern above: predicate loop +
+        // notify under the lock. No schedule may deadlock, even with
+        // spurious wakeups enabled.
+        let report = check(exhaustive(), || {
+            let m = Arc::new(Mutex::new(false));
+            let cv = Arc::new(Condvar::new());
+            let m2 = Arc::clone(&m);
+            let cv2 = Arc::clone(&cv);
+            let t = thread::spawn(move || {
+                let mut g = m2.lock();
+                while !*g {
+                    cv2.wait(&mut g);
+                }
+            });
+            let mut g = m.lock();
+            *g = true;
+            cv.notify_one();
+            drop(g);
+            t.join();
+        })
+        .expect("guarded wait never deadlocks");
+        assert!(report.exhausted);
+    }
+
+    #[test]
+    fn notify_one_choice_is_explored() {
+        // Two waiters on distinct predicates, one notify_one: some
+        // schedule wakes the "wrong" waiter and, with no spurious
+        // rescue, the right one sleeps forever. The explorer must
+        // enumerate the waiter choice and find it.
+        let mut cfg = exhaustive();
+        cfg.spurious_wakeups = false;
+        let err = check(cfg, || {
+            let m = Arc::new(Mutex::new(0u64));
+            let cv = Arc::new(Condvar::new());
+            let mk = |want: u64| {
+                let m = Arc::clone(&m);
+                let cv = Arc::clone(&cv);
+                thread::spawn(move || {
+                    let mut g = m.lock();
+                    if *g != want {
+                        cv.wait(&mut g);
+                    }
+                    assert_eq!(*g, want);
+                })
+            };
+            let a = mk(1);
+            let b = mk(2);
+            {
+                let mut g = m.lock();
+                *g = 1;
+            }
+            cv.notify_one(); // meant for `a` — may wake `b`
+            a.join();
+            {
+                let mut g = m.lock();
+                *g = 2;
+            }
+            cv.notify_one();
+            b.join();
+        })
+        .expect_err("waking the wrong waiter must be reachable");
+        // Either the wrong waiter asserts (Panic) or someone sleeps
+        // forever (Deadlock); both prove the choice was explored.
+        assert!(
+            matches!(*err, ModelError::Deadlock { .. } | ModelError::Panic { .. }),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn random_walk_is_deterministic() {
+        let cfg = |seed| Config {
+            mode: Mode::RandomWalk {
+                seed,
+                schedules: 40,
+            },
+            ..Config::default()
+        };
+        let body = || {
+            let n = Arc::new(AtomicU64::new(0));
+            let hs: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(n.load(Ordering::Relaxed), 3);
+        };
+        let a = check(cfg(42), body).expect("clean");
+        let b = check(cfg(42), body).expect("clean");
+        assert_eq!(a.schedules, b.schedules);
+        assert_eq!(a.max_steps_seen, b.max_steps_seen);
+        assert_eq!(a.schedules, 40);
+    }
+
+    #[test]
+    fn step_limit_catches_livelock() {
+        let cfg = Config {
+            max_steps: 200,
+            ..Config::default()
+        };
+        let err = check(cfg, || loop {
+            thread::yield_now();
+        })
+        .expect_err("an infinite yield loop must hit the step limit");
+        assert!(matches!(*err, ModelError::StepLimit { .. }), "got {err}");
+    }
+
+    #[test]
+    fn schedule_cap_reports_not_exhausted() {
+        let cfg = Config {
+            max_schedules: 5,
+            ..Config::default()
+        };
+        let report = check(cfg, || {
+            let n = Arc::new(AtomicU64::new(0));
+            let hs: Vec<_> = (0..3)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        n.fetch_add(1, Ordering::Relaxed);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+        })
+        .expect("clean");
+        assert_eq!(report.schedules, 5);
+        assert!(!report.exhausted);
+    }
+
+    #[test]
+    fn defect_error_carries_trace() {
+        let err = check(exhaustive(), || {
+            panic!("boom on purpose");
+        })
+        .expect_err("must surface the panic");
+        match &*err {
+            ModelError::Panic { message, .. } => {
+                assert!(message.contains("boom on purpose"), "message: {message}")
+            }
+            other => panic!("expected Panic, got {other}"),
+        }
+        assert!(!err.trace().is_empty() || err.schedule() == 0);
+    }
+}

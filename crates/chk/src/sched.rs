@@ -1,0 +1,940 @@
+//! The cooperative scheduler and schedule explorer.
+//!
+//! A *model run* executes a test closure many times, once per thread
+//! interleaving (a **schedule**). Model threads are real OS threads (from
+//! a small reusable [`Pool`]) coordinated through one baton: at every
+//! *yield point* — a model mutex acquire/release, condvar wait/notify,
+//! atomic access, spawn or join — the running thread consults the
+//! [`Execution`], which either lets it continue or hands the baton to
+//! another runnable thread and parks it. Exactly one model thread
+//! executes user code at any instant, so every interleaving the explorer
+//! enumerates is fully deterministic and replayable.
+//!
+//! Exploration is a DFS over the tree of scheduling decisions with a
+//! **bounded preemption budget** (CHESS-style): switching away from a
+//! thread that could have continued costs one unit of budget, as does a
+//! spurious condvar wakeup; switches forced by blocking are free. Most
+//! concurrency bugs need only one or two preemptions, so a small bound
+//! covers the interesting interleavings while keeping the tree finite.
+//! A seeded random-walk mode samples deep schedules instead of
+//! enumerating, for protocols whose DFS tree is too large.
+//!
+//! Condvar waits are modeled as *spurious-capable*: the scheduler may
+//! wake a waiter that nobody notified (spending budget), so windows
+//! where a real notification is consumed by the wrong thread — or never
+//! sent — are reachable. Because the model gives timed waits **no**
+//! timeout escape, a genuinely lost wakeup manifests as a model
+//! deadlock (all threads blocked, no budget left) and is reported with
+//! the schedule's trace instead of hiding behind the runtime's
+//! 50ms-slice safety net.
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Weak};
+
+/// Default preemption budget: two forced context switches reach the
+/// canonical double-interleaving bugs (check-then-act, lost wakeup)
+/// while keeping exhaustive exploration tractable.
+pub const DEFAULT_PREEMPTION_BOUND: usize = 2;
+
+/// How a model run explores the schedule tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Depth-first enumeration of every schedule within the preemption
+    /// budget (capped by [`Config::max_schedules`]).
+    Exhaustive,
+    /// `schedules` independent runs, each picking uniformly among the
+    /// legal choices with a [SplitMix64] stream derived from `seed` and
+    /// the run index. Deterministic for a fixed seed.
+    ///
+    /// [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+    RandomWalk { seed: u64, schedules: usize },
+}
+
+/// Tunables for one [`check`] run.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Budget of voluntary context switches (plus spurious wakeups) per
+    /// schedule; blocking-forced switches are free.
+    pub preemption_bound: usize,
+    /// Hard cap on explored schedules; hitting it reports
+    /// `exhausted: false` instead of running forever.
+    pub max_schedules: usize,
+    /// Hard cap on yield points within one schedule; exceeding it dooms
+    /// the run with [`ModelError::StepLimit`] (a livelock guard).
+    pub max_steps: usize,
+    /// Whether atomic operations are yield points. The model executes
+    /// atomics sequentially-consistently either way; disabling trims the
+    /// tree when the protocol under test only uses atomics for
+    /// monitoring counters.
+    pub atomic_noise: bool,
+    /// Whether the scheduler may spuriously wake condvar waiters
+    /// (costing one preemption). Disable to make every lost wakeup an
+    /// immediate deadlock report.
+    pub spurious_wakeups: bool,
+    /// Exploration strategy.
+    pub mode: Mode,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            preemption_bound: DEFAULT_PREEMPTION_BOUND,
+            max_schedules: 1_000_000,
+            max_steps: 50_000,
+            atomic_noise: true,
+            spurious_wakeups: true,
+            mode: Mode::Exhaustive,
+        }
+    }
+}
+
+/// What a completed [`check`] explored.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Complete schedules executed.
+    pub schedules: usize,
+    /// True when the DFS enumerated the whole tree (always false for
+    /// random walks that were capped, true when the walk finished).
+    pub exhausted: bool,
+    /// The preemption budget the run used.
+    pub preemption_bound: usize,
+    /// Yield points in the longest schedule seen.
+    pub max_steps_seen: usize,
+    /// Most simultaneously-registered model threads in any schedule.
+    pub max_threads_seen: usize,
+}
+
+/// A concurrency defect the checker found, with the offending schedule.
+#[derive(Debug)]
+pub enum ModelError {
+    /// Every live thread was blocked and no in-budget wakeup existed —
+    /// a deadlock or a lost wakeup.
+    Deadlock {
+        /// Index of the offending schedule (0-based).
+        schedule: usize,
+        /// One line per model thread: its final blocked state.
+        threads: Vec<String>,
+        /// The tail of the schedule's yield-point trace.
+        trace: Vec<String>,
+    },
+    /// A model thread panicked (an assertion inside the model closure,
+    /// or a bug in the code under test).
+    Panic {
+        /// Index of the offending schedule (0-based).
+        schedule: usize,
+        /// The panic payload, stringified.
+        message: String,
+        /// The tail of the schedule's yield-point trace.
+        trace: Vec<String>,
+    },
+    /// One schedule exceeded [`Config::max_steps`] yield points.
+    StepLimit {
+        /// Index of the offending schedule (0-based).
+        schedule: usize,
+        /// The configured cap it exceeded.
+        steps: usize,
+        /// The tail of the schedule's yield-point trace.
+        trace: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Deadlock {
+                schedule, threads, ..
+            } => write!(
+                f,
+                "deadlock (or lost wakeup) in schedule {schedule}: {}",
+                threads.join("; ")
+            ),
+            ModelError::Panic {
+                schedule, message, ..
+            } => {
+                write!(f, "model thread panicked in schedule {schedule}: {message}")
+            }
+            ModelError::StepLimit {
+                schedule, steps, ..
+            } => write!(
+                f,
+                "schedule {schedule} exceeded {steps} yield points (livelock?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl ModelError {
+    /// The trace tail attached to any error variant.
+    pub fn trace(&self) -> &[String] {
+        match self {
+            ModelError::Deadlock { trace, .. }
+            | ModelError::Panic { trace, .. }
+            | ModelError::StepLimit { trace, .. } => trace,
+        }
+    }
+
+    /// The 0-based index of the offending schedule.
+    pub fn schedule(&self) -> usize {
+        match self {
+            ModelError::Deadlock { schedule, .. }
+            | ModelError::Panic { schedule, .. }
+            | ModelError::StepLimit { schedule, .. } => *schedule,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+
+/// Where one model thread stands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Status {
+    /// May be scheduled.
+    Runnable,
+    /// Blocked acquiring lock `id`.
+    Lock(usize),
+    /// Parked in a condvar wait, not yet woken.
+    Wait { cv: usize },
+    /// Woken from a condvar wait (notified or spuriously); still must
+    /// re-acquire its mutex when scheduled.
+    Woken { spurious: bool },
+    /// Blocked joining thread `tid`.
+    Join(usize),
+    /// Ran to completion (or unwound).
+    Finished,
+}
+
+impl Status {
+    fn can_run(&self) -> bool {
+        matches!(self, Status::Runnable | Status::Woken { .. })
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            Status::Runnable => "runnable".to_string(),
+            Status::Lock(id) => format!("blocked on lock #{id}"),
+            Status::Wait { cv } => format!("waiting on condvar #{cv}"),
+            Status::Woken { spurious } => format!("woken (spurious: {spurious})"),
+            Status::Join(t) => format!("joining t{t}"),
+            Status::Finished => "finished".to_string(),
+        }
+    }
+}
+
+/// One branch point in the decision tree: `n` legal alternatives
+/// existed, `chosen` was taken. The DFS advances `chosen` through `n`
+/// on successive replays.
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    n: usize,
+    chosen: usize,
+}
+
+/// One yield-point trace event (formatted lazily on failure).
+#[derive(Clone, Copy, Debug)]
+struct TraceEv {
+    tid: usize,
+    op: &'static str,
+    arg: u64,
+}
+
+const TRACE_CAP: usize = 256;
+
+/// Sentinel panic payload used to unwind model threads when the
+/// execution is doomed (deadlock found, sibling panicked, limits hit).
+/// Never surfaces to user code: the thread wrappers swallow it.
+pub(crate) struct DoomToken;
+
+#[derive(Debug)]
+enum Doom {
+    Deadlock {
+        threads: Vec<String>,
+        trace: Vec<String>,
+    },
+    Panic {
+        message: String,
+        trace: Vec<String>,
+    },
+    StepLimit {
+        steps: usize,
+        trace: Vec<String>,
+    },
+}
+
+struct ExecState {
+    threads: Vec<Status>,
+    /// The thread currently holding the baton.
+    cur: usize,
+    /// Lock id → held?
+    locks: Vec<bool>,
+    n_cvs: usize,
+    live: usize,
+    finished: usize,
+    steps: usize,
+    preemptions: usize,
+    /// Index of the next branch point within `path`.
+    didx: usize,
+    path: Vec<Node>,
+    /// Random-walk stream; `None` in exhaustive mode.
+    rng: Option<u64>,
+    trace: Vec<TraceEv>,
+    doom: Option<Doom>,
+}
+
+impl ExecState {
+    fn push_trace(&mut self, tid: usize, op: &'static str, arg: u64) {
+        if self.trace.len() == TRACE_CAP {
+            self.trace.remove(0);
+        }
+        self.trace.push(TraceEv { tid, op, arg });
+    }
+
+    fn trace_lines(&self) -> Vec<String> {
+        self.trace
+            .iter()
+            .map(|e| format!("t{} {}({})", e.tid, e.op, e.arg))
+            .collect()
+    }
+
+    fn thread_lines(&self) -> Vec<String> {
+        self.threads
+            .iter()
+            .enumerate()
+            .map(|(i, s)| format!("t{i}: {}", s.describe()))
+            .collect()
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+static NEXT_GEN: AtomicU64 = AtomicU64::new(1);
+
+/// One schedule's shared coordination hub: every model thread and the
+/// explorer hold an `Arc<Execution>`.
+pub(crate) struct Execution {
+    st: Mutex<ExecState>,
+    cv: Condvar,
+    config: Config,
+    /// Weak so that a pool worker holding the last `Arc<Execution>`
+    /// after the explorer returns never becomes the thread that drops
+    /// the pool — `Pool::drop` joins its workers, and a worker joining
+    /// itself is an instant EDEADLK.
+    pool: Weak<Pool>,
+    /// Unique generation for lazy sync-object registration (see
+    /// `sync::ObjectCell`).
+    pub(crate) gen: u64,
+}
+
+impl Execution {
+    fn new(config: Config, pool: Arc<Pool>, path: Vec<Node>, rng: Option<u64>) -> Arc<Self> {
+        Arc::new(Execution {
+            st: Mutex::new(ExecState {
+                threads: vec![Status::Runnable],
+                cur: 0,
+                locks: Vec::new(),
+                n_cvs: 0,
+                live: 1,
+                finished: 0,
+                steps: 0,
+                preemptions: 0,
+                didx: 0,
+                path,
+                rng,
+                trace: Vec::new(),
+                doom: None,
+            }),
+            cv: Condvar::new(),
+            config,
+            pool: Arc::downgrade(&pool),
+            gen: NEXT_GEN.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    // -- object registration ------------------------------------------------
+
+    pub(crate) fn new_lock_id(&self) -> usize {
+        let mut st = self.st.lock();
+        st.locks.push(false);
+        st.locks.len() - 1
+    }
+
+    pub(crate) fn new_cv_id(&self) -> usize {
+        let mut st = self.st.lock();
+        st.n_cvs += 1;
+        st.n_cvs - 1
+    }
+
+    // -- doom handling ------------------------------------------------------
+
+    /// Panics with [`DoomToken`] if the execution is doomed — unless this
+    /// thread is already unwinding, in which case a second panic would
+    /// abort the process; degraded non-blocking behavior is fine there
+    /// because every thread is being torn down anyway.
+    fn check_doom(&self, st: &ExecState) -> bool {
+        if st.doom.is_some() {
+            if std::thread::panicking() {
+                return true;
+            }
+            std::panic::panic_any(DoomToken);
+        }
+        false
+    }
+
+    fn doom(&self, st: &mut ExecState, doom: Doom) {
+        if st.doom.is_none() {
+            st.doom = Some(doom);
+        }
+        self.cv.notify_all();
+    }
+
+    // -- the scheduler ------------------------------------------------------
+
+    /// Picks the decision alternative at the current branch point:
+    /// replays the forced prefix, then extends it (DFS) or draws from
+    /// the walk's RNG.
+    fn decide(st: &mut ExecState, options: usize) -> usize {
+        if options <= 1 {
+            return 0;
+        }
+        let k = st.didx;
+        st.didx += 1;
+        if let Some(node) = st.path.get(k) {
+            assert_eq!(
+                node.n, options,
+                "nondeterministic model: branch point {k} had {} alternatives on \
+                 a prior run but {options} on replay",
+                node.n
+            );
+            return node.chosen;
+        }
+        let chosen = match st.rng.as_mut() {
+            Some(s) => (splitmix64(s) % options as u64) as usize,
+            None => 0,
+        };
+        st.path.push(Node { n: options, chosen });
+        chosen
+    }
+
+    /// Hands the baton to the next thread. Called at every yield point
+    /// with the state lock held, after the yielding thread's own status
+    /// has been updated. Index 0 of the candidate list is the
+    /// cost-free default (continue the current thread when possible),
+    /// so DFS prefix extension stays frugal with the budget.
+    fn schedule(&self, st: &mut ExecState) {
+        st.steps += 1;
+        if st.steps > self.config.max_steps {
+            let doom = Doom::StepLimit {
+                steps: self.config.max_steps,
+                trace: st.trace_lines(),
+            };
+            self.doom(st, doom);
+            return;
+        }
+        if st.finished == st.live {
+            self.cv.notify_all();
+            return;
+        }
+        let budget_left = self.config.preemption_bound.saturating_sub(st.preemptions);
+        let cur = st.cur;
+        let cur_runnable = st.threads.get(cur).is_some_and(|s| s.can_run());
+        // (tid, spurious-wake, cost)
+        let mut cands: Vec<(usize, bool, usize)> = Vec::new();
+        if cur_runnable {
+            cands.push((cur, false, 0));
+        }
+        for tid in 0..st.threads.len() {
+            if tid == cur {
+                continue;
+            }
+            match st.threads[tid] {
+                ref s if s.can_run() => {
+                    let cost = usize::from(cur_runnable);
+                    if cost <= budget_left {
+                        cands.push((tid, false, cost));
+                    }
+                }
+                Status::Wait { .. } if self.config.spurious_wakeups && budget_left >= 1 => {
+                    cands.push((tid, true, 1));
+                }
+                _ => {}
+            }
+        }
+        if cands.is_empty() {
+            let doom = Doom::Deadlock {
+                threads: st.thread_lines(),
+                trace: st.trace_lines(),
+            };
+            self.doom(st, doom);
+            return;
+        }
+        let (tid, spurious, cost) = cands[Self::decide(st, cands.len())];
+        st.preemptions += cost;
+        if spurious {
+            st.threads[tid] = Status::Woken { spurious: true };
+        }
+        st.cur = tid;
+        self.cv.notify_all();
+    }
+
+    /// Parks until this thread holds the baton (or unwinds on doom).
+    fn park(&self, st: &mut MutexGuard<'_, ExecState>, tid: usize) {
+        loop {
+            if self.check_doom(st) {
+                return; // unwinding already; degrade to non-blocking
+            }
+            if st.cur == tid && st.threads[tid].can_run() {
+                return;
+            }
+            self.cv.wait(st);
+        }
+    }
+
+    // -- yield-point operations (called from model threads) -----------------
+
+    /// A plain scheduling point (atomic ops, post-spawn).
+    pub(crate) fn op_yield(&self, tid: usize, label: &'static str) {
+        let mut st = self.st.lock();
+        if self.check_doom(&st) {
+            return;
+        }
+        st.push_trace(tid, label, 0);
+        self.schedule(&mut st);
+        self.park(&mut st, tid);
+    }
+
+    /// Model-acquires lock `id` (cooperatively blocking).
+    pub(crate) fn lock_acquire(&self, tid: usize, id: usize) {
+        let mut st = self.st.lock();
+        if self.check_doom(&st) {
+            return;
+        }
+        st.push_trace(tid, "lock", id as u64);
+        self.schedule(&mut st);
+        self.park(&mut st, tid);
+        self.acquire_loop(&mut st, tid, id);
+    }
+
+    /// The blocking acquire loop: assumes this thread holds the baton.
+    fn acquire_loop(&self, st: &mut MutexGuard<'_, ExecState>, tid: usize, id: usize) {
+        loop {
+            if self.check_doom(st) {
+                return;
+            }
+            if !st.locks[id] {
+                st.locks[id] = true;
+                return;
+            }
+            st.threads[tid] = Status::Lock(id);
+            self.schedule(st);
+            self.park(st, tid);
+        }
+    }
+
+    /// Model-releases lock `id`, waking blocked acquirers to re-contend.
+    pub(crate) fn lock_release(&self, tid: usize, id: usize) {
+        let mut st = self.st.lock();
+        st.locks[id] = false;
+        for t in st.threads.iter_mut() {
+            if *t == Status::Lock(id) {
+                *t = Status::Runnable;
+            }
+        }
+        if st.doom.is_some() {
+            // Quietly release during teardown; never panic here — this
+            // runs inside guard drops on unwinding threads.
+            self.cv.notify_all();
+            return;
+        }
+        st.push_trace(tid, "unlock", id as u64);
+        self.schedule(&mut st);
+        self.park(&mut st, tid);
+    }
+
+    /// Condvar wait: releases `lock`, parks until woken (notify or
+    /// spurious), re-acquires `lock`. Returns whether the wake was
+    /// spurious — the model's analogue of a timeout.
+    pub(crate) fn cond_wait(&self, tid: usize, cv: usize, lock: usize) -> bool {
+        let mut st = self.st.lock();
+        if self.check_doom(&st) {
+            return true;
+        }
+        st.push_trace(tid, "wait", cv as u64);
+        st.locks[lock] = false;
+        for t in st.threads.iter_mut() {
+            if *t == Status::Lock(lock) {
+                *t = Status::Runnable;
+            }
+        }
+        st.threads[tid] = Status::Wait { cv };
+        self.schedule(&mut st);
+        let spurious = loop {
+            if self.check_doom(&st) {
+                return true;
+            }
+            if st.cur == tid {
+                if let Status::Woken { spurious } = st.threads[tid] {
+                    break spurious;
+                }
+            }
+            self.cv.wait(&mut st);
+        };
+        st.threads[tid] = Status::Runnable;
+        st.push_trace(
+            tid,
+            if spurious { "wake-spurious" } else { "wake" },
+            cv as u64,
+        );
+        self.acquire_loop(&mut st, tid, lock);
+        spurious
+    }
+
+    /// Condvar notify. `notify_one` with several waiters is itself a
+    /// branch point: *which* waiter receives the wakeup is a scheduling
+    /// choice (that's where wrong-waiter lost-wakeup bugs live).
+    pub(crate) fn cond_notify(&self, tid: usize, cv: usize, all: bool) {
+        let mut st = self.st.lock();
+        if self.check_doom(&st) {
+            return;
+        }
+        st.push_trace(
+            tid,
+            if all { "notify_all" } else { "notify_one" },
+            cv as u64,
+        );
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Status::Wait { cv: c } if *c == cv))
+            .map(|(i, _)| i)
+            .collect();
+        if !waiters.is_empty() {
+            if all {
+                for w in waiters {
+                    st.threads[w] = Status::Woken { spurious: false };
+                }
+            } else {
+                let w = waiters[Self::decide(&mut st, waiters.len())];
+                st.threads[w] = Status::Woken { spurious: false };
+            }
+        }
+        self.schedule(&mut st);
+        self.park(&mut st, tid);
+    }
+
+    // -- thread lifecycle ---------------------------------------------------
+
+    /// Registers a new model thread (runnable, not yet dispatched). No
+    /// scheduling decision here: the spawner keeps the baton until its
+    /// post-dispatch yield, by which point the pool job exists.
+    pub(crate) fn register_thread(&self, spawner: usize) -> usize {
+        let mut st = self.st.lock();
+        if self.check_doom(&st) {
+            return usize::MAX;
+        }
+        let tid = st.threads.len();
+        st.threads.push(Status::Runnable);
+        st.live += 1;
+        st.push_trace(spawner, "spawn", tid as u64);
+        tid
+    }
+
+    /// First park of a freshly dispatched model thread.
+    pub(crate) fn first_park(&self, tid: usize) {
+        let mut st = self.st.lock();
+        self.park(&mut st, tid);
+    }
+
+    /// Blocks the joiner until `target` finishes.
+    pub(crate) fn join_wait(&self, tid: usize, target: usize) {
+        let mut st = self.st.lock();
+        loop {
+            if self.check_doom(&st) {
+                return;
+            }
+            if st.threads[target] == Status::Finished {
+                return;
+            }
+            st.threads[tid] = Status::Join(target);
+            st.push_trace(tid, "join", target as u64);
+            self.schedule(&mut st);
+            self.park(&mut st, tid);
+        }
+    }
+
+    /// Marks a model thread finished and hands the baton onward.
+    pub(crate) fn thread_done(&self, tid: usize) {
+        let mut st = self.st.lock();
+        st.threads[tid] = Status::Finished;
+        st.finished += 1;
+        for t in st.threads.iter_mut() {
+            if *t == Status::Join(tid) {
+                *t = Status::Runnable;
+            }
+        }
+        st.push_trace(tid, "exit", 0);
+        if st.doom.is_some() || st.finished == st.live {
+            self.cv.notify_all();
+            return;
+        }
+        self.schedule(&mut st);
+    }
+
+    /// Records a user panic (first wins) and dooms the execution.
+    pub(crate) fn thread_panicked(&self, tid: usize, payload: Box<dyn Any + Send>) {
+        if payload.downcast_ref::<DoomToken>().is_none() {
+            let message = panic_message(payload.as_ref());
+            let mut st = self.st.lock();
+            let doom = Doom::Panic {
+                message,
+                trace: st.trace_lines(),
+            };
+            self.doom(&mut st, doom);
+            drop(st);
+        }
+        self.thread_done(tid);
+    }
+
+    pub(crate) fn dispatch(&self, job: Job) {
+        // The explorer holds a strong Arc<Pool> for the whole check(),
+        // and model threads only dispatch while the explorer waits.
+        match self.pool.upgrade() {
+            Some(pool) => pool.dispatch(job),
+            None => unreachable!("model spawn after the explorer returned"),
+        }
+    }
+
+    pub(crate) fn atomic_noise(&self) -> bool {
+        self.config.atomic_noise
+    }
+
+    /// Explorer-side: waits for every model thread to finish, then
+    /// extracts the outcome and the (possibly extended) decision path.
+    fn wait_outcome(&self) -> (Option<Doom>, Vec<Node>, usize, usize) {
+        let mut st = self.st.lock();
+        while st.finished < st.live {
+            self.cv.wait(&mut st);
+        }
+        let doom = st.doom.take();
+        let path = std::mem::take(&mut st.path);
+        (doom, path, st.steps, st.threads.len())
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool (reused across the thousands of schedules in one check)
+
+pub(crate) type Job = Box<dyn FnOnce() + Send>;
+
+struct FreeList {
+    idle: Mutex<Vec<usize>>,
+}
+
+/// A grow-on-demand pool of OS threads hosting model threads, so a
+/// 50k-schedule exploration does not pay 50k×threads OS spawns.
+pub(crate) struct Pool {
+    senders: Mutex<Vec<Sender<Job>>>,
+    free: Arc<FreeList>,
+    joiners: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Pool {
+    fn new() -> Arc<Self> {
+        Arc::new(Pool {
+            senders: Mutex::new(Vec::new()),
+            free: Arc::new(FreeList {
+                idle: Mutex::new(Vec::new()),
+            }),
+            joiners: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn dispatch(&self, job: Job) {
+        let idx = self.free.idle.lock().pop();
+        match idx {
+            Some(i) => {
+                let senders = self.senders.lock();
+                if senders[i].send(job).is_err() {
+                    unreachable!("pool worker exited while pool alive");
+                }
+            }
+            None => {
+                let (tx, rx) = channel::<Job>();
+                let free = Arc::clone(&self.free);
+                let mut senders = self.senders.lock();
+                let i = senders.len();
+                let handle = std::thread::Builder::new()
+                    .name(format!("gnnlab-chk-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            free.idle.lock().push(i);
+                        }
+                    })
+                    .unwrap_or_else(|e| panic!("failed to spawn chk pool worker: {e}"));
+                self.joiners.lock().push(handle);
+                if tx.send(job).is_err() {
+                    unreachable!("freshly spawned pool worker hung up");
+                }
+                senders.push(tx);
+            }
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.senders.lock().clear();
+        for h in self.joiners.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The explorer
+
+/// Runs `f` under every schedule the configuration admits. Returns the
+/// exploration report, or the first concurrency defect found with its
+/// schedule trace.
+pub fn check<F>(config: Config, f: F) -> Result<Report, Box<ModelError>>
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let pool = Pool::new();
+    let mut report = Report {
+        preemption_bound: config.preemption_bound,
+        ..Report::default()
+    };
+    match config.mode.clone() {
+        Mode::Exhaustive => {
+            let mut path: Vec<Node> = Vec::new();
+            loop {
+                let (doom, out_path, steps, threads) =
+                    run_schedule(&config, &pool, Arc::clone(&f), path, None);
+                let schedule = report.schedules;
+                report.schedules += 1;
+                report.max_steps_seen = report.max_steps_seen.max(steps);
+                report.max_threads_seen = report.max_threads_seen.max(threads);
+                if let Some(doom) = doom {
+                    return Err(model_error(doom, schedule));
+                }
+                path = out_path;
+                let mut advanced = false;
+                while let Some(last) = path.last_mut() {
+                    if last.chosen + 1 < last.n {
+                        last.chosen += 1;
+                        advanced = true;
+                        break;
+                    }
+                    path.pop();
+                }
+                if !advanced {
+                    report.exhausted = true;
+                    break;
+                }
+                if report.schedules >= config.max_schedules {
+                    break;
+                }
+            }
+        }
+        Mode::RandomWalk { seed, schedules } => {
+            for i in 0..schedules {
+                let mut stream = seed ^ 0x6A09_E667_F3BC_C909u64.wrapping_mul(i as u64 + 1);
+                // Warm the stream so nearby seeds diverge immediately.
+                let _ = splitmix64(&mut stream);
+                let (doom, _, steps, threads) =
+                    run_schedule(&config, &pool, Arc::clone(&f), Vec::new(), Some(stream));
+                let schedule = report.schedules;
+                report.schedules += 1;
+                report.max_steps_seen = report.max_steps_seen.max(steps);
+                report.max_threads_seen = report.max_threads_seen.max(threads);
+                if let Some(doom) = doom {
+                    return Err(model_error(doom, schedule));
+                }
+            }
+            report.exhausted = true;
+        }
+    }
+    Ok(report)
+}
+
+/// [`check`] with the default configuration, panicking on any defect —
+/// the loom-style one-liner for tests.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    match check(Config::default(), f) {
+        Ok(report) => report,
+        Err(e) => panic!(
+            "model check failed: {e}\ntrace tail:\n  {}",
+            e.trace().join("\n  ")
+        ),
+    }
+}
+
+fn model_error(doom: Doom, schedule: usize) -> Box<ModelError> {
+    Box::new(match doom {
+        Doom::Deadlock { threads, trace } => ModelError::Deadlock {
+            schedule,
+            threads,
+            trace,
+        },
+        Doom::Panic { message, trace } => ModelError::Panic {
+            schedule,
+            message,
+            trace,
+        },
+        Doom::StepLimit { steps, trace } => ModelError::StepLimit {
+            schedule,
+            steps,
+            trace,
+        },
+    })
+}
+
+fn run_schedule(
+    config: &Config,
+    pool: &Arc<Pool>,
+    f: Arc<dyn Fn() + Send + Sync>,
+    path: Vec<Node>,
+    rng: Option<u64>,
+) -> (Option<Doom>, Vec<Node>, usize, usize) {
+    let exec = Execution::new(config.clone(), Arc::clone(pool), path, rng);
+    let exec2 = Arc::clone(&exec);
+    pool.dispatch(Box::new(move || {
+        crate::thread::enter(Arc::clone(&exec2), 0);
+        let r = catch_unwind(AssertUnwindSafe(|| f()));
+        crate::thread::exit();
+        match r {
+            Ok(()) => exec2.thread_done(0),
+            Err(p) => exec2.thread_panicked(0, p),
+        }
+    }));
+    let (doom, path, steps, threads) = exec.wait_outcome();
+    (doom, path, steps, threads)
+}

@@ -1,0 +1,429 @@
+//! Model sync primitives: drop-in `Mutex`/`Condvar`/`AtomicU64`/
+//! `AtomicUsize` that route through the cooperative scheduler inside a
+//! model run and pass straight through to `parking_lot`/`std` outside
+//! one.
+//!
+//! The passthrough design is deliberate: downstream crates cfg-switch
+//! their sync façade to these types under a `chk` cargo feature, and
+//! cargo's feature unification may turn that feature on for a whole
+//! workspace test build. Code that never runs under a checker must
+//! behave identically, so every operation first asks "is a model run
+//! active on this thread?" (one thread-local read) and only then
+//! involves the scheduler.
+//!
+//! In model mode the *data* still lives in the real primitive — a model
+//! `lock()` first wins the lock in the scheduler's ledger (cooperatively
+//! blocking), then takes the real `parking_lot` lock, which is
+//! guaranteed uncontended because the scheduler runs one model thread at
+//! a time. Mutual exclusion is therefore enforced twice and the guard
+//! API stays zero-copy.
+
+use crate::sched::Execution;
+use crate::thread::{current, Ctx};
+use std::sync::atomic;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use std::sync::atomic::Ordering;
+
+/// Lazily registers an object (mutex or condvar) with the active
+/// execution, caching `(generation, id)` packed in one atomic so reruns
+/// re-register and passthrough pays one relaxed load.
+#[derive(Debug, Default)]
+struct ObjectCell {
+    packed: atomic::AtomicU64,
+}
+
+impl ObjectCell {
+    const fn new() -> Self {
+        ObjectCell {
+            packed: atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The object's id within `exec`, registering via `register` on
+    /// first use in this execution. Generation 0 means "unregistered";
+    /// the model serializes threads, so the store cannot race.
+    fn id_in(&self, exec: &Arc<Execution>, register: impl FnOnce() -> usize) -> usize {
+        let packed = self.packed.load(Ordering::Relaxed);
+        let gen = (packed >> 32) as u32;
+        let cur_gen = exec.gen as u32;
+        if gen == cur_gen && gen != 0 {
+            (packed & 0xFFFF_FFFF) as usize
+        } else {
+            let id = register();
+            self.packed
+                .store(((cur_gen as u64) << 32) | id as u64, Ordering::Relaxed);
+            id
+        }
+    }
+}
+
+/// A mutex that a model run schedules cooperatively; `parking_lot`
+/// semantics (no poisoning) otherwise.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    cell: ObjectCell,
+    real: parking_lot::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            cell: ObjectCell::new(),
+            real: parking_lot::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.real.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn model_id(&self, cx: &Ctx) -> usize {
+        self.cell.id_in(&cx.exec, || cx.exec.new_lock_id())
+    }
+
+    /// Acquires the lock, blocking (cooperatively, under a model run)
+    /// until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match current() {
+            None => MutexGuard {
+                lock: self,
+                real: Some(self.real.lock()),
+                model: None,
+            },
+            Some(cx) => {
+                let id = self.model_id(&cx);
+                cx.exec.lock_acquire(cx.tid, id);
+                MutexGuard {
+                    lock: self,
+                    real: Some(self.real.lock()),
+                    model: Some((cx, id)),
+                }
+            }
+        }
+    }
+
+    /// Returns a mutable reference to the underlying data.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.real.get_mut()
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases on drop (notifying the scheduler
+/// under a model run).
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// `None` only transiently, inside a model condvar wait.
+    real: Option<parking_lot::MutexGuard<'a, T>>,
+    model: Option<(Ctx, usize)>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.real
+            .as_ref()
+            .unwrap_or_else(|| unreachable!("guard accessed during a condvar wait"))
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.real
+            .as_mut()
+            .unwrap_or_else(|| unreachable!("guard accessed during a condvar wait"))
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then the scheduler's ledger, so
+        // by the time another model thread is granted the lock the real
+        // one is free.
+        self.real = None;
+        if let Some((cx, id)) = self.model.take() {
+            cx.exec.lock_release(cx.tid, id);
+        }
+    }
+}
+
+/// A condition variable pairing with [`Mutex`]. Under a model run,
+/// waits are untimed (no 50ms safety net — a lost wakeup must deadlock,
+/// that is the point) but the scheduler may wake waiters spuriously
+/// when the configuration allows, which is also how timed waits model
+/// their timeout.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    cell: ObjectCell,
+    real: parking_lot::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            cell: ObjectCell::new(),
+            real: parking_lot::Condvar::new(),
+        }
+    }
+
+    fn model_id(&self, cx: &Ctx) -> usize {
+        self.cell.id_in(&cx.exec, || cx.exec.new_cv_id())
+    }
+
+    /// Blocks until notified (or spuriously woken), releasing the guard
+    /// while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        match guard.model.clone() {
+            None => {
+                let real = guard
+                    .real
+                    .as_mut()
+                    .unwrap_or_else(|| unreachable!("wait on an empty guard"));
+                self.real.wait(real);
+            }
+            Some((cx, lock_id)) => {
+                let cv = self.model_id(&cx);
+                guard.real = None;
+                let _spurious = cx.exec.cond_wait(cx.tid, cv, lock_id);
+                let lock = guard.lock;
+                guard.real = Some(lock.real.lock());
+            }
+        }
+    }
+
+    /// Blocks until notified or `timeout` elapses; returns `true` if
+    /// the wait timed out. Under a model run the timeout never fires on
+    /// its own — a scheduler-chosen spurious wakeup (budget permitting)
+    /// reports `true` instead, so code relying on the timeout as a
+    /// lost-wakeup safety net deadlocks visibly in the model.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        match guard.model.clone() {
+            None => {
+                let real = guard
+                    .real
+                    .as_mut()
+                    .unwrap_or_else(|| unreachable!("wait_for on an empty guard"));
+                self.real.wait_for(real, timeout)
+            }
+            Some((cx, lock_id)) => {
+                let cv = self.model_id(&cx);
+                guard.real = None;
+                let spurious = cx.exec.cond_wait(cx.tid, cv, lock_id);
+                let lock = guard.lock;
+                guard.real = Some(lock.real.lock());
+                spurious
+            }
+        }
+    }
+
+    /// Wakes one waiter. Under a model run, *which* waiter is a
+    /// scheduling choice the explorer enumerates.
+    pub fn notify_one(&self) {
+        match current() {
+            None => self.real.notify_one(),
+            Some(cx) => {
+                let cv = self.model_id(&cx);
+                cx.exec.cond_notify(cx.tid, cv, false);
+            }
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        match current() {
+            None => self.real.notify_all(),
+            Some(cx) => {
+                let cv = self.model_id(&cx);
+                cx.exec.cond_notify(cx.tid, cv, true);
+            }
+        }
+    }
+}
+
+/// Yields to the scheduler before an atomic access when the model run
+/// wants atomic interleavings explored.
+fn atomic_yield() {
+    if let Some(cx) = current() {
+        if cx.exec.atomic_noise() {
+            cx.exec.op_yield(cx.tid, "atomic");
+        }
+    }
+}
+
+macro_rules! model_atomic {
+    ($name:ident, $real:ty, $int:ty) => {
+        /// An atomic integer whose accesses are yield points under a
+        /// model run (executed sequentially consistently by the
+        /// serializing scheduler) and plain `std` atomics otherwise.
+        #[derive(Debug, Default)]
+        pub struct $name {
+            v: $real,
+        }
+
+        impl $name {
+            /// Creates a new atomic.
+            pub const fn new(v: $int) -> Self {
+                Self { v: <$real>::new(v) }
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> $int {
+                atomic_yield();
+                self.v.load(order)
+            }
+
+            /// Stores a value.
+            pub fn store(&self, val: $int, order: Ordering) {
+                atomic_yield();
+                self.v.store(val, order)
+            }
+
+            /// Swaps the value, returning the previous one.
+            pub fn swap(&self, val: $int, order: Ordering) -> $int {
+                atomic_yield();
+                self.v.swap(val, order)
+            }
+
+            /// Adds, returning the previous value.
+            pub fn fetch_add(&self, val: $int, order: Ordering) -> $int {
+                atomic_yield();
+                self.v.fetch_add(val, order)
+            }
+
+            /// Subtracts, returning the previous value.
+            pub fn fetch_sub(&self, val: $int, order: Ordering) -> $int {
+                atomic_yield();
+                self.v.fetch_sub(val, order)
+            }
+
+            /// Stores the maximum, returning the previous value.
+            pub fn fetch_max(&self, val: $int, order: Ordering) -> $int {
+                atomic_yield();
+                self.v.fetch_max(val, order)
+            }
+
+            /// Stores the minimum, returning the previous value.
+            pub fn fetch_min(&self, val: $int, order: Ordering) -> $int {
+                atomic_yield();
+                self.v.fetch_min(val, order)
+            }
+
+            /// Compare-and-exchange; see `std::sync::atomic`.
+            pub fn compare_exchange(
+                &self,
+                cur: $int,
+                new: $int,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<$int, $int> {
+                atomic_yield();
+                self.v.compare_exchange(cur, new, ok, err)
+            }
+
+            /// Weak compare-and-exchange; never fails spuriously in the
+            /// model (the serializing scheduler leaves no room for it).
+            pub fn compare_exchange_weak(
+                &self,
+                cur: $int,
+                new: $int,
+                ok: Ordering,
+                err: Ordering,
+            ) -> Result<$int, $int> {
+                atomic_yield();
+                self.v.compare_exchange_weak(cur, new, ok, err)
+            }
+
+            /// Read-modify-write via a closure; see `std::sync::atomic`.
+            /// One yield point covers the whole RMW — the serializing
+            /// scheduler leaves no window inside it.
+            pub fn fetch_update<F>(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                f: F,
+            ) -> Result<$int, $int>
+            where
+                F: FnMut($int) -> Option<$int>,
+            {
+                atomic_yield();
+                self.v.fetch_update(set_order, fetch_order, f)
+            }
+
+            /// Returns a mutable reference to the underlying value.
+            pub fn get_mut(&mut self) -> &mut $int {
+                self.v.get_mut()
+            }
+
+            /// Consumes the atomic, returning the value.
+            pub fn into_inner(self) -> $int {
+                self.v.into_inner()
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicU64, atomic::AtomicU64, u64);
+model_atomic!(AtomicUsize, atomic::AtomicUsize, usize);
+model_atomic!(AtomicU32, atomic::AtomicU32, u32);
+
+/// An atomic boolean; see the integer atomics above for model
+/// semantics.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    v: atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic.
+    pub const fn new(v: bool) -> Self {
+        AtomicBool {
+            v: atomic::AtomicBool::new(v),
+        }
+    }
+
+    /// Loads the value.
+    pub fn load(&self, order: Ordering) -> bool {
+        atomic_yield();
+        self.v.load(order)
+    }
+
+    /// Stores a value.
+    pub fn store(&self, val: bool, order: Ordering) {
+        atomic_yield();
+        self.v.store(val, order)
+    }
+
+    /// Swaps the value, returning the previous one.
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        atomic_yield();
+        self.v.swap(val, order)
+    }
+
+    /// Compare-and-exchange; see `std::sync::atomic`.
+    pub fn compare_exchange(
+        &self,
+        cur: bool,
+        new: bool,
+        ok: Ordering,
+        err: Ordering,
+    ) -> Result<bool, bool> {
+        atomic_yield();
+        self.v.compare_exchange(cur, new, ok, err)
+    }
+
+    /// Returns a mutable reference to the underlying value.
+    pub fn get_mut(&mut self) -> &mut bool {
+        self.v.get_mut()
+    }
+
+    /// Consumes the atomic, returning the value.
+    pub fn into_inner(self) -> bool {
+        self.v.into_inner()
+    }
+}

@@ -393,10 +393,16 @@ impl<'a> Dec<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, CheckpointError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(gnnlab_par::invariant!(
+            self.take(4)?.try_into(),
+            "take(4) yields exactly four bytes"
+        )))
     }
     fn u64(&mut self) -> Result<u64, CheckpointError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(gnnlab_par::invariant!(
+            self.take(8)?.try_into(),
+            "take(8) yields exactly eight bytes"
+        )))
     }
     fn f32_bits(&mut self) -> Result<f32, CheckpointError> {
         Ok(f32::from_bits(self.u32()?))
@@ -708,7 +714,8 @@ pub fn decode(bytes: &[u8]) -> Result<(CheckpointState, u64), CheckpointError> {
     let mut recovery = None;
     let mut history = None;
     for _ in 0..section_count {
-        let tag: [u8; 4] = d.take(4)?.try_into().unwrap();
+        let tag: [u8; 4] =
+            gnnlab_par::invariant!(d.take(4)?.try_into(), "take(4) yields exactly four bytes");
         let len = d.usize_checked("section length", bytes.len())?;
         let payload = d.take(len)?;
         let stored_crc = d.u32()?;

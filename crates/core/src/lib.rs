@@ -32,6 +32,8 @@
 //!   CRC-checked, atomically-written generations plus the manifest-based
 //!   latest-valid selection the kill–resume chaos harness exercises.
 
+#[cfg(feature = "chk")]
+pub mod broken_queue;
 pub mod checkpoint;
 pub mod driver;
 pub mod faults;
@@ -40,6 +42,7 @@ pub mod queue;
 pub mod report;
 pub mod runtime;
 pub mod schedule;
+pub mod sync;
 pub mod systems;
 pub mod threaded;
 pub mod trace;

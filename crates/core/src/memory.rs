@@ -288,12 +288,16 @@ fn plan_live_role(
     let mut memory = GpuMemory::new(budget);
     for (label, bytes) in workspaces {
         let fit = (*bytes).min(memory.available());
-        memory.alloc(label, fit).expect("clamped to available");
+        gnnlab_par::invariant!(
+            memory.alloc(label, fit),
+            "the request was clamped to the bytes still available"
+        );
     }
     let rows = ((memory.available() / row_bytes.max(1)) as usize).min(n);
-    memory
-        .alloc("feature_cache", rows as u64 * row_bytes)
-        .expect("remainder fits by construction");
+    gnnlab_par::invariant!(
+        memory.alloc("feature_cache", rows as u64 * row_bytes),
+        "rows was computed from the remaining budget, so the remainder fits"
+    );
     let cache_alpha = if n == 0 { 0.0 } else { rows as f64 / n as f64 };
     (
         GpuPlan {

@@ -44,10 +44,9 @@
 //! counters merge there, so the accessors ([`GlobalQueue::total_enqueued`]
 //! and friends) read queue-local atomics instead of the registry.
 
+use crate::sync::{AtomicU64, Condvar, Mutex, Ordering};
 use gnnlab_obs::{names, Obs};
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -308,7 +307,7 @@ impl<T> GlobalQueue<T> {
     /// queue forgets it immediately (no crash replay).
     pub fn dequeue(&self) -> Result<Arc<T>, DequeueError> {
         self.dequeue_deadline(None, None)
-            .map(|opt| opt.expect("deadline-free dequeue never times out").task)
+            .map(|opt| gnnlab_par::invariant!(opt, "a deadline-free dequeue never times out").task)
     }
 
     /// [`GlobalQueue::dequeue`] with a timeout: returns `Ok(None)` if no
@@ -324,7 +323,7 @@ impl<T> GlobalQueue<T> {
     /// owner dies mid-flight.
     pub fn dequeue_leased(&self, owner: u32) -> Result<Lease<T>, DequeueError> {
         self.dequeue_deadline(None, Some(owner))
-            .map(|opt| opt.expect("deadline-free dequeue never times out"))
+            .map(|opt| gnnlab_par::invariant!(opt, "a deadline-free dequeue never times out"))
     }
 
     /// [`GlobalQueue::dequeue_leased`] with a timeout: returns `Ok(None)`

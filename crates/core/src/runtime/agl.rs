@@ -11,7 +11,7 @@ use crate::report::{EpochReport, RunError};
 use crate::systems::SystemKind;
 use crate::trace::EpochTrace;
 use gnnlab_cache::CacheStats;
-use gnnlab_obs::{Executor, Stage};
+use gnnlab_obs::{names, Executor, Stage};
 use gnnlab_sim::{ns_to_secs, GatherPath, SampleDevice};
 
 /// Simulates one AGL batch-mode epoch over all GPUs.
@@ -109,8 +109,8 @@ pub fn run_agl_epoch(ctx: &SimContext<'_>, trace: &EpochTrace) -> Result<EpochRe
             let (d, b_id) = (gpu as u32, i as u64);
             obs.record_span(d, Executor::Trainer, Stage::Extract, b_id, t0, t0 + e);
             obs.record_span(d, Executor::Trainer, Stage::Train, b_id, t0 + e, t0 + e + t);
-            obs.metrics.counter_add("cache.hit_bytes", hit);
-            obs.metrics.counter_add("cache.miss_bytes", miss);
+            obs.metrics.counter_add(names::CACHE_HIT_BYTES, hit);
+            obs.metrics.counter_add(names::CACHE_MISS_BYTES, miss);
         }
     }
     report.hit_rate = stats.hit_rate();

@@ -157,8 +157,8 @@ pub(crate) fn record_queue_depth(
             j += 1;
             deq[j - 1]
         };
-        obs.metrics.sample("queue.depth", t, depth as f64);
-        obs.metrics.gauge_set("queue.depth", depth as f64);
+        obs.metrics.sample(names::QUEUE_DEPTH, t, depth as f64);
+        obs.metrics.gauge_set(names::QUEUE_DEPTH, depth as f64);
     }
 }
 
@@ -294,7 +294,7 @@ pub fn run_factored_epoch_opts(
                     t0 + g + m,
                     t0 + g + m + c,
                 );
-                obs.metrics.counter_inc("queue.enqueued");
+                obs.metrics.counter_inc(names::QUEUE_ENQUEUED);
             }
             break;
         }
@@ -405,12 +405,12 @@ pub fn run_factored_epoch_opts(
                     let profit = switch_profit(remaining, mean_t_train, nt_live.max(1), t_standby);
                     if let Some(obs) = ctx.obs {
                         obs.metrics
-                            .sample("scheduler.switch_profit", arrival, profit);
-                        obs.metrics.observe("scheduler.switch_profit", profit);
+                            .sample(names::SCHEDULER_SWITCH_PROFIT, arrival, profit);
+                        obs.metrics.observe(names::SCHEDULER_SWITCH_PROFIT, profit);
                     }
                     if profit <= 0.0 {
                         if let Some(obs) = ctx.obs {
-                            obs.metrics.counter_inc("scheduler.switch_denied");
+                            obs.metrics.counter_inc(names::SCHEDULER_SWITCH_DENIED);
                         }
                         continue;
                     }
@@ -519,17 +519,17 @@ pub fn run_factored_epoch_opts(
                 train_start,
                 train_done,
             );
-            obs.metrics.counter_inc("queue.dequeued");
+            obs.metrics.counter_inc(names::QUEUE_DEQUEUED);
             obs.metrics
-                .observe("queue.wait_ns", (start - arrival) as f64);
-            obs.metrics.counter_add("cache.hit_bytes", hit);
-            obs.metrics.counter_add("cache.miss_bytes", miss);
+                .observe(names::QUEUE_WAIT_NS, (start - arrival) as f64);
+            obs.metrics.counter_add(names::CACHE_HIT_BYTES, hit);
+            obs.metrics.counter_add(names::CACHE_MISS_BYTES, miss);
             if hit + miss > 0.0 {
                 obs.metrics
-                    .observe("cache.batch_hit_rate", hit / (hit + miss));
+                    .observe(names::CACHE_BATCH_HIT_RATE, hit / (hit + miss));
             }
             if is_standby {
-                obs.metrics.counter_inc("scheduler.switches");
+                obs.metrics.counter_inc(names::SCHEDULER_SWITCHES);
             }
             dequeues.push(arrival);
         }

@@ -4,7 +4,7 @@ use super::context::SimContext;
 use crate::memory::plan_trainer_gpu;
 use crate::report::RunError;
 use crate::trace::EpochTrace;
-use gnnlab_obs::{Executor, Stage, HOST_DEVICE};
+use gnnlab_obs::{names, Executor, Stage, HOST_DEVICE};
 use gnnlab_sim::{ns_to_secs, SampleDevice};
 
 /// The three preprocessing phases of Table 6 (seconds).
@@ -70,11 +70,11 @@ pub fn preprocess_report(
         ] {
             obs.record_span(HOST_DEVICE, Executor::Host, stage, 0, t, t + dur);
             obs.metrics
-                .observe("preprocess.phase_secs", ns_to_secs(dur));
+                .observe(names::PREPROCESS_PHASE_SECS, ns_to_secs(dur));
             t += dur;
         }
         obs.metrics
-            .gauge_set("preprocess.total_secs", ns_to_secs(t));
+            .gauge_set(names::PREPROCESS_TOTAL_SECS, ns_to_secs(t));
     }
     Ok(PreprocessReport {
         disk_to_dram: ns_to_secs(disk_ns),

@@ -11,7 +11,7 @@ use crate::report::{EpochReport, RunError};
 use crate::systems::SystemKind;
 use crate::trace::EpochTrace;
 use gnnlab_cache::CacheStats;
-use gnnlab_obs::{Executor, Stage};
+use gnnlab_obs::{names, Executor, Stage};
 use gnnlab_sim::{ns_to_secs, GatherPath, SampleDevice, SimTime};
 
 /// Simulates one GNNLab epoch on a single GPU.
@@ -69,7 +69,7 @@ pub fn run_single_gpu_epoch(
                 t0 + g + m,
                 t0 + g + m + c,
             );
-            obs.metrics.counter_inc("queue.enqueued");
+            obs.metrics.counter_inc(names::QUEUE_ENQUEUED);
             enqueues.push((clock, i));
         }
     }
@@ -106,13 +106,13 @@ pub fn run_single_gpu_epoch(
                 train_start,
                 train_done,
             );
-            obs.metrics.counter_inc("queue.dequeued");
-            obs.metrics.counter_inc("scheduler.switches");
-            obs.metrics.counter_add("cache.hit_bytes", hit);
-            obs.metrics.counter_add("cache.miss_bytes", miss);
+            obs.metrics.counter_inc(names::QUEUE_DEQUEUED);
+            obs.metrics.counter_inc(names::SCHEDULER_SWITCHES);
+            obs.metrics.counter_add(names::CACHE_HIT_BYTES, hit);
+            obs.metrics.counter_add(names::CACHE_MISS_BYTES, miss);
             if hit + miss > 0.0 {
                 obs.metrics
-                    .observe("cache.batch_hit_rate", hit / (hit + miss));
+                    .observe(names::CACHE_BATCH_HIT_RATE, hit / (hit + miss));
             }
             dequeues.push(extract_free + deq);
         }

@@ -12,7 +12,7 @@ use crate::report::{EpochReport, RunError};
 use crate::systems::SystemKind;
 use crate::trace::EpochTrace;
 use gnnlab_cache::CacheStats;
-use gnnlab_obs::{Executor, Stage};
+use gnnlab_obs::{names, Executor, Stage};
 use gnnlab_sim::ns_to_secs;
 
 /// Simulates one time-sharing epoch over `ctx.testbed.num_gpus` GPUs.
@@ -98,11 +98,11 @@ pub fn run_timeshare_epoch(
             );
             let te = t0 + g + m + e;
             obs.record_span(d, Executor::Trainer, Stage::Train, b_id, te, te + t);
-            obs.metrics.counter_add("cache.hit_bytes", hit);
-            obs.metrics.counter_add("cache.miss_bytes", miss);
+            obs.metrics.counter_add(names::CACHE_HIT_BYTES, hit);
+            obs.metrics.counter_add(names::CACHE_MISS_BYTES, miss);
             if hit + miss > 0.0 {
                 obs.metrics
-                    .observe("cache.batch_hit_rate", hit / (hit + miss));
+                    .observe(names::CACHE_BATCH_HIT_RATE, hit / (hit + miss));
             }
         }
     }

@@ -1,0 +1,13 @@
+//! The crate's sync façade — see `gnnlab_par::sync`, which this
+//! re-exports so core and par share one set of lock/condvar/atomic
+//! types. Runtime modules import `Mutex`/`Condvar`/`AtomicU64`/
+//! `AtomicUsize`/`Ordering` from here rather than naming `parking_lot`
+//! or `std::sync::atomic` directly (the workspace lint enforces this);
+//! the `chk` cargo feature swaps the whole façade for the model
+//! checker's passthrough types.
+
+// lint:allow(sync-facade) — this module IS the façade.
+
+pub use gnnlab_par::sync::{
+    AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering,
+};

@@ -61,6 +61,7 @@ use crate::memory::{
 };
 use crate::queue::{DequeueError, GlobalQueue, Lease, DEFAULT_CAPACITY};
 use crate::schedule::{num_samplers, seed_standby_estimate, switch_profit};
+use crate::sync::{AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
 use crate::train_real::sampler_for;
 use gnnlab_cache::{
     load_cache_topk, CachePolicy, CacheStats, CacheTable, CachedFeatureStore, PolicyKind,
@@ -72,12 +73,10 @@ use gnnlab_par::{ThreadPool, Worker};
 use gnnlab_sampling::{presample_rng, MinibatchIter, Sample, SampleBuffers};
 use gnnlab_tensor::loss::accuracy;
 use gnnlab_tensor::{Adam, GnnModel, Matrix, ModelConfig, ModelKind, Optimizer};
-use parking_lot::{Condvar, Mutex};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::Scope;
 use std::time::{Duration, Instant};
@@ -1107,7 +1106,10 @@ impl Shared<'_> {
         let state = self.assemble_checkpoint();
         let cursor = state.cursor as usize;
         let generation = c.generation.load(Ordering::Relaxed);
-        let dir = c.policy.dir.as_deref().expect("enabled policy has a dir");
+        let dir = gnnlab_par::invariant!(
+            c.policy.dir.as_deref(),
+            "CheckpointPolicy::validate requires a dir when enabled"
+        );
         match checkpoint::write_generation(
             dir,
             generation,
@@ -1476,11 +1478,11 @@ pub fn run_threaded_obs(
     // one) and splice its state into the freshly-built run.
     let mut resumed_from = None;
     if cfg.checkpoint.resume && cfg.checkpoint.enabled() {
-        let dir = cfg
-            .checkpoint
-            .dir
-            .as_deref()
-            .expect("enabled policy has a dir");
+        let dir = cfg.checkpoint.dir.as_deref();
+        let dir = gnnlab_par::invariant!(
+            dir,
+            "CheckpointPolicy::validate requires a dir when enabled"
+        );
         let started = Instant::now();
         let outcome = checkpoint::load_latest(dir);
         if outcome.torn_detected > 0 {
@@ -1899,7 +1901,7 @@ fn sampler_phase(sh: &Shared<'_>, slot: usize, exec: usize) {
                 sh.produced.fetch_add(n, Ordering::Relaxed);
                 sampled += n;
                 obs.metrics
-                    .counter_add("threaded.samples_produced", n as f64);
+                    .counter_add(names::THREADED_SAMPLES_PRODUCED, n as f64);
             }
             // Poisoned (a peer crashed beyond recovery): stop producing.
             Err(_) => {

@@ -40,9 +40,15 @@ impl Workload {
     pub fn new(model: ModelKind, kind: DatasetKind, scale: Scale, seed: u64) -> Self {
         let algorithm = Self::default_algorithm(model);
         let dataset = if algorithm.needs_weights() {
-            Dataset::generate_weighted(kind, scale, seed).expect("valid dataset parameters")
+            gnnlab_par::invariant!(
+                Dataset::generate_weighted(kind, scale, seed),
+                "enum-typed dataset parameters always generate"
+            )
         } else {
-            Dataset::generate(kind, scale, seed).expect("valid dataset parameters")
+            gnnlab_par::invariant!(
+                Dataset::generate(kind, scale, seed),
+                "enum-typed dataset parameters always generate"
+            )
         };
         let num_classes = match kind {
             DatasetKind::Products => 47,
@@ -76,9 +82,10 @@ impl Workload {
     /// weights if needed) — used by the §7.4 weighted-sampling runs.
     pub fn with_algorithm(mut self, algorithm: AlgorithmKind) -> Self {
         if algorithm.needs_weights() && !self.dataset.csr.is_weighted() {
-            self.dataset =
-                Dataset::generate_weighted(self.dataset.spec.kind, self.dataset.scale, self.seed)
-                    .expect("valid dataset parameters");
+            self.dataset = gnnlab_par::invariant!(
+                Dataset::generate_weighted(self.dataset.spec.kind, self.dataset.scale, self.seed,),
+                "enum-typed dataset parameters always generate"
+            );
         }
         self.algorithm = algorithm;
         self

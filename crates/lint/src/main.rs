@@ -1,0 +1,3 @@
+fn main() {
+    gnnlab_lint::cli_main();
+}

@@ -1,0 +1,3 @@
+use parking_lot::Mutex;
+
+pub static X: Mutex<u32> = Mutex::new(0);

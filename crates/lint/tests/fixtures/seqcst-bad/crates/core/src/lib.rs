@@ -1,0 +1,5 @@
+use core::sync::atomic::Ordering; // placed oddly so only SeqCst fires
+
+pub fn f(a: &core::sync::atomic::AtomicU64) {
+    a.store(1, Ordering::SeqCst);
+}

@@ -1,0 +1,15 @@
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn g(x: Result<u32, String>) -> u32 {
+    x.expect("boom")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fine_here() {
+        Some(1u32).unwrap();
+    }
+}

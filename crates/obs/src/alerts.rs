@@ -249,10 +249,14 @@ impl AlertEngine {
                 continue;
             }
             let hits = counters
-                .get(&format!("cache.{}.{}.hits", parts[0], parts[1]))
+                .get(&names::executor_cache_field(parts[0], parts[1], "hits"))
                 .copied()
                 .unwrap_or(0.0);
-            stores.push((format!("cache.{}.{}", parts[0], parts[1]), lookups, hits));
+            stores.push((
+                names::executor_cache_family(parts[0], parts[1]),
+                lookups,
+                hits,
+            ));
         }
         if stores.is_empty() {
             let lookups = obs.metrics.counter(names::CACHE_LOOKUPS);

@@ -7,7 +7,7 @@
 //! `now_ns()` from a monotonic origin, a virtual clock answers it from a
 //! high-water mark advanced by each recorded span.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use gnnlab_par::sync::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// A nanosecond clock in either the virtual or the wall time domain.

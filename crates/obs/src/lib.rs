@@ -44,11 +44,11 @@ pub use server::{MetricsServer, ServerError};
 pub use span::{Executor, Span, SpanRecorder, Stage, HOST_DEVICE};
 pub use telemetry::{Telemetry, TelemetryConfig};
 
-use parking_lot::Mutex;
+use gnnlab_par::sync::Mutex;
+use gnnlab_par::sync::{AtomicU32, Ordering};
 use serde_json::Value;
 use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 /// The per-run observability hub.
 #[derive(Debug)]

@@ -16,9 +16,9 @@
 
 use crate::alerts::AlertEvent;
 pub use crate::hist::Histogram;
-use parking_lot::Mutex;
+use gnnlab_par::sync::Mutex;
+use gnnlab_par::sync::{AtomicUsize, Ordering};
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Default per-series retention cap (points kept per metric name).
 pub const DEFAULT_SERIES_CAP: usize = 8192;
@@ -261,7 +261,7 @@ impl MetricsRegistry {
     /// Records a structured alert event and bumps the `alerts.<rule>`
     /// counter, so rule totals are visible without scanning the log.
     pub fn raise(&self, event: AlertEvent) {
-        self.counter_inc(&format!("alerts.{}", event.rule));
+        self.counter_inc(&format!("{}{}", crate::names::ALERTS_PREFIX, event.rule));
         self.alerts.lock().push(event);
     }
 

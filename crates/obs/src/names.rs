@@ -98,6 +98,25 @@ pub const CACHE_TRAINER_ALPHA: &str = "cache.trainer_alpha";
 /// smaller than the Trainer's when topology takes space.
 pub const CACHE_STANDBY_ALPHA: &str = "cache.standby_alpha";
 
+/// Counter: feature-cache misses (aggregate; see [`executor_cache`]).
+pub const CACHE_MISSES: &str = "cache.misses";
+/// Counter: bytes served from the GPU-resident cache (hits).
+pub const CACHE_HIT_BYTES: &str = "cache.hit_bytes";
+/// Counter: bytes gathered from host memory over PCIe (misses).
+pub const CACHE_MISS_BYTES: &str = "cache.miss_bytes";
+/// Gauge: aggregate hit rate over everything a run recorded.
+pub const CACHE_HIT_RATE: &str = "cache.hit_rate";
+/// Series: per-batch cache hit rate as each batch's extract completes.
+pub const CACHE_BATCH_HIT_RATE: &str = "cache.batch_hit_rate";
+
+/// Series: wall seconds of each preprocessing phase, one point per phase.
+pub const PREPROCESS_PHASE_SECS: &str = "preprocess.phase_secs";
+/// Gauge: total wall seconds of the preprocessing pipeline.
+pub const PREPROCESS_TOTAL_SECS: &str = "preprocess.total_secs";
+
+/// Counter: samples produced by the threaded runtime's Sampler loops.
+pub const THREADED_SAMPLES_PRODUCED: &str = "threaded.samples_produced";
+
 /// Prefix of the per-executor cache metrics published by the threaded
 /// runtime: `cache.<role>.<slot>.<field>` counters (`lookups`, `hits`,
 /// `misses`) plus a `hit_rate` gauge — one family per executor-owned
@@ -111,6 +130,18 @@ pub const EXECUTOR_CACHE_PREFIX: &str = "cache.";
 /// `hit_rate`).
 pub fn executor_cache(role: &str, slot: usize, field: &str) -> String {
     format!("{EXECUTOR_CACHE_PREFIX}{role}.{slot}.{field}")
+}
+
+/// [`executor_cache`] for callers that already hold the slot as a string
+/// segment (e.g. the alert engine re-assembling names it parsed).
+pub fn executor_cache_field(role: &str, slot: &str, field: &str) -> String {
+    format!("{EXECUTOR_CACHE_PREFIX}{role}.{slot}.{field}")
+}
+
+/// The `cache.<role>.<slot>` family label (no field segment) used when an
+/// alert names one executor's store as a whole.
+pub fn executor_cache_family(role: &str, slot: &str) -> String {
+    format!("{EXECUTOR_CACHE_PREFIX}{role}.{slot}")
 }
 
 /// Gauge: the fault supervisor's configured respawn budget
@@ -153,6 +184,27 @@ pub const CKPT_GENERATION: &str = "ckpt.generation";
 /// completed span. These carry the streaming p50/p90/p99 estimates the
 /// scrape endpoint exposes.
 pub const STAGE_NS_PREFIX: &str = "stage.";
+
+/// Histogram: GPU-sampling (sample_g) span durations.
+pub const STAGE_SAMPLE_G_NS: &str = "stage.sample_g.ns";
+/// Histogram: CPU+GPU hybrid sampling (sample_m) span durations.
+pub const STAGE_SAMPLE_M_NS: &str = "stage.sample_m.ns";
+/// Histogram: CPU-sampling (sample_c) span durations.
+pub const STAGE_SAMPLE_C_NS: &str = "stage.sample_c.ns";
+/// Histogram: feature-extract span durations.
+pub const STAGE_EXTRACT_NS: &str = "stage.extract.ns";
+/// Histogram: train-step span durations.
+pub const STAGE_TRAIN_NS: &str = "stage.train.ns";
+/// Histogram: disk→DRAM load span durations.
+pub const STAGE_DISK_TO_DRAM_NS: &str = "stage.disk_to_dram.ns";
+/// Histogram: topology-load span durations.
+pub const STAGE_LOAD_TOPOLOGY_NS: &str = "stage.load_topology.ns";
+/// Histogram: cache fill/refresh span durations.
+pub const STAGE_LOAD_CACHE_NS: &str = "stage.load_cache.ns";
+/// Histogram: presample span durations.
+pub const STAGE_PRESAMPLE_NS: &str = "stage.presample.ns";
+/// Histogram: pipelined prefetch span durations.
+pub const STAGE_PREFETCH_NS: &str = "stage.prefetch.ns";
 
 /// Counter family: alerts raised per rule (`alerts.straggler`,
 /// `alerts.queue_saturation`, `alerts.cache_collapse`,

@@ -14,9 +14,9 @@
 
 use crate::prom::{render_prometheus, PROMETHEUS_CONTENT_TYPE};
 use crate::Obs;
+use gnnlab_par::sync::{AtomicBool, Ordering};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;

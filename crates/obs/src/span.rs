@@ -8,7 +8,7 @@
 //! executes G, M and C serially, and a pipelined Trainer overlaps Extract
 //! with Train only *across* lanes, never within one.
 
-use parking_lot::Mutex;
+use gnnlab_par::sync::Mutex;
 
 /// Which kind of executor produced a span (§5.2's factored roles).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize)]
@@ -78,17 +78,18 @@ impl Stage {
     /// (`stage.<stage>.ns`); every recorded span observes its duration
     /// there, which is where the scrape endpoint's p50/p90/p99 come from.
     pub fn histogram_name(self) -> &'static str {
+        use crate::names;
         match self {
-            Stage::SampleG => "stage.sample_g.ns",
-            Stage::SampleM => "stage.sample_m.ns",
-            Stage::SampleC => "stage.sample_c.ns",
-            Stage::Extract => "stage.extract.ns",
-            Stage::Train => "stage.train.ns",
-            Stage::DiskToDram => "stage.disk_to_dram.ns",
-            Stage::LoadTopology => "stage.load_topology.ns",
-            Stage::LoadCache => "stage.load_cache.ns",
-            Stage::Presample => "stage.presample.ns",
-            Stage::Prefetch => "stage.prefetch.ns",
+            Stage::SampleG => names::STAGE_SAMPLE_G_NS,
+            Stage::SampleM => names::STAGE_SAMPLE_M_NS,
+            Stage::SampleC => names::STAGE_SAMPLE_C_NS,
+            Stage::Extract => names::STAGE_EXTRACT_NS,
+            Stage::Train => names::STAGE_TRAIN_NS,
+            Stage::DiskToDram => names::STAGE_DISK_TO_DRAM_NS,
+            Stage::LoadTopology => names::STAGE_LOAD_TOPOLOGY_NS,
+            Stage::LoadCache => names::STAGE_LOAD_CACHE_NS,
+            Stage::Presample => names::STAGE_PRESAMPLE_NS,
+            Stage::Prefetch => names::STAGE_PREFETCH_NS,
         }
     }
 

@@ -16,7 +16,7 @@
 
 use crate::alerts::{AlertEngine, AlertRules};
 use crate::Obs;
-use std::sync::atomic::{AtomicBool, Ordering};
+use gnnlab_par::sync::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -84,6 +84,8 @@ impl Telemetry {
                 obs.sample_gauges();
                 engine.evaluate(&obs);
             })
+            // lint:allow(no-unwrap) — OS thread spawn failing at telemetry
+            // startup is unrecoverable; nothing upstream can retry.
             .expect("spawn telemetry thread");
         Telemetry {
             stop,

@@ -7,8 +7,7 @@
 //! can only change speed, never results.
 
 use crate::pool::ThreadPool;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{AtomicUsize, Mutex, Ordering};
 use std::sync::Arc;
 
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(1);

@@ -27,7 +27,9 @@
 
 pub mod gather;
 pub mod global;
+pub mod invariant;
 pub mod pool;
+pub mod sync;
 pub mod worker;
 
 pub use gather::{gather_rows_into, uninit_f32_vec};

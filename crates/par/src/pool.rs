@@ -1,7 +1,7 @@
 //! A scoped chunked thread pool: spawn-once workers, borrowed-closure
 //! dispatch, contiguous disjoint range partitioning.
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::cell::Cell;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -110,6 +110,8 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("gnnlab-par-{w}"))
                     .spawn(move || worker_loop(&rx))
+                    // lint:allow(no-unwrap) — OS thread spawn failing at pool
+                    // construction is unrecoverable; nothing upstream can retry.
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -164,16 +166,18 @@ impl ThreadPool {
 
         let latch = Arc::new(Latch::new(chunks - 1));
         let guard = WaitGuard(&latch);
-        let sender = self.sender.as_ref().expect("pool is alive");
+        let sender = crate::invariant!(
+            self.sender.as_ref(),
+            "the dispatch channel is only dropped by ThreadPool::drop"
+        );
         for c in 1..chunks {
             let latch = Arc::clone(&latch);
             let range = range_of(c);
-            sender
-                .send(Box::new(move || {
-                    let result = catch_unwind(AssertUnwindSafe(|| f_static(c, range)));
-                    latch.complete(result.err());
-                }))
-                .expect("pool workers are alive");
+            let sent = sender.send(Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| f_static(c, range)));
+                latch.complete(result.err());
+            }));
+            crate::invariant!(sent, "pool workers outlive every dispatch");
         }
         // The caller participates as chunk 0.
         let caller = catch_unwind(AssertUnwindSafe(|| f_static(0, range_of(0))));
@@ -232,7 +236,7 @@ impl ThreadPool {
         });
         slots
             .into_iter()
-            .map(|s| s.into_inner().expect("every chunk ran"))
+            .map(|s| crate::invariant!(s.into_inner(), "run_ranges visits every chunk"))
             .collect()
     }
 }

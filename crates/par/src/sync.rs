@@ -1,0 +1,21 @@
+//! The crate's sync façade: every runtime module imports its mutexes,
+//! condvars, and cross-thread atomics from here instead of naming
+//! `parking_lot` or `std::sync` directly (the workspace lint enforces
+//! this).
+//!
+//! With the `chk` cargo feature the façade resolves to `gnnlab-chk`'s
+//! model types, so the *real* handoff code runs under the deterministic
+//! schedule explorer; without it (the default production build) the
+//! façade is a zero-cost re-export of `parking_lot`/`std`.
+
+// lint:allow(sync-facade) — this module IS the façade.
+
+#[cfg(feature = "chk")]
+pub use gnnlab_chk::sync::{
+    AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering,
+};
+
+#[cfg(not(feature = "chk"))]
+pub use parking_lot::{Condvar, Mutex, MutexGuard};
+#[cfg(not(feature = "chk"))]
+pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};

@@ -16,7 +16,7 @@
 //! fail-fast crash semantics (a poisoned trainer still poisons itself,
 //! not its extract worker).
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
@@ -92,6 +92,41 @@ impl<T> JobHandle<T> {
     }
 }
 
+/// Model-test handle to the producer half of a job slot: lets the
+/// checker drive the fill/join handoff protocol directly (no OS worker
+/// thread, whose mpsc channel the model cannot schedule).
+#[cfg(feature = "chk")]
+pub struct SlotFiller<T> {
+    slot: Arc<Slot<T>>,
+}
+
+#[cfg(feature = "chk")]
+impl<T> SlotFiller<T> {
+    /// Completes the job successfully.
+    pub fn fill_ok(self, v: T) {
+        self.slot.fill(Ok(v));
+    }
+
+    /// Completes the job as panicked with `msg` as the payload.
+    pub fn fill_panic(self, msg: &'static str) {
+        self.slot.fill(Err(Box::new(msg)));
+    }
+}
+
+/// Builds a detached (filler, handle) pair over one result slot, so
+/// model tests can exercise the exact `Slot` state machine `submit`/
+/// `join` use in production.
+#[cfg(feature = "chk")]
+pub fn handoff_pair<T>() -> (SlotFiller<T>, JobHandle<T>) {
+    let slot = Arc::new(Slot::new());
+    (
+        SlotFiller {
+            slot: Arc::clone(&slot),
+        },
+        JobHandle { slot },
+    )
+}
+
 type WorkerJob = Box<dyn FnOnce() + Send>;
 
 /// One dedicated worker thread running submitted jobs in FIFO order.
@@ -121,6 +156,8 @@ impl Worker {
                     job();
                 }
             })
+            // lint:allow(no-unwrap) — OS thread spawn failing at executor
+            // construction is unrecoverable; nothing upstream can retry.
             .expect("failed to spawn dedicated worker");
         Worker {
             sender: Some(tx),
@@ -141,11 +178,14 @@ impl Worker {
             let out = catch_unwind(AssertUnwindSafe(job));
             theirs.fill(out);
         });
-        self.sender
-            .as_ref()
-            .expect("worker channel closed")
-            .send(boxed)
-            .expect("worker thread exited early");
+        let sender = crate::invariant!(
+            self.sender.as_ref(),
+            "the job channel is only dropped by Worker::drop"
+        );
+        crate::invariant!(
+            sender.send(boxed),
+            "the worker's recv loop runs until the channel closes"
+        );
         JobHandle { slot }
     }
 }

@@ -1,0 +1,130 @@
+//! Regression suite for the model checker's bug-finding power.
+//!
+//! The `crates/chk/tests/queue_model.rs` suite proves the *real*
+//! `GlobalQueue` clean under exhaustive schedule exploration. That proof
+//! is only worth something if the checker would actually catch the bugs
+//! it claims to rule out — so this suite runs the same checker against
+//! `broken_queue`'s seeded defects and asserts each one is **found**:
+//!
+//! - the lost-wakeup variant (notify only on the empty→non-empty edge)
+//!   must surface as a deadlock with both consumers parked;
+//! - the double-delivery variant (first dequeue forgets to pop) must
+//!   surface as a panic from the exactly-once assertion.
+//!
+//! If a checker refactor ever stops detecting either, this fails — the
+//! canary for the canary.
+
+use gnnlab_chk::{check, Config, ModelError};
+use gnnlab_core::broken_queue::{BrokenQueue, Defect};
+use std::sync::Arc;
+
+fn cfg() -> Config {
+    Config {
+        // No spurious wakeups: a lost signal must be a hard deadlock,
+        // not something a lucky spurious wake papers over.
+        spurious_wakeups: false,
+        atomic_noise: false,
+        ..Config::default()
+    }
+}
+
+/// Two consumers, two back-to-back enqueues: the broken queue signals
+/// only the first (empty→non-empty edge), so in schedules where both
+/// consumers park before the producer runs, the second consumer sleeps
+/// forever next to an available item. The checker must find that
+/// schedule and report it as a deadlock.
+#[test]
+fn checker_catches_seeded_lost_wakeup() {
+    let err = check(cfg(), || {
+        let q = Arc::new(BrokenQueue::new(Defect::LostWakeup));
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                gnnlab_chk::thread::spawn(move || q.dequeue())
+            })
+            .collect();
+        q.enqueue(1u64);
+        q.enqueue(2u64);
+        let mut got: Vec<u64> = consumers.into_iter().map(|c| c.join()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    })
+    .expect_err("the lost wakeup must be reachable within the preemption budget");
+    match &*err {
+        ModelError::Deadlock { threads, .. } => {
+            assert!(
+                threads.iter().any(|t| t.contains("waiting")),
+                "the report names the parked consumer: {threads:?}"
+            );
+        }
+        other => panic!("expected Deadlock, got {other}"),
+    }
+    assert!(
+        !err.trace().is_empty(),
+        "the defect report carries the offending schedule's trace"
+    );
+    println!("lost wakeup found in schedule {}", err.schedule());
+}
+
+/// Two consumers, two items: the broken queue delivers the first item
+/// twice, so some consumer pair observes a duplicate and the
+/// exactly-once assertion fires. The checker must surface that panic.
+#[test]
+fn checker_catches_seeded_double_delivery() {
+    let err = check(cfg(), || {
+        let q = Arc::new(BrokenQueue::new(Defect::DoubleDelivery));
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                gnnlab_chk::thread::spawn(move || q.dequeue())
+            })
+            .collect();
+        q.enqueue(1u64);
+        q.enqueue(2u64);
+        let mut got: Vec<u64> = consumers.into_iter().map(|c| c.join()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2], "exactly-once delivery");
+    })
+    .expect_err("the double delivery must violate exactly-once");
+    match &*err {
+        ModelError::Panic { message, .. } => {
+            assert!(
+                message.contains("exactly-once"),
+                "the report carries the assertion text: {message}"
+            );
+        }
+        other => panic!("expected Panic, got {other}"),
+    }
+    println!("double delivery found in schedule {}", err.schedule());
+}
+
+/// The same harness on a *correct* queue protocol stays green — the
+/// checker's defect reports above are signal, not noise.
+#[test]
+fn correct_protocol_is_clean_under_the_same_harness() {
+    let report = check(cfg(), || {
+        let q = Arc::new(gnnlab_core::queue::GlobalQueue::bounded(2));
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                gnnlab_chk::thread::spawn(move || match q.dequeue() {
+                    Ok(task) => Some(*task),
+                    Err(gnnlab_core::queue::DequeueError::Drained) => None,
+                    Err(e) => panic!("unexpected {e:?}"),
+                })
+            })
+            .collect();
+        q.enqueue(1u64).expect("queue is open");
+        q.enqueue(2u64).expect("queue is open");
+        q.close();
+        let mut got: Vec<u64> = consumers.into_iter().filter_map(|c| c.join()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    })
+    .expect("the real GlobalQueue passes where the broken variants fail");
+    assert!(report.exhausted);
+    println!(
+        "correct protocol: {} schedules, all clean",
+        report.schedules
+    );
+}
